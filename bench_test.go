@@ -1,0 +1,594 @@
+// Package evilbloom's root benchmark suite regenerates every table and
+// figure of the paper's evaluation as testing.B benchmarks:
+//
+//	Fig 3   BenchmarkFig3PollutionCampaign
+//	Fig 5   BenchmarkFig5ForgePollutingURL/f=2^-*
+//	Fig 6   BenchmarkFig6ForgeGhostURL/occupation=*
+//	Fig 7   BenchmarkFig7DecoyCover
+//	Fig 8   BenchmarkFig8DabloomsPollution
+//	Fig 9   BenchmarkFig9RecyclingPlan (analytic; cost of the planner itself)
+//	Table 1 BenchmarkTable1CandidateEvaluation (the brute-force attack inner loop)
+//	Table 2 BenchmarkTable2QueryCost/<hash>/{naive,recycling}
+//	§7      BenchmarkSquidExperiment
+//	§6.2    BenchmarkOverflowAttackCrafting, BenchmarkInstantSecondPreimage
+//
+// Ablations (DESIGN.md §4): BenchmarkAblation*.
+package evilbloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"evilbloom/internal/analysis"
+	"evilbloom/internal/attack"
+	"evilbloom/internal/cachedigest"
+	"evilbloom/internal/core"
+	"evilbloom/internal/countermeasure"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/probcount"
+	"evilbloom/internal/urlgen"
+)
+
+// ---------------------------------------------------------------------------
+// Fig 3: the full pollution campaign (m=3200, k=4, 600 chosen insertions).
+
+func BenchmarkFig3PollutionCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := hashes.NewDigester(hashes.SHA256, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fam, err := hashes.NewSalted(d, 4, 3200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filter := core.NewBloom(fam)
+		adv := attack.NewChosenInsertion(attack.NewBloomView(filter), filter, filter, urlgen.New(int64(i)))
+		if _, err := adv.PolluteN(600, 0); err != nil {
+			b.Fatal(err)
+		}
+		if fpr := filter.EstimatedFPR(); math.Abs(fpr-0.3164) > 0.001 {
+			b.Fatalf("campaign FPR = %v", fpr)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5: forging one polluting URL against a pyBloom filter at its design
+// load, for each false-positive exponent. ns/op grows exponentially with
+// the exponent — the paper's headline shape.
+
+func BenchmarkFig5ForgePollutingURL(b *testing.B) {
+	for _, e := range []int{5, 10, 15} { // 2^-20 at full load is > minutes/op
+		e := e
+		b.Run(fmt.Sprintf("f=2^-%d", e), func(b *testing.B) {
+			const capacity = 100000
+			filter, err := core.NewPyBloom(capacity, math.Pow(2, -float64(e)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Load to 50% of capacity with honest URLs: mid-campaign state.
+			gen := urlgen.New(1)
+			for i := 0; i < capacity/2; i++ {
+				filter.Add(gen.Next())
+			}
+			forger := attack.NewForger(attack.NewPartitionedView(filter), urlgen.New(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := forger.ForgePolluting(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(forger.Attempts)/float64(b.N), "candidates/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6: forging one ghost (false-positive) URL at different occupations.
+
+func BenchmarkFig6ForgeGhostURL(b *testing.B) {
+	const capacity = 50000
+	for _, occPct := range []int{60, 80, 100} { // lower occupations: minutes/op
+		occPct := occPct
+		b.Run(fmt.Sprintf("occupation=%d%%", occPct), func(b *testing.B) {
+			filter, err := core.NewPyBloom(capacity, 1.0/32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := urlgen.New(1)
+			for i := 0; i < capacity*occPct/100; i++ {
+				filter.Add(gen.Next())
+			}
+			forger := attack.NewForger(attack.NewPartitionedView(filter), urlgen.New(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := forger.ForgeFalsePositive(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(forger.Attempts)/float64(b.N), "candidates/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7: covering a ghost URL's bits with decoys.
+
+func BenchmarkFig7DecoyCover(b *testing.B) {
+	filter, err := core.NewPyBloom(500, 1.0/32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := attack.NewPartitionedView(filter)
+	ghostGen := urlgen.New(9)
+	forger := attack.NewForger(view, urlgen.New(10))
+	var idx []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx = view.Indexes(idx[:0], ghostGen.Next())
+		if _, err := forger.ForgeDecoySet(idx, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8: building a fully-polluted Dablooms filter (instant forgery).
+
+func BenchmarkFig8DabloomsPollution(b *testing.B) {
+	cfg := analysis.DefaultFig8Config()
+	cfg.StageCapacity = 1000
+	cfg.Probes = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := analysis.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.EstimatedF[cfg.Stages] < res.EstimatedF[0] {
+			b.Fatal("pollution lowered F")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9: the recycling planner (analytic, microseconds).
+
+func BenchmarkFig9RecyclingPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := countermeasure.PlanRecycling(math.Pow(2, -15), 8<<30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: the attack inner loop — candidate evaluation throughput, which
+// converts the analytic probabilities into wall-clock attack cost.
+
+func BenchmarkTable1CandidateEvaluation(b *testing.B) {
+	d, err := hashes.NewDigester(hashes.SHA256, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam, err := hashes.NewSalted(d, 4, 3200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := core.NewBloom(fam)
+	gen := urlgen.New(1)
+	for i := 0; i < 300; i++ {
+		filter.Add(gen.Next())
+	}
+	view := attack.NewBloomView(filter)
+	probe := urlgen.New(2)
+	var idx []uint64
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		idx = view.Indexes(idx[:0], probe.Next())
+		sink = sink != attack.IsPolluting(view, idx)
+	}
+	_ = sink
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: per-query index-derivation cost, naive (k salted calls) vs
+// recycling, for every hash in the paper's table.
+
+func BenchmarkTable2QueryCost(b *testing.B) {
+	const capacity = 1000000
+	f := math.Pow(2, -10)
+	m := core.OptimalM(capacity, f)
+	k := core.KForFPR(f)
+	item := []byte("0123456789abcdef0123456789abcdef") // 32 bytes, as in the paper
+	key := []byte("0123456789abcdef")
+	for _, alg := range analysis.Table2Algorithms {
+		alg := alg
+		var algKey []byte
+		if alg.Keyed() {
+			algKey = key
+		}
+		b.Run(alg.String()+"/naive", func(b *testing.B) {
+			d, err := hashes.NewDigester(alg, algKey)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fam, err := hashes.NewSalted(d, k, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var idx []uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx = fam.Indexes(idx[:0], item)
+			}
+		})
+		if hashes.DigestCallsFor(alg, k, m) == 0 {
+			continue // digest too short to recycle (paper prints "-")
+		}
+		b.Run(alg.String()+"/recycling", func(b *testing.B) {
+			d, err := hashes.NewDigester(alg, algKey)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fam, err := hashes.NewRecycling(d, k, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var idx []uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx = fam.Indexes(idx[:0], item)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §7: the full two-proxy Squid experiment (polluted run).
+
+func BenchmarkSquidExperiment(b *testing.B) {
+	cfg := cachedigest.DefaultExperimentConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := cachedigest.RunExperiment(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DigestBits != 762 {
+			b.Fatalf("digest bits = %d", res.DigestBits)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §6.2: constant-time forgery primitives.
+
+func BenchmarkInstantSecondPreimage(b *testing.B) {
+	fam, err := hashes.NewDoubleHashing(7, 95851, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := fam.Clone().Indexes(nil, []byte("http://victim.example.com/"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forger.SecondPreimage(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverflowAttackCrafting(b *testing.B) {
+	fam, err := hashes.NewDoubleHashing(7, 95851, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.NewCounting(fam, 4, core.Wrap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forger.EmptyViaOverflow(c, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+
+// Brute-force vs instant pollution of a dablooms-style stage: the value of
+// MurmurHash3 inversion.
+func BenchmarkAblationPollutionSearch(b *testing.B) {
+	newStage := func() (*core.Counting, *hashes.DoubleHashing) {
+		fam, err := hashes.NewDoubleHashing(7, 95851, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.NewCounting(fam, 4, core.Wrap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := urlgen.New(1)
+		for i := 0; i < 5000; i++ {
+			c.Add(gen.Next())
+		}
+		return c, fam
+	}
+	b.Run("bruteforce", func(b *testing.B) {
+		c, _ := newStage()
+		forger := attack.NewForger(attack.NewCountingView(c), urlgen.New(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := forger.ForgePolluting(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instant", func(b *testing.B) {
+		c, fam := newStage()
+		forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		view := attack.NewCountingView(c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := forger.PollutingItem(view, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Overflow policy: wrap (dablooms-faithful, attackable) vs saturate (safe).
+func BenchmarkAblationOverflowPolicy(b *testing.B) {
+	for _, policy := range []core.OverflowPolicy{core.Wrap, core.Saturate} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			fam, err := hashes.NewDoubleHashing(7, 1<<20, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := core.NewCounting(fam, 4, policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			item := []byte("http://hot.example.com/")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Add(item)
+			}
+		})
+	}
+}
+
+// Index derivation strategies at equal geometry: the query-cost ablation
+// behind Table 2's recommendation.
+func BenchmarkAblationIndexFamilies(b *testing.B) {
+	const m, k = 1 << 24, 7
+	item := []byte("http://example.com/some/long/path/page.html")
+	families := map[string]func() (hashes.IndexFamily, error){
+		"salted-sha256": func() (hashes.IndexFamily, error) {
+			d, err := hashes.NewDigester(hashes.SHA256, nil)
+			if err != nil {
+				return nil, err
+			}
+			return hashes.NewSalted(d, k, m)
+		},
+		"recycling-sha256": func() (hashes.IndexFamily, error) {
+			d, err := hashes.NewDigester(hashes.SHA256, nil)
+			if err != nil {
+				return nil, err
+			}
+			return hashes.NewRecycling(d, k, m)
+		},
+		"doublehash-murmur": func() (hashes.IndexFamily, error) {
+			return hashes.NewDoubleHashing(k, m, 3)
+		},
+		"xof-hmac-sha256": func() (hashes.IndexFamily, error) {
+			return countermeasure.NewXOFFamily(hashes.HMACSHA256, []byte("key"), k, m)
+		},
+		"universal-cw": func() (hashes.IndexFamily, error) {
+			key, err := hashes.NewUniversalKey(k)
+			if err != nil {
+				return nil, err
+			}
+			return hashes.NewUniversal(key, k, m)
+		},
+	}
+	for name, build := range families {
+		name, build := name, build
+		b.Run(name, func(b *testing.B) {
+			fam, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var idx []uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx = fam.Indexes(idx[:0], item)
+			}
+		})
+	}
+}
+
+// Worst-case vs optimal parameters under pollution: wall-clock of the
+// campaign plus the achieved FPR as a reported metric.
+func BenchmarkAblationWorstCaseDesign(b *testing.B) {
+	const m, n = 3200, 600
+	run := func(b *testing.B, k int) {
+		var finalFPR float64
+		for i := 0; i < b.N; i++ {
+			fam, err := hashes.NewDoubleHashing(k, m, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			filter := core.NewBloom(fam)
+			adv := attack.NewChosenInsertion(attack.NewBloomView(filter), filter, filter, urlgen.New(int64(i)))
+			if _, err := adv.PolluteN(n, 0); err != nil {
+				b.Fatal(err)
+			}
+			finalFPR = filter.EstimatedFPR()
+		}
+		b.ReportMetric(finalFPR, "polluted-FPR")
+	}
+	b.Run("optimal-k4", func(b *testing.B) { run(b, core.OptimalKInt(m, n)) })
+	b.Run("worstcase-k2", func(b *testing.B) { run(b, core.WorstCaseKInt(m, n)) })
+}
+
+// ---------------------------------------------------------------------------
+// Extensions (§10 of the paper: variants of Bloom filters and probabilistic
+// counting under the adversary models).
+
+// Adversarial HyperLogLog: honest adds vs constant-time forgery vs a full
+// inflation pass.
+func BenchmarkExtensionHLL(b *testing.B) {
+	b.Run("honest-add", func(b *testing.B) {
+		h, err := probcount.NewHLL(14, probcount.MurmurHash64{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := urlgen.New(1)
+		items := make([][]byte, 256)
+		for i := range items {
+			items[i] = gen.Next()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Add(items[i&255])
+		}
+	})
+	b.Run("forge-item", func(b *testing.B) {
+		h, err := probcount.NewHLL(14, probcount.MurmurHash64{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := probcount.Forge(h, []byte("http://evil.com/"), i&(h.M()-1), 40, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inflation-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h, err := probcount.NewHLL(12, probcount.MurmurHash64{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := probcount.InflationAttack(h, []byte("http://evil.com/"), h.M()); err != nil {
+				b.Fatal(err)
+			}
+			if h.Estimate() < 1e12 {
+				b.Fatal("inflation failed")
+			}
+		}
+	})
+}
+
+// Two-choice vs classic filter at identical (m, k, n): insert cost plus the
+// resulting honest FPR as a metric — the "power of two choices" the paper's
+// conclusion plays on.
+func BenchmarkExtensionTwoChoice(b *testing.B) {
+	const m, k, n = 1 << 16, 5, 9000
+	b.Run("classic", func(b *testing.B) {
+		var fpr float64
+		for i := 0; i < b.N; i++ {
+			fam, err := hashes.NewDoubleHashing(k, m, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := core.NewBloom(fam)
+			gen := urlgen.New(int64(i))
+			for j := 0; j < n; j++ {
+				f.Add(gen.Next())
+			}
+			fpr = f.EstimatedFPR()
+		}
+		b.ReportMetric(fpr, "honest-FPR")
+	})
+	b.Run("two-choice", func(b *testing.B) {
+		var fpr float64
+		for i := 0; i < b.N; i++ {
+			f, err := core.NewTwoChoiceMurmur(k, m, uint64(i), uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := urlgen.New(int64(i))
+			for j := 0; j < n; j++ {
+				f.Add(gen.Next())
+			}
+			fpr = f.EstimatedFPR()
+		}
+		b.ReportMetric(fpr, "honest-FPR")
+	})
+}
+
+// Nyberg accumulator vs Bloom-with-recycling: the query-cost gap (§9) that
+// pushes developers towards Bloom filters — and into the paper's attacks.
+func BenchmarkExtensionNybergVsBloom(b *testing.B) {
+	const n = 1000
+	f := 0.01
+	item := []byte("http://example.com/some/page")
+	b.Run("nyberg", func(b *testing.B) {
+		acc, err := core.NewNybergForCapacity(n, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add([]byte("member"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc.Test(item)
+		}
+	})
+	b.Run("bloom-recycling-sha256", func(b *testing.B) {
+		d, err := hashes.NewDigester(hashes.SHA256, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fam, err := hashes.NewRecycling(d, core.KForFPR(f), core.OptimalM(n, f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		filter := core.NewBloom(fam)
+		filter.Add([]byte("member"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			filter.Test(item)
+		}
+	})
+}
+
+// A guard against accidentally quadratic experiment drivers: the full Fig 3
+// regeneration must stay well under a second.
+func TestFig3RegenerationIsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	start := time.Now()
+	if _, err := analysis.RunFig3(analysis.DefaultFig3Config()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("Fig 3 regeneration took %v", d)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf strings.Builder
+	chunk := make([]byte, 64*1024)
+	for {
+		n, err := r.Read(chunk)
+		buf.Write(chunk[:n])
+		if err != nil {
+			break
+		}
+	}
+	return buf.String(), runErr
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestSubcommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"fig3", []string{"fig3", "-chart=false"}, []string{"422", "0.316"}},
+		{"fig5", []string{"fig5", "-budget", "200ms", "-capacity", "20000"}, []string{"2^-5", "2^-20"}},
+		{"fig6", []string{"fig6", "-capacity", "10000", "-repeats", "1"}, []string{"occupation", "100%"}},
+		{"fig8", []string{"fig8", "-capacity", "1000", "-probes", "20000"}, []string{"polluted stages", "full-attack"}},
+		{"fig9", []string{"fig9"}, []string{"660", "SHA-512"}},
+		{"table1", []string{"table1"}, []string{"Pollution", "Deletion"}},
+		{"table2", []string{"table2", "-iters", "2000"}, []string{"SHA-512", "Speedup"}},
+		{"squid", []string{"squid"}, []string{"762", "false hits"}},
+		{"params", []string{"params"}, []string{"1.88", "worst-case"}},
+		{"overflow", []string{"overflow", "-capacity", "500"}, []string{"non-zero counters", "overflow"}},
+		{"hll", []string{"hll", "-honest", "20000"}, []string{"inflation", "suppression", "keyed"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := captureStdout(t, func() error { return run(tc.args) })
+			if err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output of %v missing %q:\n%s", tc.args, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestSubcommandFlagErrors(t *testing.T) {
+	if err := run([]string{"fig3", "-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Crawler blinding (§5): a Scrapy-like spider deduplicates URLs with a
+// pyBloom filter. The adversary first blinds it with a link farm of
+// polluting URLs, then hides a ghost page behind decoys (Fig 7).
+//
+//	go run ./examples/crawlerblinding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/crawler"
+	"evilbloom/internal/urlgen"
+	"evilbloom/internal/webgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	blinding()
+	fmt.Println()
+	ghostHiding()
+}
+
+// blinding pollutes the dedup filter via a link farm; the spider then
+// believes most of an honest site was already visited.
+func blinding() {
+	const capacity, fpr = 2000, 1.0 / 32
+	filter, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The adversary models the public filter perfectly and crafts 2000
+	// polluting URLs (each sets k fresh bits — condition 6).
+	model, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry := "http://evil-entry.example.com/"
+	crawler.NewBloomDeduper(model).Seen(entry) // the entry page is marked first
+	forger := attack.NewForger(attack.NewPartitionedView(model), urlgen.New(99))
+	crafted := make([]string, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		item, _, err := forger.ForgePolluting(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Add(item)
+		crafted = append(crafted, string(item))
+	}
+	fmt.Printf("§5.2 blinding: forged %d polluting URLs in %d candidates\n",
+		capacity, forger.Attempts)
+
+	// The web: her link farm plus an honest 500-page site.
+	web := webgraph.New()
+	webgraph.BuildLinkFarm(web, entry, crafted)
+	honestRoot := webgraph.BuildSite(web, urlgen.New(1), 500, 5)
+
+	spider := crawler.New(web, crawler.NewBloomDeduper(filter))
+	farm := spider.Crawl(entry, 0)
+	fmt.Printf("crawled the link farm: %d pages fetched, filter weight grown to %d/%d\n",
+		len(farm.Fetched), filter.Weight(), filter.M())
+
+	honest := spider.Crawl(honestRoot, 0)
+	fmt.Printf("then crawled an honest 500-page site: fetched %d, skipped %d as \"already seen\"\n",
+		len(honest.Fetched), honest.SkippedSeen)
+
+	clean, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	control := crawler.New(web, crawler.NewBloomDeduper(clean)).Crawl(honestRoot, 0)
+	fmt.Printf("control with a clean filter: fetched %d — the spider was blinded\n",
+		len(control.Fetched))
+}
+
+// ghostHiding hides a secret page (Fig 7): decoys cover the ghost URL's
+// filter bits, so the spider marks it seen without ever fetching it.
+func ghostHiding() {
+	const capacity, fpr = 500, 1.0 / 32
+	filter, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ghost := "http://root-decoy.example.com/secret/ghost-page"
+
+	model, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ghostIdx := model.Indexes(nil, []byte(ghost))
+	forger := attack.NewForger(attack.NewPartitionedView(model), urlgen.New(7))
+	decoyItems, err := forger.ForgeDecoySet(ghostIdx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoys := make([]string, len(decoyItems))
+	for i, d := range decoyItems {
+		decoys[i] = string(d)
+	}
+	fmt.Printf("Fig 7 ghost hiding: %d decoy URLs cover the ghost's %d filter bits (%d candidates)\n",
+		len(decoys), len(ghostIdx), forger.Attempts)
+
+	root := "http://root-decoy.example.com/"
+	web := webgraph.New()
+	webgraph.BuildDecoyChain(web, root, decoys, ghost)
+
+	report := crawler.New(web, crawler.NewBloomDeduper(filter)).Crawl(root, 0)
+	fmt.Printf("spider fetched %d pages; ghost fetched: %v (skipped as seen: %d)\n",
+		len(report.Fetched), report.DidFetch(ghost), report.SkippedSeen)
+	exact := crawler.New(web, crawler.NewHashSetDeduper()).Crawl(root, 0)
+	fmt.Printf("with an exact dedup filter the ghost is found: %v\n", exact.DidFetch(ghost))
+}

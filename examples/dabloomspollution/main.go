@@ -1,0 +1,123 @@
+// Dablooms attacks (§6): a Bitly-style URL shortener blacklists malicious
+// URLs in a scaling counting Bloom filter. The adversary (a) pollutes it
+// through the report feed, (b) whitelists her malware with a constant-time
+// second pre-image deletion, and (c) wastes a whole stage via counter
+// overflow — all because MurmurHash3 is invertible.
+//
+//	go run ./examples/dabloomspollution
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/spamfilter"
+	"evilbloom/internal/urlgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := core.DefaultDabloomsConfig()
+	cfg.StageCapacity = 2000
+	cfg.MaxStages = 3
+	pollution(cfg)
+	fmt.Println()
+	deletion(cfg)
+	fmt.Println()
+	overflow(cfg)
+}
+
+func lastStageForger(s *spamfilter.Shortener, seed int64) (*core.Counting, *attack.InstantForger) {
+	stages := s.Blacklist().CountingStages()
+	last := stages[len(stages)-1]
+	fam, ok := last.Family().(*hashes.DoubleHashing)
+	if !ok {
+		log.Fatal("dablooms stage does not use double hashing")
+	}
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return last, forger
+}
+
+// pollution fills every stage with crafted reports; honest shortening
+// requests then bounce off false positives at the Fig 8 rate.
+func pollution(cfg core.DabloomsConfig) {
+	s, err := spamfilter.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := int(cfg.StageCapacity) * cfg.MaxStages
+	for i := 0; i < total; i++ {
+		stage, forger := lastStageForger(s, int64(i))
+		item, err := forger.PollutingItem(attack.NewCountingView(stage), 1<<22)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.ReportMalicious(string(item))
+	}
+	honest := urlgen.New(1)
+	for i := 0; i < 5000; i++ {
+		s.Shorten(honest.URL()) //nolint:errcheck // rejections are the point
+	}
+	fmt.Printf("§6.2 pollution: %d crafted reports across %d stages\n", total, cfg.MaxStages)
+	fmt.Printf("honest shortening requests rejected: %.1f%% (design target was ≈%.1f%%)\n",
+		100*s.RejectionRate(), 100*core.AnalyticCompoundFPR(cfg.InitialFPR, cfg.TighteningRatio, cfg.MaxStages))
+}
+
+// deletion whitelists actual malware: the honest feed blacklists it, the
+// adversary crafts a colliding URL (same index set, computed by inverting
+// MurmurHash3) and appeals that one.
+func deletion(cfg core.DabloomsConfig) {
+	s, err := spamfilter.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports := urlgen.New(5)
+	for i := 0; i < 500; i++ {
+		s.ReportMalicious(reports.URL())
+	}
+	malware := "http://actual-malware.example.com/dropper"
+	s.ReportMalicious(malware)
+	_, blockedErr := s.Shorten(malware)
+	fmt.Printf("§6.2 deletion: malware blocked after honest report: %v\n",
+		errors.Is(blockedErr, spamfilter.ErrBlacklisted))
+
+	stage, forger := lastStageForger(s, 1)
+	victimIdx := stage.Family().Clone().Indexes(nil, []byte(malware))
+	doppel, err := forger.SecondPreimage(victimIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second pre-image computed in constant time: %q\n", doppel)
+	if err := s.RemoveReport(string(doppel)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Shorten(malware); err == nil {
+		fmt.Println("after appealing the doppelganger, the malware shortens fine — whitelisted")
+	}
+}
+
+// overflow empties a stage that believes itself full.
+func overflow(cfg core.DabloomsConfig) {
+	s, err := spamfilter.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stage, forger := lastStageForger(s, 2)
+	items, err := forger.EmptyViaOverflow(stage, cfg.StageCapacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range items {
+		s.ReportMalicious(string(it))
+	}
+	fmt.Printf("§6.2 overflow: stage holds %d insertions, yet %d of %d counters are non-zero\n",
+		stage.Count(), stage.Weight(), stage.M())
+	fmt.Println("the stage is \"full\" and empty at once — wasted memory, useless filter")
+}

@@ -1,0 +1,142 @@
+// Package analysis is the experiment harness: it drives the attacks against
+// the filters and application substrates to regenerate every figure and
+// table of the paper's evaluation, and renders series as aligned text tables
+// and ASCII charts for the CLI.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a labelled sequence of (x, y) points.
+type Series struct {
+	// Label names the curve (e.g. "f_adv").
+	Label string
+	// X and Y hold the coordinates; lengths must match.
+	X []float64
+	Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// FormatTable renders rows as an aligned text table with a header rule.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// chartGlyphs marks successive series on one chart.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// RenderChart draws series as an ASCII scatter plot of the given interior
+// dimensions, with linear axes spanning the data range.
+func RenderChart(title string, series []*Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", minY)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("%10s%-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[si%len(chartGlyphs)], s.Label))
+	}
+	b.WriteString("          " + strings.Join(legend, "   "))
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+// Fig3Config parameterizes the pollution-curve experiment of Fig 3.
+type Fig3Config struct {
+	// M and K are the filter geometry (3200 and 4 in the paper).
+	M uint64
+	K int
+	// N is the number of insertions per curve (600).
+	N int
+	// HonestPrefix is the number of honest insertions before the partial
+	// attack begins (400).
+	HonestPrefix int
+	// Seed drives the URL streams.
+	Seed int64
+}
+
+// DefaultFig3Config returns the paper's parameters.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{M: 3200, K: 4, N: 600, HonestPrefix: 400, Seed: 1}
+}
+
+// Fig3Result carries the three measured curves plus the analytic references.
+type Fig3Result struct {
+	// Curves: estimated FPR (W/m)^k after insertion i+1, for each strategy.
+	Random      []float64
+	Adversarial []float64
+	Partial     []float64
+	// AnalyticRandom is eq (1) per insertion count; AnalyticAdversarial is
+	// eq (7).
+	AnalyticRandom      []float64
+	AnalyticAdversarial []float64
+	// ThresholdFPR is f_opt for (M, N) — the designer's expectation.
+	ThresholdFPR float64
+	// Crossings gives the insertion count at which each curve first reaches
+	// ThresholdFPR (0 = never). Paper: random 600, adversarial 422,
+	// partial 510.
+	CrossingRandom      int
+	CrossingAdversarial int
+	CrossingPartial     int
+	// ForgeAttempts counts the adversary's candidate URLs over the full
+	// adversarial campaign.
+	ForgeAttempts uint64
+}
+
+func newFig3Filter(cfg Fig3Config) (*core.Bloom, error) {
+	d, err := hashes.NewDigester(hashes.SHA256, nil)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hashes.NewSalted(d, cfg.K, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewBloom(fam), nil
+}
+
+// RunFig3 executes the three insertion strategies and records the estimated
+// false-positive probability after every insertion.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	if cfg.N <= 0 || cfg.HonestPrefix < 0 || cfg.HonestPrefix > cfg.N {
+		return nil, fmt.Errorf("analysis: invalid Fig3 config %+v", cfg)
+	}
+	res := &Fig3Result{ThresholdFPR: core.OptimalFPR(cfg.M, uint64(cfg.N))}
+
+	// Random insertions.
+	random, err := newFig3Filter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen := urlgen.New(cfg.Seed)
+	for i := 0; i < cfg.N; i++ {
+		random.Add(gen.Next())
+		res.Random = append(res.Random, random.EstimatedFPR())
+	}
+
+	// Fully adversarial insertions.
+	adversarial, err := newFig3Filter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	adv := attack.NewChosenInsertion(attack.NewBloomView(adversarial), adversarial, adversarial, urlgen.New(cfg.Seed+1))
+	points, err := adv.PolluteN(cfg.N, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: adversarial campaign: %w", err)
+	}
+	for _, p := range points {
+		res.Adversarial = append(res.Adversarial, p.FPR)
+	}
+	res.ForgeAttempts = adv.Forger().Attempts
+
+	// Partial: honest prefix, then adversarial.
+	partial, err := newFig3Filter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	honest := urlgen.New(cfg.Seed + 2)
+	for i := 0; i < cfg.HonestPrefix; i++ {
+		partial.Add(honest.Next())
+		res.Partial = append(res.Partial, partial.EstimatedFPR())
+	}
+	padv := attack.NewChosenInsertion(attack.NewBloomView(partial), partial, partial, urlgen.New(cfg.Seed+3))
+	ppoints, err := padv.PolluteN(cfg.N-cfg.HonestPrefix, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: partial campaign: %w", err)
+	}
+	for _, p := range ppoints {
+		res.Partial = append(res.Partial, p.FPR)
+	}
+
+	// Analytic references.
+	for i := 1; i <= cfg.N; i++ {
+		res.AnalyticRandom = append(res.AnalyticRandom, core.FPR(cfg.M, uint64(i), cfg.K))
+		res.AnalyticAdversarial = append(res.AnalyticAdversarial, core.AdversarialFPR(cfg.M, uint64(i), cfg.K))
+	}
+
+	res.CrossingRandom = firstCrossing(res.Random, res.ThresholdFPR)
+	res.CrossingAdversarial = firstCrossing(res.Adversarial, res.ThresholdFPR)
+	res.CrossingPartial = firstCrossing(res.Partial, res.ThresholdFPR)
+	return res, nil
+}
+
+// firstCrossing returns the 1-based index where curve first reaches
+// threshold, or 0 when it never does.
+func firstCrossing(curve []float64, threshold float64) int {
+	for i, v := range curve {
+		if v >= threshold {
+			return i + 1
+		}
+	}
+	return 0
+}

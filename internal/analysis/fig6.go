@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/urlgen"
+)
+
+// Fig6Config parameterizes the ghost-URL (false-positive) forging cost
+// experiment: the cost of crafting one false positive as a function of the
+// filter occupation (insertions / capacity).
+type Fig6Config struct {
+	// Capacity is the pyBloom capacity (10⁶ in the paper; the cost depends
+	// only on the fill fraction, so smaller capacities reproduce the curve
+	// faster).
+	Capacity uint64
+	// FPRExponents lists e in f = 2^−e (5 and 10 in the paper).
+	FPRExponents []int
+	// OccupationsPct lists the x-axis points (10..100 by 10 in the paper).
+	OccupationsPct []int
+	// Repeats averages the measured cost over this many forgeries.
+	Repeats int
+	// AttemptBudget caps the per-forgery search; points whose analytic cost
+	// exceeds it report only the analytic estimate (the paper's low-
+	// occupation points took up to 3 hours — see EXPERIMENTS.md).
+	AttemptBudget uint64
+	// Seed drives the URL streams.
+	Seed int64
+}
+
+// DefaultFig6Config returns laptop-scale defaults.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Capacity:       200000,
+		FPRExponents:   []int{5, 10},
+		OccupationsPct: []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Repeats:        3,
+		AttemptBudget:  3000000,
+		Seed:           1,
+	}
+}
+
+// Fig6Point is one (occupation, cost) measurement.
+type Fig6Point struct {
+	// OccupationPct is insertions/capacity in percent.
+	OccupationPct int
+	// AnalyticAttempts is 1/p with p = ∏ sliceFill — the expected
+	// candidates per forged false positive.
+	AnalyticAttempts float64
+	// MeasuredAttempts is the observed average (−1 when the budget was
+	// exceeded and no forgery succeeded).
+	MeasuredAttempts float64
+	// MeasuredSeconds is the observed average wall-clock per forgery (−1 as
+	// above).
+	MeasuredSeconds float64
+	// EstimatedSeconds is AnalyticAttempts × the measured per-candidate
+	// cost — the full-curve reconstruction of the paper's minutes-scale
+	// y-axis.
+	EstimatedSeconds float64
+}
+
+// Fig6Series is the curve for one false-positive exponent.
+type Fig6Series struct {
+	FPRExponent  int
+	K            int
+	NsPerAttempt float64
+	Points       []Fig6Point
+}
+
+// RunFig6 regenerates Fig 6.
+func RunFig6(cfg Fig6Config) ([]Fig6Series, error) {
+	if cfg.Capacity == 0 || cfg.Repeats <= 0 || len(cfg.OccupationsPct) == 0 {
+		return nil, fmt.Errorf("analysis: invalid Fig6 config %+v", cfg)
+	}
+	out := make([]Fig6Series, 0, len(cfg.FPRExponents))
+	for _, e := range cfg.FPRExponents {
+		f := math.Pow(2, -float64(e))
+		filter, err := core.NewPyBloom(cfg.Capacity, f)
+		if err != nil {
+			return nil, err
+		}
+		series := Fig6Series{FPRExponent: e, K: filter.K()}
+		series.NsPerAttempt = measureAttemptCost(filter, cfg.Seed)
+		fill := urlgen.New(cfg.Seed + 1)
+		view := attack.NewPartitionedView(filter)
+		var inserted uint64
+		for _, pct := range cfg.OccupationsPct {
+			targetInserted := cfg.Capacity * uint64(pct) / 100
+			for inserted < targetInserted {
+				filter.Add(fill.Next())
+				inserted++
+			}
+			point := Fig6Point{OccupationPct: pct}
+			p := filter.EstimatedFPR()
+			if p > 0 {
+				point.AnalyticAttempts = 1 / p
+			} else {
+				point.AnalyticAttempts = math.Inf(1)
+			}
+			point.EstimatedSeconds = point.AnalyticAttempts * series.NsPerAttempt / 1e9
+			if point.AnalyticAttempts <= float64(cfg.AttemptBudget)/3 {
+				forger := attack.NewForger(view, urlgen.New(cfg.Seed+int64(100*pct)))
+				var totalAttempts uint64
+				start := time.Now()
+				ok := true
+				for r := 0; r < cfg.Repeats; r++ {
+					if _, _, err := forger.ForgeFalsePositive(cfg.AttemptBudget); err != nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					totalAttempts = forger.Attempts
+					point.MeasuredAttempts = float64(totalAttempts) / float64(cfg.Repeats)
+					point.MeasuredSeconds = time.Since(start).Seconds() / float64(cfg.Repeats)
+				} else {
+					point.MeasuredAttempts, point.MeasuredSeconds = -1, -1
+				}
+			} else {
+				point.MeasuredAttempts, point.MeasuredSeconds = -1, -1
+			}
+			series.Points = append(series.Points, point)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// measureAttemptCost times candidate evaluation (URL generation + k digests
+// + occupancy checks) against the given filter.
+func measureAttemptCost(filter *core.Partitioned, seed int64) float64 {
+	gen := urlgen.New(seed + 999)
+	var idx []uint64
+	const samples = 20000
+	start := time.Now()
+	var sink bool
+	for i := 0; i < samples; i++ {
+		idx = filter.Indexes(idx[:0], gen.Next())
+		sink = sink != filter.TestIndexes(idx)
+	}
+	_ = sink
+	return float64(time.Since(start).Nanoseconds()) / samples
+}

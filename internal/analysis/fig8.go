@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+// Fig8Config parameterizes the Dablooms pollution experiment: a scaling
+// counting filter of λ stages, with the last i stages filled by the
+// chosen-insertion adversary.
+type Fig8Config struct {
+	// Stages is λ (10 in the paper).
+	Stages int
+	// StageCapacity is δ (10000).
+	StageCapacity uint64
+	// F0 and R are the error budget parameters (0.01 and 0.9).
+	F0 float64
+	R  float64
+	// Probes measures the compound F empirically (0 skips probing and
+	// reports only the weight-based estimate).
+	Probes int
+	// Seed drives filters and URL streams.
+	Seed int64
+}
+
+// DefaultFig8Config returns the paper's parameters.
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{
+		Stages:        10,
+		StageCapacity: 10000,
+		F0:            0.01,
+		R:             0.9,
+		Probes:        200000,
+		Seed:          1,
+	}
+}
+
+// Fig8Result carries F as a function of the number of polluted stages.
+type Fig8Result struct {
+	// EstimatedF[i] is the weight-based compound F with the last i stages
+	// polluted (index 0 = no attack … index λ = full attack).
+	EstimatedF []float64
+	// EmpiricalF matches EstimatedF, measured with random probes (empty
+	// when Probes = 0).
+	EmpiricalF []float64
+	// AnalyticNoAttack is 1 − ∏(1 − f₀rⁱ); AnalyticFull uses eq (7) per
+	// stage.
+	AnalyticNoAttack float64
+	AnalyticFull     float64
+}
+
+// RunFig8 regenerates Fig 8: for each pollution level i ∈ [0, λ], build a
+// Dablooms filter whose first λ−i stages are filled with honest reports and
+// whose last i stages are filled by the instant chosen-insertion adversary
+// (MurmurHash inversion: each crafted item claims a disjoint arithmetic
+// progression of counters, so every insertion sets k fresh counters with no
+// search at all).
+func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+	if cfg.Stages <= 0 || cfg.StageCapacity == 0 {
+		return nil, fmt.Errorf("analysis: invalid Fig8 config %+v", cfg)
+	}
+	res := &Fig8Result{
+		AnalyticNoAttack: core.AnalyticCompoundFPR(cfg.F0, cfg.R, cfg.Stages),
+	}
+	analyticFullPass := 1.0
+	for level := 0; level <= cfg.Stages; level++ {
+		d, err := buildPollutedDablooms(cfg, level)
+		if err != nil {
+			return nil, err
+		}
+		res.EstimatedF = append(res.EstimatedF, d.CompoundFPR())
+		if cfg.Probes > 0 {
+			res.EmpiricalF = append(res.EmpiricalF, empiricalFPR(d, cfg.Probes, cfg.Seed+int64(level)*17))
+		}
+		if level == cfg.Stages {
+			for _, st := range d.Stages() {
+				analyticFullPass *= 1 - core.AdversarialFPR(st.M(), cfg.StageCapacity, st.K())
+			}
+		}
+	}
+	res.AnalyticFull = 1 - analyticFullPass
+	return res, nil
+}
+
+// buildPollutedDablooms fills a λ-stage dablooms with honest reports except
+// for the last `polluted` stages, which the adversary fills.
+func buildPollutedDablooms(cfg Fig8Config, polluted int) (*core.Dablooms, error) {
+	d, err := core.NewDablooms(core.DabloomsConfig{
+		InitialFPR:      cfg.F0,
+		TighteningRatio: cfg.R,
+		StageCapacity:   cfg.StageCapacity,
+		MaxStages:       cfg.Stages,
+		CounterWidth:    4,
+		Overflow:        core.Wrap,
+		Seed:            uint64(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	honest := urlgen.New(cfg.Seed + 5)
+	for stage := 0; stage < cfg.Stages; stage++ {
+		if stage < cfg.Stages-polluted {
+			for i := uint64(0); i < cfg.StageCapacity; i++ {
+				d.Add(honest.Next())
+			}
+			continue
+		}
+		if err := polluteCurrentStage(d, cfg.StageCapacity, int64(stage)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// polluteCurrentStage crafts δ items for the filter's current last stage,
+// each claiming a disjoint progression of k counters: pollution without
+// search, thanks to MurmurHash3 inversion.
+func polluteCurrentStage(d *core.Dablooms, count uint64, rngSeed int64) error {
+	stages := d.Stages()
+	last := stages[len(stages)-1]
+	fam, ok := last.Family().(*hashes.DoubleHashing)
+	if !ok {
+		return fmt.Errorf("analysis: dablooms stage without double hashing")
+	}
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), rngSeed)
+	if err != nil {
+		return err
+	}
+	k := uint64(fam.K())
+	m := fam.M()
+	if count*k > m {
+		return fmt.Errorf("analysis: stage too small to pollute disjointly: δk=%d > m=%d", count*k, m)
+	}
+	for j := uint64(0); j < count; j++ {
+		item, err := forger.ItemFor(j*k, 1)
+		if err != nil {
+			return err
+		}
+		d.Add(item)
+	}
+	return nil
+}
+
+// empiricalFPR probes a filter with fresh random URLs.
+func empiricalFPR(f core.Filter, probes int, seed int64) float64 {
+	gen := urlgen.New(seed + 31337)
+	hit := 0
+	for i := 0; i < probes; i++ {
+		if f.Test(gen.Next()) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(probes)
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"evilbloom/internal/hashes"
+)
+
+// Fig9Row is one x-axis point of Fig 9: a filter size and, per
+// false-positive exponent, the digest bits one item consumes
+// (k·⌈log₂ m⌉).
+type Fig9Row struct {
+	// MBytes is the filter size in megabytes.
+	MBytes uint64
+	// M is the filter size in bits.
+	M uint64
+	// BitsNeeded maps exponent e (f = 2^−e) to k·⌈log₂m⌉.
+	BitsNeeded map[int]int
+}
+
+// RunFig9 computes the Fig 9 surface for the given filter sizes (in MB) and
+// false-positive exponents.
+func RunFig9(sizesMB []uint64, exponents []int) []Fig9Row {
+	rows := make([]Fig9Row, 0, len(sizesMB))
+	for _, mb := range sizesMB {
+		m := mb << 23 // MB → bits
+		if m == 0 {
+			m = 1
+		}
+		row := Fig9Row{MBytes: mb, M: m, BitsNeeded: make(map[int]int, len(exponents))}
+		for _, e := range exponents {
+			k := e // pyBloom/optimal k = ⌈log₂(1/f)⌉ = e
+			row.BitsNeeded[e] = hashes.RequiredBits(k, m)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig9Domain gives, for one hash function and false-positive exponent, the
+// largest filter (in MB) still covered by a single digest call — the domain
+// boundaries drawn in Fig 9.
+type Fig9Domain struct {
+	Algorithm   hashes.Algorithm
+	FPRExponent int
+	// MaxMBytes is the largest single-call filter size; 0 when even 1 MB
+	// needs several calls.
+	MaxMBytes uint64
+}
+
+// DomainCapMBytes caps reported single-call domains at 1 TB: beyond that the
+// boundary is of no practical interest (Fig 9's x-axis stops at 1 GByte).
+const DomainCapMBytes = 1 << 20
+
+// RunFig9Domains computes the single-call domain boundary for each standard
+// hash at each exponent: k·⌈log₂m⌉ ≤ ℓ ⟺ log₂m ≤ ⌊ℓ/k⌋.
+func RunFig9Domains(exponents []int) []Fig9Domain {
+	algs := []hashes.Algorithm{hashes.SHA1, hashes.SHA256, hashes.SHA384, hashes.SHA512}
+	out := make([]Fig9Domain, 0, len(algs)*len(exponents))
+	for _, alg := range algs {
+		for _, e := range exponents {
+			k := e
+			maxLog2M := alg.DigestBits() / k
+			dom := Fig9Domain{Algorithm: alg, FPRExponent: e}
+			switch {
+			case maxLog2M >= 43: // ≥ 1 TB of filter
+				dom.MaxMBytes = DomainCapMBytes
+			case maxLog2M >= 23: // ≥ 1 MB of filter
+				bits := math.Pow(2, float64(maxLog2M))
+				dom.MaxMBytes = uint64(bits / 8 / (1 << 20))
+			}
+			out = append(out, dom)
+		}
+	}
+	return out
+}
+
+// FormatFig9 renders the Fig 9 table for the CLI.
+func FormatFig9(rows []Fig9Row, exponents []int) string {
+	headers := []string{"m (MB)"}
+	for _, e := range exponents {
+		headers = append(headers, fmt.Sprintf("bits @ f=2^-%d", e))
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{fmt.Sprintf("%d", r.MBytes)}
+		for _, e := range exponents {
+			row = append(row, fmt.Sprintf("%d", r.BitsNeeded[e]))
+		}
+		table = append(table, row)
+	}
+	return FormatTable(headers, table)
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+// Table1Row is one attack-probability entry of Table 1.
+type Table1Row struct {
+	// Attack names the row.
+	Attack string
+	// Formula is the closed form (exact versions; the paper's printed
+	// variants are annotated where they differ).
+	Formula string
+	// Probability is the evaluated value.
+	Probability float64
+}
+
+// RunTable1 evaluates Table 1 for a hash digest of ell bits and a filter of
+// m bits, k hash functions and Hamming weight w.
+func RunTable1(ell int, m uint64, k int, w uint64) []Table1Row {
+	return []Table1Row{
+		{
+			Attack:      "Second pre-image (hash function)",
+			Formula:     fmt.Sprintf("1/2^%d", ell),
+			Probability: math.Pow(2, -float64(ell)),
+		},
+		{
+			Attack:      "Second pre-image (Bloom)",
+			Formula:     "1/m^k",
+			Probability: core.SecondPreimageBloomProbability(m, k),
+		},
+		{
+			Attack:      "Pollution",
+			Formula:     "(m-W)···(m-W-k+1)/m^k  [paper: C(m-W,k)/m^k]",
+			Probability: core.PollutionProbability(m, k, w),
+		},
+		{
+			Attack:      "False-positive forgery",
+			Formula:     "(W/m)^k",
+			Probability: core.FPForgeryProbability(m, k, w),
+		},
+		{
+			Attack:      "Deletion",
+			Formula:     "1-(1-k/m)^k  [paper: sum C(k,i)(m-i)^k/m^k]",
+			Probability: core.DeletionProbability(m, k),
+		},
+	}
+}
+
+// FormatTable1 renders Table 1 for the CLI.
+func FormatTable1(rows []Table1Row) string {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{r.Attack, r.Formula, fmt.Sprintf("%.3e", r.Probability)})
+	}
+	return FormatTable([]string{"Attack", "Probability", "Value"}, table)
+}
+
+// Table2Config parameterizes the query-cost comparison of Table 2.
+type Table2Config struct {
+	// Capacity and FPR size the filter (10⁶ items at 2⁻¹⁰ in the paper,
+	// giving k = 10).
+	Capacity uint64
+	FPR      float64
+	// ItemLen is the query length in bytes (32 in the paper: SHA-256
+	// prefixes).
+	ItemLen int
+	// Iterations per measurement.
+	Iterations int
+	// Key is used for keyed algorithms.
+	Key []byte
+}
+
+// DefaultTable2Config returns the paper's parameters.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		Capacity:   1000000,
+		FPR:        math.Pow(2, -10),
+		ItemLen:    32,
+		Iterations: 30000,
+		Key:        []byte("0123456789abcdef"),
+	}
+}
+
+// Table2Row is one algorithm's naive-vs-recycling measurement.
+type Table2Row struct {
+	Algorithm hashes.Algorithm
+	// NaiveCalls and RecycleCalls count base-hash invocations per query.
+	NaiveCalls   int
+	RecycleCalls int
+	// NaiveNs and RecycleNs are measured per-query costs (index derivation
+	// plus filter probe); RecycleNs is NaN when the digest cannot hold one
+	// index.
+	NaiveNs   float64
+	RecycleNs float64
+	// Speedup is NaiveNs/RecycleNs.
+	Speedup float64
+}
+
+// Table2Algorithms lists the rows in the paper's order.
+var Table2Algorithms = []hashes.Algorithm{
+	hashes.MurmurHash32,
+	hashes.MD5,
+	hashes.SHA1,
+	hashes.SHA256,
+	hashes.SHA384,
+	hashes.SHA512,
+	hashes.HMACSHA1,
+	hashes.SipHash24Alg,
+}
+
+// RunTable2 measures the query cost of each algorithm under the naive
+// (k salted calls) and recycling (§8.2) index derivations.
+func RunTable2(cfg Table2Config) ([]Table2Row, error) {
+	if cfg.Capacity == 0 || cfg.Iterations <= 0 || cfg.ItemLen <= 0 {
+		return nil, fmt.Errorf("analysis: invalid Table2 config %+v", cfg)
+	}
+	m := core.OptimalM(cfg.Capacity, cfg.FPR)
+	k := core.KForFPR(cfg.FPR)
+	items := table2Items(cfg.ItemLen, 256)
+
+	rows := make([]Table2Row, 0, len(Table2Algorithms))
+	for _, alg := range Table2Algorithms {
+		var key []byte
+		if alg.Keyed() {
+			key = cfg.Key
+		}
+		row := Table2Row{Algorithm: alg, NaiveCalls: k}
+
+		dn, err := hashes.NewDigester(alg, key)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := hashes.NewSalted(dn, k, m)
+		if err != nil {
+			return nil, err
+		}
+		row.NaiveNs = timeFamily(naive, items, cfg.Iterations)
+
+		row.RecycleCalls = hashes.DigestCallsFor(alg, k, m)
+		if row.RecycleCalls > 0 {
+			dr, err := hashes.NewDigester(alg, key)
+			if err != nil {
+				return nil, err
+			}
+			recycling, err := hashes.NewRecycling(dr, k, m)
+			if err != nil {
+				return nil, err
+			}
+			row.RecycleNs = timeFamily(recycling, items, cfg.Iterations)
+			row.Speedup = row.NaiveNs / row.RecycleNs
+		} else {
+			row.RecycleNs = math.NaN()
+			row.Speedup = math.NaN()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// table2Items builds a deterministic corpus of fixed-length query items.
+func table2Items(itemLen, count int) [][]byte {
+	gen := urlgen.New(42)
+	items := make([][]byte, count)
+	for i := range items {
+		u := gen.URL()
+		for len(u) < itemLen {
+			u += u
+		}
+		items[i] = []byte(u[:itemLen])
+	}
+	return items
+}
+
+// timeFamily measures the average per-item cost of index derivation, with a
+// short warmup.
+func timeFamily(fam hashes.IndexFamily, items [][]byte, iterations int) float64 {
+	var idx []uint64
+	for i := 0; i < len(items); i++ { // warmup
+		idx = fam.Indexes(idx[:0], items[i])
+	}
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		idx = fam.Indexes(idx[:0], items[i%len(items)])
+	}
+	_ = idx
+	return float64(time.Since(start).Nanoseconds()) / float64(iterations)
+}
+
+// FormatTable2 renders Table 2 for the CLI.
+func FormatTable2(rows []Table2Row) string {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		rec, speed := "-", "-"
+		if !math.IsNaN(r.RecycleNs) {
+			rec = fmt.Sprintf("%.2f", r.RecycleNs/1000)
+			speed = fmt.Sprintf("%.1f", r.Speedup)
+		}
+		table = append(table, []string{
+			r.Algorithm.String(),
+			fmt.Sprintf("%.2f", r.NaiveNs/1000),
+			rec,
+			speed,
+			fmt.Sprintf("%d", r.NaiveCalls),
+			fmt.Sprintf("%d", r.RecycleCalls),
+		})
+	}
+	return FormatTable(
+		[]string{"Hash function", "Naive (µs)", "Recycling (µs)", "Speedup (x)", "Calls naive", "Calls recycling"},
+		table)
+}

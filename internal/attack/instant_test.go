@@ -1,0 +1,229 @@
+package attack
+
+import (
+	"testing"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+func newDabloomsStage(t testing.TB, k int, m uint64, seed uint64) (*core.Counting, *hashes.DoubleHashing) {
+	t.Helper()
+	fam, err := hashes.NewDoubleHashing(k, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCounting(fam, 4, core.Wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fam
+}
+
+func TestInstantForgerValidation(t *testing.T) {
+	_, fam := newDabloomsStage(t, 7, 95851, 0)
+	if _, err := NewInstantForger(fam, []byte("bad"), 1); err == nil {
+		t.Error("non-16-multiple prefix accepted")
+	}
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ItemFor(95851, 0); err == nil {
+		t.Error("base == m accepted")
+	}
+}
+
+func TestInstantItemForHitsExactIndexes(t *testing.T) {
+	c, fam := newDabloomsStage(t, 7, 95851, 5)
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := f.ItemFor(123, 456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := fam.Clone().Indexes(nil, item)
+	for i, v := range idx {
+		if want := (123 + uint64(i)*456) % 95851; v != want {
+			t.Errorf("g_%d = %d, want %d", i, v, want)
+		}
+	}
+	c.Add(item)
+	if !c.Test(item) {
+		t.Error("crafted item not present after insertion")
+	}
+}
+
+// The instant polluting forger fills a dablooms stage to nk set counters
+// without a single hash evaluation during search.
+func TestInstantPollutingItem(t *testing.T) {
+	c, fam := newDabloomsStage(t, 7, 95851, 9)
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewCountingView(c)
+	for i := 0; i < 200; i++ {
+		item, err := f.PollutingItem(view, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := c.Weight()
+		c.Add(item)
+		if got := c.Weight() - before; got != 7 {
+			t.Fatalf("insert %d set %d fresh counters, want 7", i, got)
+		}
+	}
+}
+
+func TestInstantFalsePositiveItem(t *testing.T) {
+	c, fam := newDabloomsStage(t, 7, 95851, 11)
+	gen := urlgen.New(20)
+	for i := 0; i < 5000; i++ {
+		c.Add(gen.Next())
+	}
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewCountingView(c)
+	for i := 0; i < 10; i++ {
+		item, err := f.FalsePositiveItem(view, 1<<24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Test(item) {
+			t.Error("instant forgery is not a false positive")
+		}
+	}
+}
+
+// Constant-time Bloom-level second pre-image: an item with exactly the
+// victim's index set, then the deletion attack without any search.
+func TestInstantSecondPreimageDeletion(t *testing.T) {
+	c, fam := newDabloomsStage(t, 7, 95851, 13)
+	gen := urlgen.New(21)
+	for i := 0; i < 1000; i++ {
+		c.Add(gen.Next())
+	}
+	victim := []byte("http://honest-site.org/important-page")
+	c.Add(victim)
+	victimIdx := fam.Clone().Indexes(nil, victim)
+
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doppel, err := f.SecondPreimage(victimIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doppel) == string(victim) {
+		t.Fatal("second pre-image equals the victim")
+	}
+	if !c.Test(doppel) {
+		t.Fatal("second pre-image not recognized as present")
+	}
+	if err := c.Remove(doppel); err != nil {
+		t.Fatal(err)
+	}
+	if c.Test(victim) {
+		t.Error("victim survived the constant-time deletion attack")
+	}
+	if _, err := f.SecondPreimage(victimIdx[:2]); err == nil {
+		t.Error("wrong-length victim accepted")
+	}
+}
+
+// §6.2 overflow attack: after a full stage capacity of crafted insertions,
+// the stage's insertion counter says "full" while every counter is zero.
+func TestEmptyViaOverflow(t *testing.T) {
+	const k, m = 7, 9585
+	c, fam := newDabloomsStage(t, k, m, 17)
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 1000
+	items, err := f.EmptyViaOverflow(c, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != capacity {
+		t.Fatalf("crafted %d items, want %d", len(items), capacity)
+	}
+	for _, it := range items {
+		c.Add(it)
+	}
+	if c.Count() != capacity {
+		t.Errorf("insertion count = %d, want %d", c.Count(), capacity)
+	}
+	// 1000 = 62 groups of 16 + 8 leftover inserts: exactly one counter holds
+	// a = 8·7 mod 16 = 8; everything else is zero.
+	w := c.Weight()
+	if w > 1 {
+		t.Errorf("weight after overflow attack = %d, want ≤ 1", w)
+	}
+	if c.Overflows() == 0 {
+		t.Error("no overflow events recorded")
+	}
+	// A multiple of 16 empties the filter entirely.
+	c2, fam2 := newDabloomsStage(t, k, m, 18)
+	f2, err := NewInstantForger(fam2, []byte("http://evil.com/"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items2, err := f2.EmptyViaOverflow(c2, 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items2 {
+		c2.Add(it)
+	}
+	if c2.Weight() != 0 {
+		t.Errorf("weight = %d, want 0 (960 = 60 full wrap groups)", c2.Weight())
+	}
+}
+
+func TestEmptyViaOverflowGeometryMismatch(t *testing.T) {
+	c, _ := newDabloomsStage(t, 7, 9585, 0)
+	_, otherFam := newDabloomsStage(t, 5, 1000, 0)
+	f, err := NewInstantForger(otherFam, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EmptyViaOverflow(c, 10); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+// Saturating counters neutralize the overflow attack (ablation for the
+// countermeasure section).
+func TestOverflowAttackNeutralizedBySaturate(t *testing.T) {
+	const k, m = 7, 9585
+	fam, err := hashes.NewDoubleHashing(k, m, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCounting(fam, 4, core.Saturate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewInstantForger(fam, []byte("http://evil.com/"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := f.EmptyViaOverflow(c, 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		c.Add(it)
+	}
+	if c.Weight() == 0 {
+		t.Error("saturating filter emptied by overflow attack")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"evilbloom/internal/bitset"
+	"evilbloom/internal/hashes"
+)
+
+// Filter is the set-membership interface shared by every variant.
+type Filter interface {
+	// Add inserts item into the filter.
+	Add(item []byte)
+	// Test reports whether item may be in the filter (false positives are
+	// possible; false negatives are not, except for damaged counting filters).
+	Test(item []byte) bool
+	// Count returns the number of insertions performed.
+	Count() uint64
+}
+
+// Bloom is the classic filter of §3: an m-bit vector and k hash functions
+// supplied by an IndexFamily. Not safe for concurrent use; wrap in Synced.
+type Bloom struct {
+	bits    *bitset.BitSet
+	fam     hashes.IndexFamily
+	n       uint64
+	scratch []uint64
+}
+
+var _ Filter = (*Bloom)(nil)
+
+// NewBloom builds a filter over the family's (m, k) geometry.
+func NewBloom(fam hashes.IndexFamily) *Bloom {
+	return &Bloom{
+		bits:    bitset.New(fam.M()),
+		fam:     fam,
+		scratch: make([]uint64, 0, fam.K()),
+	}
+}
+
+// NewBloomOptimal sizes a classic filter for capacity items at target
+// false-positive probability f (eq 2–3) using salted digests of alg.
+func NewBloomOptimal(capacity uint64, f float64, alg hashes.Algorithm, key []byte) (*Bloom, error) {
+	m := OptimalM(capacity, f)
+	if m == 0 {
+		return nil, fmt.Errorf("core: invalid capacity %d or false-positive target %v", capacity, f)
+	}
+	k := KForFPR(f)
+	d, err := hashes.NewDigester(alg, key)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hashes.NewSalted(d, k, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewBloom(fam), nil
+}
+
+// Add implements Filter.
+func (b *Bloom) Add(item []byte) {
+	b.scratch = b.fam.Indexes(b.scratch[:0], item)
+	b.AddIndexes(b.scratch)
+}
+
+// AddIndexes inserts a pre-computed index set and returns the number of
+// previously-unset bits it set. Chosen-insertion adversaries drive the
+// filter through this to account for exactly which bits their forged items
+// touch.
+func (b *Bloom) AddIndexes(idx []uint64) int {
+	fresh := 0
+	for _, i := range idx {
+		if b.bits.Set(i) {
+			fresh++
+		}
+	}
+	b.n++
+	return fresh
+}
+
+// Test implements Filter.
+func (b *Bloom) Test(item []byte) bool {
+	b.scratch = b.fam.Indexes(b.scratch[:0], item)
+	return b.TestIndexes(b.scratch)
+}
+
+// TestIndexes reports whether every index in idx is set.
+func (b *Bloom) TestIndexes(idx []uint64) bool {
+	for _, i := range idx {
+		if !b.bits.Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count implements Filter.
+func (b *Bloom) Count() uint64 { return b.n }
+
+// M returns the filter size in bits.
+func (b *Bloom) M() uint64 { return b.fam.M() }
+
+// K returns the number of hash functions.
+func (b *Bloom) K() int { return b.fam.K() }
+
+// Weight returns the Hamming weight w_H(z).
+func (b *Bloom) Weight() uint64 { return b.bits.Weight() }
+
+// Fill returns W/m.
+func (b *Bloom) Fill() float64 { return b.bits.Fill() }
+
+// EstimatedFPR returns (W/m)^k, the probability that a uniformly random
+// query is a false positive given the current bit pattern.
+func (b *Bloom) EstimatedFPR() float64 {
+	return FPForgeryProbability(b.M(), b.K(), b.Weight())
+}
+
+// Occupied reports whether bit i is set — the adversary's per-position view
+// of a known filter (§4).
+func (b *Bloom) Occupied(i uint64) bool { return b.bits.Test(i) }
+
+// Bits exposes a read-only snapshot view of the underlying bit vector. The
+// query-only adversary of §4.2 is assumed to know it. Callers must not
+// mutate filter state through it; use Clone for a private copy.
+func (b *Bloom) Bits() *bitset.BitSet { return b.bits }
+
+// Family returns the index family (public knowledge in the threat model:
+// "the implementation of the Bloom filter is public and known").
+func (b *Bloom) Family() hashes.IndexFamily { return b.fam }
+
+// Clone returns an independent deep copy sharing no state.
+func (b *Bloom) Clone() *Bloom {
+	return &Bloom{
+		bits:    b.bits.Clone(),
+		fam:     b.fam.Clone(),
+		n:       b.n,
+		scratch: make([]uint64, 0, b.fam.K()),
+	}
+}
+
+// Reset clears all bits and the insertion count.
+func (b *Bloom) Reset() {
+	b.bits.Reset()
+	b.n = 0
+}
+
+// Synced wraps a Filter with a mutex for concurrent use (the crawler's dedup
+// filter is shared between worker goroutines).
+type Synced struct {
+	mu    sync.Mutex
+	inner Filter
+}
+
+var _ Filter = (*Synced)(nil)
+
+// NewSynced wraps inner. The wrapper owns inner afterwards.
+func NewSynced(inner Filter) *Synced {
+	return &Synced{inner: inner}
+}
+
+// Add implements Filter.
+func (s *Synced) Add(item []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Add(item)
+}
+
+// Test implements Filter.
+func (s *Synced) Test(item []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Test(item)
+}
+
+// Count implements Filter.
+func (s *Synced) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Count()
+}

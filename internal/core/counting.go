@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"evilbloom/internal/hashes"
+)
+
+// OverflowPolicy selects what a counting filter does when a counter hits its
+// maximum. Dablooms-style wrapping is what the §6.2 overflow attack exploits;
+// saturating counters neutralize it at the cost of losing deletability for
+// hot counters.
+type OverflowPolicy int
+
+const (
+	// Wrap lets the counter roll over to zero, silently erasing membership
+	// evidence — faithful to 4-bit counter implementations like dablooms.
+	Wrap OverflowPolicy = iota + 1
+	// Saturate pins the counter at its maximum; such counters are never
+	// decremented again.
+	Saturate
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Wrap:
+		return "wrap"
+	case Saturate:
+		return "saturate"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// Counting is the counting Bloom filter of §4.3/§6.1: an array of small
+// counters instead of bits, supporting deletion at the price of false
+// negatives when counters are wrapped or wrongly decremented.
+type Counting struct {
+	counters packedCounters
+	fam      hashes.IndexFamily
+	policy   OverflowPolicy
+	n        uint64
+	overflow uint64 // counter-overflow events observed
+	scratch  []uint64
+}
+
+var _ Filter = (*Counting)(nil)
+
+// NewCounting builds a counting filter with width-bit counters (dablooms
+// uses 4) over the family's geometry.
+func NewCounting(fam hashes.IndexFamily, width int, policy OverflowPolicy) (*Counting, error) {
+	pc, err := newPackedCounters(fam.M(), width)
+	if err != nil {
+		return nil, err
+	}
+	if policy != Wrap && policy != Saturate {
+		return nil, fmt.Errorf("core: invalid overflow policy %d", int(policy))
+	}
+	return &Counting{
+		counters: pc,
+		fam:      fam,
+		policy:   policy,
+		scratch:  make([]uint64, 0, fam.K()),
+	}, nil
+}
+
+// Add implements Filter.
+func (c *Counting) Add(item []byte) {
+	c.scratch = c.fam.Indexes(c.scratch[:0], item)
+	c.AddIndexes(c.scratch)
+}
+
+// AddIndexes increments the counters at idx; it returns how many counters
+// were previously zero and how many overflowed during this insertion.
+func (c *Counting) AddIndexes(idx []uint64) (fresh, overflowed int) {
+	for _, i := range idx {
+		v := c.counters.get(i)
+		if v == 0 {
+			fresh++
+		}
+		if v == c.counters.max() {
+			overflowed++
+			c.overflow++
+			if c.policy == Saturate {
+				continue
+			}
+			c.counters.set(i, 0) // wrap: roll over, erasing evidence
+			continue
+		}
+		c.counters.set(i, v+1)
+	}
+	c.n++
+	return fresh, overflowed
+}
+
+// Remove decrements the counters of item. It returns an error (leaving any
+// already-decremented counters modified, as real implementations do) if some
+// counter is already zero — the footprint of a false-negative-inducing
+// deletion. Saturated counters under the Saturate policy are left pinned.
+func (c *Counting) Remove(item []byte) error {
+	c.scratch = c.fam.Indexes(c.scratch[:0], item)
+	return c.RemoveIndexes(c.scratch)
+}
+
+// RemoveIndexes decrements a pre-computed index set.
+func (c *Counting) RemoveIndexes(idx []uint64) error {
+	if c.n > 0 {
+		c.n--
+	}
+	for pos, i := range idx {
+		v := c.counters.get(i)
+		switch {
+		case v == 0:
+			return fmt.Errorf("core: removing item whose counter %d (position %d) is already zero", i, pos)
+		case v == c.counters.max() && c.policy == Saturate:
+			// Pinned: cannot safely decrement.
+		default:
+			c.counters.set(i, v-1)
+		}
+	}
+	return nil
+}
+
+// Test implements Filter.
+func (c *Counting) Test(item []byte) bool {
+	c.scratch = c.fam.Indexes(c.scratch[:0], item)
+	return c.TestIndexes(c.scratch)
+}
+
+// TestIndexes reports whether every counter at idx is non-zero.
+func (c *Counting) TestIndexes(idx []uint64) bool {
+	for _, i := range idx {
+		if c.counters.get(i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count implements Filter.
+func (c *Counting) Count() uint64 { return c.n }
+
+// M returns the number of counters.
+func (c *Counting) M() uint64 { return c.fam.M() }
+
+// K returns the number of hash functions.
+func (c *Counting) K() int { return c.fam.K() }
+
+// Counter returns the value of counter i (for attack drivers and tests).
+func (c *Counting) Counter(i uint64) uint64 { return c.counters.get(i) }
+
+// Occupied reports whether counter i is non-zero — the adversary's
+// per-position view of a known filter (§4).
+func (c *Counting) Occupied(i uint64) bool { return c.counters.get(i) != 0 }
+
+// CounterMax returns the maximum representable counter value (2^width − 1).
+func (c *Counting) CounterMax() uint64 { return c.counters.max() }
+
+// Weight returns the number of non-zero counters.
+func (c *Counting) Weight() uint64 {
+	var w uint64
+	for i := uint64(0); i < c.M(); i++ {
+		if c.counters.get(i) != 0 {
+			w++
+		}
+	}
+	return w
+}
+
+// Fill returns Weight/m.
+func (c *Counting) Fill() float64 {
+	if c.M() == 0 {
+		return 0
+	}
+	return float64(c.Weight()) / float64(c.M())
+}
+
+// Overflows returns the number of overflow events observed since creation —
+// the §6.2 attack's signature.
+func (c *Counting) Overflows() uint64 { return c.overflow }
+
+// EstimatedFPR returns (W/m)^k from the current non-zero pattern.
+func (c *Counting) EstimatedFPR() float64 {
+	return FPForgeryProbability(c.M(), c.K(), c.Weight())
+}
+
+// Family returns the index family.
+func (c *Counting) Family() hashes.IndexFamily { return c.fam }
+
+// packedCounters stores m counters of `width` bits each, packed into words.
+type packedCounters struct {
+	width int
+	m     uint64
+	words []uint64
+}
+
+func newPackedCounters(m uint64, width int) (packedCounters, error) {
+	if width < 1 || width > 16 {
+		return packedCounters{}, fmt.Errorf("core: counter width %d outside [1,16]", width)
+	}
+	if m == 0 {
+		return packedCounters{}, fmt.Errorf("core: zero-size counter array")
+	}
+	totalBits := m * uint64(width)
+	return packedCounters{
+		width: width,
+		m:     m,
+		words: make([]uint64, (totalBits+63)/64),
+	}, nil
+}
+
+func (p *packedCounters) max() uint64 { return 1<<uint(p.width) - 1 }
+
+// get returns counter i. Counters may straddle a word boundary.
+func (p *packedCounters) get(i uint64) uint64 {
+	if i >= p.m {
+		return 0
+	}
+	bit := i * uint64(p.width)
+	word, off := bit/64, bit%64
+	v := p.words[word] >> off
+	if off+uint64(p.width) > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	return v & p.max()
+}
+
+func (p *packedCounters) set(i uint64, v uint64) {
+	if i >= p.m {
+		return
+	}
+	v &= p.max()
+	bit := i * uint64(p.width)
+	word, off := bit/64, bit%64
+	p.words[word] = p.words[word]&^(p.max()<<off) | v<<off
+	if off+uint64(p.width) > 64 {
+		rem := off + uint64(p.width) - 64
+		loMask := uint64(1)<<rem - 1
+		p.words[word+1] = p.words[word+1]&^loMask | v>>(uint64(p.width)-rem)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"evilbloom/internal/hashes"
+)
+
+func newTestCounting(t *testing.T, k int, m uint64, width int, policy OverflowPolicy) *Counting {
+	t.Helper()
+	fam, err := hashes.NewDoubleHashing(k, m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounting(fam, width, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCountingAddTestRemove(t *testing.T) {
+	c := newTestCounting(t, 4, 4096, 4, Wrap)
+	items := make([][]byte, 100)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("url-%d", i))
+		c.Add(items[i])
+	}
+	for _, it := range items {
+		if !c.Test(it) {
+			t.Fatalf("false negative for %q", it)
+		}
+	}
+	// Removing an inserted item makes it disappear (no other collisions at
+	// this load, overwhelmingly likely with fixed seed).
+	if err := c.Remove(items[0]); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if c.Test(items[0]) && c.Counter(0) == 0 {
+		t.Log("item still visible after removal due to collisions (acceptable)")
+	}
+	if c.Count() != 99 {
+		t.Errorf("Count = %d, want 99", c.Count())
+	}
+}
+
+func TestCountingRemoveAbsentErrors(t *testing.T) {
+	c := newTestCounting(t, 4, 4096, 4, Wrap)
+	if err := c.Remove([]byte("never inserted")); err == nil {
+		t.Error("removing an absent item succeeded")
+	}
+}
+
+func TestCountingValidation(t *testing.T) {
+	fam, err := hashes.NewDoubleHashing(4, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCounting(fam, 0, Wrap); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewCounting(fam, 17, Wrap); err == nil {
+		t.Error("width 17 accepted")
+	}
+	if _, err := NewCounting(fam, 4, OverflowPolicy(0)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+// §6.2: 4-bit counters wrap after 16 increments, erasing membership — the
+// overflow attack's mechanism.
+func TestCountingOverflowWrap(t *testing.T) {
+	c := newTestCounting(t, 2, 64, 4, Wrap)
+	item := []byte("hot item")
+	for i := 0; i < 15; i++ {
+		c.Add(item)
+	}
+	if !c.Test(item) {
+		t.Fatal("item vanished before overflow")
+	}
+	if c.Overflows() != 0 {
+		t.Fatalf("premature overflow count %d", c.Overflows())
+	}
+	c.Add(item) // 16th increment wraps both counters to 0
+	if c.Test(item) {
+		t.Error("wrapped counters still report membership")
+	}
+	if c.Overflows() != 2 {
+		t.Errorf("Overflows = %d, want 2", c.Overflows())
+	}
+}
+
+func TestCountingOverflowSaturate(t *testing.T) {
+	c := newTestCounting(t, 2, 64, 4, Saturate)
+	item := []byte("hot item")
+	for i := 0; i < 40; i++ {
+		c.Add(item)
+	}
+	if !c.Test(item) {
+		t.Error("saturating counters lost membership")
+	}
+	if c.Overflows() == 0 {
+		t.Error("saturation events not counted")
+	}
+	// Pinned counters are not decremented: removing repeatedly never drives
+	// them to zero.
+	for i := 0; i < 40; i++ {
+		if err := c.Remove(item); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if !c.Test(item) {
+		t.Error("pinned counters were decremented to zero")
+	}
+}
+
+// The deletion adversary of §4.3: removing a crafted colliding item creates
+// a false negative for the victim.
+func TestCountingDeletionCreatesFalseNegative(t *testing.T) {
+	c := newTestCounting(t, 4, 4096, 4, Wrap)
+	victim := []byte("http://honest.example.com/")
+	c.Add(victim)
+	victimIdx := c.Family().Clone().Indexes(nil, victim)
+	// The adversary "removes" an item with the same index set (a Bloom
+	// second pre-image) without it ever being inserted.
+	if err := c.RemoveIndexes(victimIdx); err != nil {
+		t.Fatalf("RemoveIndexes: %v", err)
+	}
+	if c.Test(victim) {
+		t.Error("victim still present after adversarial deletion")
+	}
+}
+
+func TestCountingWeightAndFPR(t *testing.T) {
+	c := newTestCounting(t, 4, 4096, 4, Wrap)
+	if c.Weight() != 0 || c.EstimatedFPR() != 0 {
+		t.Error("fresh filter not empty")
+	}
+	c.AddIndexes([]uint64{1, 2, 3, 4})
+	if c.Weight() != 4 {
+		t.Errorf("Weight = %d, want 4", c.Weight())
+	}
+	if c.Fill() != 4.0/4096 {
+		t.Errorf("Fill = %v", c.Fill())
+	}
+	if c.CounterMax() != 15 {
+		t.Errorf("CounterMax = %d, want 15", c.CounterMax())
+	}
+}
+
+func TestCountingAddIndexesReturns(t *testing.T) {
+	c := newTestCounting(t, 4, 64, 4, Wrap)
+	fresh, over := c.AddIndexes([]uint64{1, 2, 3})
+	if fresh != 3 || over != 0 {
+		t.Errorf("first insert: fresh=%d over=%d", fresh, over)
+	}
+	fresh, over = c.AddIndexes([]uint64{3, 4, 5})
+	if fresh != 2 || over != 0 {
+		t.Errorf("second insert: fresh=%d over=%d", fresh, over)
+	}
+	for i := 0; i < 14; i++ {
+		c.AddIndexes([]uint64{1})
+	}
+	_, over = c.AddIndexes([]uint64{1}) // 16th increment of counter 1
+	if over != 1 {
+		t.Errorf("overflow not reported: over=%d", over)
+	}
+}
+
+// Property: packed counters at any width behave like a plain uint array.
+func TestPackedCountersProperty(t *testing.T) {
+	f := func(width8 uint8, ops []uint16) bool {
+		width := int(width8%16) + 1
+		const m = 257 // prime, forces straddling at many widths
+		pc, err := newPackedCounters(m, width)
+		if err != nil {
+			return false
+		}
+		ref := make([]uint64, m)
+		maxVal := uint64(1)<<uint(width) - 1
+		for _, op := range ops {
+			i := uint64(op) % m
+			v := uint64(op>>8) & maxVal
+			pc.set(i, v)
+			ref[i] = v
+		}
+		for i := uint64(0); i < m; i++ {
+			if pc.get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counting filters have no false negatives below overflow load.
+func TestCountingNoFalseNegativesProperty(t *testing.T) {
+	c := newTestCounting(t, 4, 1<<16, 8, Saturate)
+	f := func(items [][]byte) bool {
+		for _, it := range items {
+			c.Add(it)
+		}
+		for _, it := range items {
+			if !c.Test(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: add-then-remove returns the filter to its previous state for
+// fresh items (counting filters are reversible below overflow).
+func TestCountingAddRemoveInverseProperty(t *testing.T) {
+	f := func(seed int64, items [][]byte) bool {
+		fam, err := hashes.NewDoubleHashing(4, 8192, uint64(seed))
+		if err != nil {
+			return false
+		}
+		c, err := NewCounting(fam, 8, Wrap)
+		if err != nil {
+			return false
+		}
+		for _, it := range items {
+			c.Add(it)
+		}
+		before := c.Weight()
+		probe := []byte("probe item added then removed")
+		c.Add(probe)
+		if err := c.Remove(probe); err != nil {
+			return false
+		}
+		return c.Weight() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"evilbloom/internal/bitset"
+)
+
+// Nyberg is Nyberg's fast accumulated hashing (FSE 1996), the structure the
+// paper's related work (§9) credits with resisting its attacks: every
+// membership bit derives from a "long hash" — the full digest stream — so
+// forging an item with a chosen bit pattern requires pre-images of the
+// complete cryptographic digest, not of a truncation. The price is size
+// (a log n factor over Bloom filters) and hashing cost, which is why
+// developers pick Bloom filters — and why the paper instead recycles digest
+// bits (§8.2) to get the same resistance cheaply.
+//
+// Construction: an accumulator of m cells, initially all one. An item's
+// characteristic pattern marks cell i when the i-th d-bit block of its long
+// hash is all-zero (probability 2^−d per cell). Insertion zeroes the
+// pattern cells; a query is accepted when every pattern cell is already
+// zero. There are no false negatives; false positives occur when a
+// stranger's pattern happens to be covered by the accumulated zeros.
+type Nyberg struct {
+	zeroed *bitset.BitSet // cells driven to zero
+	m      uint64
+	d      int
+	n      uint64
+	buf    []byte
+	pat    []uint64
+}
+
+var _ Filter = (*Nyberg)(nil)
+
+// NewNyberg builds an accumulator with m cells and d-bit blocks.
+func NewNyberg(m uint64, d int) (*Nyberg, error) {
+	if m == 0 {
+		return nil, fmt.Errorf("core: nyberg accumulator needs at least one cell")
+	}
+	if d < 1 || d > 32 {
+		return nil, fmt.Errorf("core: nyberg block width %d outside [1,32]", d)
+	}
+	return &Nyberg{zeroed: bitset.New(m), m: m, d: d}, nil
+}
+
+// NewNybergForCapacity sizes an accumulator for n items at roughly the
+// given false-positive probability, following Nyberg's d ≈ log₂(n) rule:
+// with d = ⌈log₂n⌉+1 the zero fraction after n insertions stays ≈ 1−e^(−½),
+// and the pattern length λ = m/2^d is chosen so e^(−λ·e^(−½)) ≤ f.
+func NewNybergForCapacity(n uint64, f float64) (*Nyberg, error) {
+	if n == 0 || f <= 0 || f >= 1 {
+		return nil, fmt.Errorf("core: invalid nyberg capacity %d or target %v", n, f)
+	}
+	d := int(math.Ceil(math.Log2(float64(n)))) + 1
+	if d < 2 {
+		d = 2
+	}
+	if d > 32 {
+		return nil, fmt.Errorf("core: capacity %d needs block width beyond 32 bits", n)
+	}
+	zeroFrac := 1 - math.Exp(-float64(n)/math.Exp2(float64(d)))
+	lambda := -math.Log(f) / (1 - zeroFrac)
+	m := uint64(math.Ceil(lambda * math.Exp2(float64(d))))
+	return NewNyberg(m, d)
+}
+
+// pattern appends the indexes of item's all-zero blocks. The long hash is
+// SHA-256 in counter mode — a full-width digest stream with no truncation
+// to attack.
+func (a *Nyberg) pattern(dst []uint64, item []byte) []uint64 {
+	needBits := a.m * uint64(a.d)
+	needBytes := int((needBits + 7) / 8)
+	if cap(a.buf) < needBytes {
+		a.buf = make([]byte, 0, needBytes)
+	}
+	a.buf = a.buf[:0]
+	var ctr [4]byte
+	h := sha256.New()
+	for i := uint32(0); len(a.buf) < needBytes; i++ {
+		h.Reset()
+		binary.BigEndian.PutUint32(ctr[:], i)
+		h.Write(item)   //nolint:errcheck // hash writes never fail
+		h.Write(ctr[:]) //nolint:errcheck
+		a.buf = h.Sum(a.buf)
+	}
+	// Walk d-bit blocks; cell i marked when its block is all zero.
+	bitPos := uint64(0)
+	for i := uint64(0); i < a.m; i++ {
+		allZero := true
+		for b := 0; b < a.d; b++ {
+			p := bitPos + uint64(b)
+			if a.buf[p/8]>>(7-p%8)&1 != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			dst = append(dst, i)
+		}
+		bitPos += uint64(a.d)
+	}
+	return dst
+}
+
+// Add implements Filter.
+func (a *Nyberg) Add(item []byte) {
+	a.pat = a.pattern(a.pat[:0], item)
+	for _, i := range a.pat {
+		a.zeroed.Set(i)
+	}
+	a.n++
+}
+
+// Test implements Filter.
+func (a *Nyberg) Test(item []byte) bool {
+	a.pat = a.pattern(a.pat[:0], item)
+	for _, i := range a.pat {
+		if !a.zeroed.Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count implements Filter.
+func (a *Nyberg) Count() uint64 { return a.n }
+
+// M returns the number of accumulator cells.
+func (a *Nyberg) M() uint64 { return a.m }
+
+// D returns the block width.
+func (a *Nyberg) D() int { return a.d }
+
+// ZeroFraction returns the fraction of accumulated (zeroed) cells.
+func (a *Nyberg) ZeroFraction() float64 { return a.zeroed.Fill() }
+
+// ExpectedPatternLen returns m/2^d, the mean pattern length λ.
+func (a *Nyberg) ExpectedPatternLen() float64 {
+	return float64(a.m) / math.Exp2(float64(a.d))
+}
+
+// EstimatedFPR returns E[z^P] for P ~ Poisson(λ): e^(−λ(1−z)) with z the
+// current zero fraction — the accumulator's analogue of (W/m)^k.
+func (a *Nyberg) EstimatedFPR() float64 {
+	z := a.ZeroFraction()
+	return math.Exp(-a.ExpectedPatternLen() * (1 - z))
+}
+
+// HashBitsPerOperation returns the long-hash width m·d each Add/Test
+// consumes — the cost that makes the accumulator "less attractive to
+// developers" (§9) and motivates recycling instead.
+func (a *Nyberg) HashBitsPerOperation() uint64 { return a.m * uint64(a.d) }

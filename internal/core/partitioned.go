@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"evilbloom/internal/bitset"
+	"evilbloom/internal/hashes"
+)
+
+// Partitioned is the pyBloom layout (§5.2): k slices of s bits, item i sets
+// one bit per slice. pyBloom is the filter the paper plugs into Scrapy, so
+// this type is the substrate of the Fig 5/Fig 6 experiments.
+type Partitioned struct {
+	slices    []*bitset.BitSet
+	sliceBits uint64
+	d         *hashes.Digester
+	n         uint64
+	buf       []byte
+	scratch   []uint64
+}
+
+var _ Filter = (*Partitioned)(nil)
+
+// PyBloomAlgorithm mirrors pyBloom's make_hashfuncs choice: the smallest
+// hash whose digest covers the k 32-bit chunks one item consumes.
+func PyBloomAlgorithm(k int) hashes.Algorithm {
+	totalBits := 32 * k
+	switch {
+	case totalBits > 384:
+		return hashes.SHA512
+	case totalBits > 256:
+		return hashes.SHA384
+	case totalBits > 160:
+		return hashes.SHA256
+	case totalBits > 128:
+		return hashes.SHA1
+	default:
+		return hashes.MD5
+	}
+}
+
+// NewPyBloom sizes a partitioned filter for capacity items at target
+// false-positive probability f, exactly like pyBloom's BloomFilter(capacity,
+// error_rate): k = ⌈log₂(1/f)⌉ slices of ⌈capacity·|ln f|/(k·(ln 2)²)⌉ bits,
+// over salted digests of the automatically chosen hash.
+func NewPyBloom(capacity uint64, f float64) (*Partitioned, error) {
+	if f <= 0 || f >= 1 || capacity == 0 {
+		return nil, fmt.Errorf("core: invalid capacity %d or false-positive target %v", capacity, f)
+	}
+	k := KForFPR(f)
+	sliceBits := uint64(math.Ceil(float64(capacity) * -math.Log(f) / (float64(k) * Ln2Sq)))
+	return NewPartitioned(k, sliceBits, PyBloomAlgorithm(k))
+}
+
+// NewPartitioned builds a partitioned filter with explicit geometry.
+func NewPartitioned(k int, sliceBits uint64, alg hashes.Algorithm) (*Partitioned, error) {
+	if k <= 0 || sliceBits == 0 {
+		return nil, fmt.Errorf("core: invalid partitioned geometry k=%d slice=%d", k, sliceBits)
+	}
+	d, err := hashes.NewDigester(alg, nil)
+	if err != nil {
+		return nil, err
+	}
+	slices := make([]*bitset.BitSet, k)
+	for i := range slices {
+		slices[i] = bitset.New(sliceBits)
+	}
+	return &Partitioned{
+		slices:    slices,
+		sliceBits: sliceBits,
+		d:         d,
+		scratch:   make([]uint64, 0, k),
+	}, nil
+}
+
+// Indexes appends item's k per-slice indexes (index i belongs to slice i):
+// consecutive 32-bit big-endian chunks of salted digests, reduced modulo the
+// slice size — pyBloom's unpack-and-mod loop.
+func (p *Partitioned) Indexes(dst []uint64, item []byte) []uint64 {
+	perDigest := p.d.Bits() / 32
+	var salt uint32
+	for produced := 0; produced < len(p.slices); {
+		p.buf = p.d.Sum(p.buf[:0], item, salt)
+		salt++
+		for c := 0; c < perDigest && produced < len(p.slices); c++ {
+			w := binary.BigEndian.Uint32(p.buf[4*c:])
+			dst = append(dst, uint64(w)%p.sliceBits)
+			produced++
+		}
+	}
+	return dst
+}
+
+// Add implements Filter.
+func (p *Partitioned) Add(item []byte) {
+	p.scratch = p.Indexes(p.scratch[:0], item)
+	p.AddIndexes(p.scratch)
+}
+
+// AddIndexes inserts a pre-computed per-slice index set, returning how many
+// bits were previously unset.
+func (p *Partitioned) AddIndexes(idx []uint64) int {
+	fresh := 0
+	for i, v := range idx {
+		if p.slices[i].Set(v) {
+			fresh++
+		}
+	}
+	p.n++
+	return fresh
+}
+
+// Test implements Filter.
+func (p *Partitioned) Test(item []byte) bool {
+	p.scratch = p.Indexes(p.scratch[:0], item)
+	return p.TestIndexes(p.scratch)
+}
+
+// TestIndexes reports whether each slice has its index bit set.
+func (p *Partitioned) TestIndexes(idx []uint64) bool {
+	for i, v := range idx {
+		if !p.slices[i].Test(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// OccupiedAt reports whether bit idx of slice slice is set — the adversary's
+// view when forging items against a known filter.
+func (p *Partitioned) OccupiedAt(slice int, idx uint64) bool {
+	return p.slices[slice].Test(idx)
+}
+
+// Count implements Filter.
+func (p *Partitioned) Count() uint64 { return p.n }
+
+// K returns the number of slices (hash functions).
+func (p *Partitioned) K() int { return len(p.slices) }
+
+// SliceBits returns the size of one slice.
+func (p *Partitioned) SliceBits() uint64 { return p.sliceBits }
+
+// M returns the total filter size k·s.
+func (p *Partitioned) M() uint64 { return uint64(len(p.slices)) * p.sliceBits }
+
+// Weight returns the total number of set bits across slices.
+func (p *Partitioned) Weight() uint64 {
+	var w uint64
+	for _, s := range p.slices {
+		w += s.Weight()
+	}
+	return w
+}
+
+// Fill returns Weight/M.
+func (p *Partitioned) Fill() float64 {
+	if p.M() == 0 {
+		return 0
+	}
+	return float64(p.Weight()) / float64(p.M())
+}
+
+// EstimatedFPR returns ∏ᵢ(Wᵢ/s): a query is a false positive when every
+// slice hits a set bit.
+func (p *Partitioned) EstimatedFPR() float64 {
+	f := 1.0
+	for _, s := range p.slices {
+		f *= s.Fill()
+	}
+	return f
+}
+
+// Algorithm returns the digest algorithm in use (pyBloom's automatic pick).
+func (p *Partitioned) Algorithm() hashes.Algorithm { return p.d.Algorithm() }

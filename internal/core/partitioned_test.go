@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evilbloom/internal/hashes"
+)
+
+func TestPyBloomAlgorithmChoice(t *testing.T) {
+	cases := []struct {
+		k    int
+		want hashes.Algorithm
+	}{
+		{1, hashes.MD5},    // 32 bits
+		{4, hashes.MD5},    // 128 bits
+		{5, hashes.SHA1},   // 160 bits
+		{8, hashes.SHA256}, // 256
+		{10, hashes.SHA384},
+		{13, hashes.SHA512},
+		{20, hashes.SHA512},
+	}
+	for _, c := range cases {
+		if got := PyBloomAlgorithm(c.k); got != c.want {
+			t.Errorf("PyBloomAlgorithm(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestNewPyBloomGeometry(t *testing.T) {
+	// capacity 10^6, f = 2^-10 → k = 10 slices of ≈1.44·10^6/... bits:
+	// sliceBits = n·|ln f|/(k·(ln2)²) = 10^6·6.931/(10·0.4805) ≈ 1442695.
+	p, err := NewPyBloom(1000000, math.Pow(2, -10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 10 {
+		t.Errorf("K = %d, want 10", p.K())
+	}
+	if p.SliceBits() < 1442000 || p.SliceBits() > 1443500 {
+		t.Errorf("SliceBits = %d, want ≈1442695", p.SliceBits())
+	}
+	if p.M() != uint64(p.K())*p.SliceBits() {
+		t.Errorf("M = %d, want k·s", p.M())
+	}
+	if p.Algorithm() != hashes.SHA384 {
+		t.Errorf("Algorithm = %v, want SHA-384 (320 bits needed)", p.Algorithm())
+	}
+}
+
+func TestNewPyBloomValidation(t *testing.T) {
+	if _, err := NewPyBloom(0, 0.01); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewPyBloom(100, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+	if _, err := NewPartitioned(0, 100, hashes.MD5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewPartitioned(4, 0, hashes.MD5); err == nil {
+		t.Error("sliceBits=0 accepted")
+	}
+}
+
+func TestPartitionedNoFalseNegatives(t *testing.T) {
+	p, err := NewPyBloom(1000, 1.0/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		p.Add([]byte(fmt.Sprintf("http://site-%d.test/", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !p.Test([]byte(fmt.Sprintf("http://site-%d.test/", i))) {
+			t.Fatalf("false negative for item %d", i)
+		}
+	}
+	if p.Count() != 1000 {
+		t.Errorf("Count = %d", p.Count())
+	}
+}
+
+func TestPartitionedEmpiricalFPR(t *testing.T) {
+	const capacity = 2000
+	target := 1.0 / 32
+	p, err := NewPyBloom(capacity, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < capacity; i++ {
+		p.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if p.Test([]byte(fmt.Sprintf("probe-%d", i))) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	if got > target*1.5 {
+		t.Errorf("empirical FPR = %v, want ≤ %v", got, target*1.5)
+	}
+	if est := p.EstimatedFPR(); math.Abs(est-got) > target {
+		t.Errorf("EstimatedFPR = %v, empirical = %v", est, got)
+	}
+}
+
+func TestPartitionedIndexesPerSlice(t *testing.T) {
+	p, err := NewPartitioned(6, 1000, hashes.SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.Indexes(nil, []byte("x"))
+	if len(idx) != 6 {
+		t.Fatalf("got %d indexes", len(idx))
+	}
+	for i, v := range idx {
+		if v >= 1000 {
+			t.Errorf("index %d = %d out of slice range", i, v)
+		}
+	}
+	// OccupiedAt view matches inserted bits.
+	p.AddIndexes(idx)
+	for i, v := range idx {
+		if !p.OccupiedAt(i, v) {
+			t.Errorf("slice %d bit %d not set", i, v)
+		}
+	}
+}
+
+func TestPartitionedAddIndexesFresh(t *testing.T) {
+	p, err := NewPartitioned(3, 100, hashes.MD5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := p.AddIndexes([]uint64{1, 2, 3}); fresh != 3 {
+		t.Errorf("fresh = %d, want 3", fresh)
+	}
+	// Same index value in a different slice is a different bit.
+	if fresh := p.AddIndexes([]uint64{2, 2, 2}); fresh != 2 {
+		t.Errorf("fresh = %d, want 2 (slice 1 already has bit 2)", fresh)
+	}
+	if p.Weight() != 5 {
+		t.Errorf("Weight = %d, want 5", p.Weight())
+	}
+	if p.Fill() != 5.0/300 {
+		t.Errorf("Fill = %v", p.Fill())
+	}
+}
+
+// Property: no false negatives for arbitrary byte items.
+func TestPartitionedNoFalseNegativesProperty(t *testing.T) {
+	p, err := NewPyBloom(5000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(items [][]byte) bool {
+		for _, it := range items {
+			p.Add(it)
+		}
+		for _, it := range items {
+			if !p.Test(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"evilbloom/internal/hashes"
+)
+
+// Stage is one filter of a scalable sequence, exposing enough state for the
+// compound false-positive estimate and for attack drivers.
+type Stage interface {
+	Filter
+	M() uint64
+	K() int
+	Weight() uint64
+	EstimatedFPR() float64
+	Family() hashes.IndexFamily
+}
+
+// StageFactory builds stage number idx with the given capacity and target
+// false-positive probability.
+type StageFactory func(idx int, capacity uint64, fpr float64) (Stage, error)
+
+// ScalableConfig parameterizes a scalable Bloom filter (§6.1, Almeida et al.).
+type ScalableConfig struct {
+	// InitialFPR is f₀, the error budget of the first stage.
+	InitialFPR float64
+	// TighteningRatio is r ∈ (0,1]: stage i targets fᵢ = f₀·rⁱ.
+	// Dablooms uses 0.9.
+	TighteningRatio float64
+	// StageCapacity is δ, the insertions after which a new stage is created.
+	StageCapacity uint64
+	// MaxStages caps growth; 0 means unbounded. Inserts beyond the cap keep
+	// landing in the last stage (overfilling it, as dablooms does).
+	MaxStages int
+	// Factory builds stages; defaults to classic Bloom stages over salted
+	// SHA-256 when nil.
+	Factory StageFactory
+}
+
+func (c *ScalableConfig) validate() error {
+	if c.InitialFPR <= 0 || c.InitialFPR >= 1 {
+		return fmt.Errorf("core: initial false-positive probability %v outside (0,1)", c.InitialFPR)
+	}
+	if c.TighteningRatio <= 0 || c.TighteningRatio > 1 {
+		return fmt.Errorf("core: tightening ratio %v outside (0,1]", c.TighteningRatio)
+	}
+	if c.StageCapacity == 0 {
+		return fmt.Errorf("core: stage capacity must be positive")
+	}
+	if c.MaxStages < 0 {
+		return fmt.Errorf("core: negative stage cap %d", c.MaxStages)
+	}
+	return nil
+}
+
+// Scalable grows a sequence of stages so the compound false-positive
+// probability F = 1 − ∏(1 − fᵢ) stays bounded while capacity is unbounded.
+type Scalable struct {
+	cfg    ScalableConfig
+	stages []Stage
+	n      uint64
+}
+
+var _ Filter = (*Scalable)(nil)
+
+// NewScalable builds an empty scalable filter (the first stage is created
+// eagerly so geometry is inspectable).
+func NewScalable(cfg ScalableConfig) (*Scalable, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Factory == nil {
+		cfg.Factory = func(idx int, capacity uint64, fpr float64) (Stage, error) {
+			return NewBloomOptimal(capacity, fpr, hashes.SHA256, nil)
+		}
+	}
+	s := &Scalable{cfg: cfg}
+	if err := s.grow(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// StageFPR returns fᵢ = f₀·rⁱ, the error budget of stage idx.
+func (s *Scalable) StageFPR(idx int) float64 {
+	f := s.cfg.InitialFPR
+	for i := 0; i < idx; i++ {
+		f *= s.cfg.TighteningRatio
+	}
+	return f
+}
+
+func (s *Scalable) grow() error {
+	idx := len(s.stages)
+	st, err := s.cfg.Factory(idx, s.cfg.StageCapacity, s.StageFPR(idx))
+	if err != nil {
+		return fmt.Errorf("core: growing scalable filter to stage %d: %w", idx, err)
+	}
+	s.stages = append(s.stages, st)
+	return nil
+}
+
+// Add implements Filter. A new stage is created eagerly the moment the
+// current one reaches capacity, so Stages() always exposes the next
+// insertion target — adversaries (and honest planners) can inspect the
+// geometry their items will land in. Growth errors cannot occur after
+// construction with a factory that succeeded once; if the factory fails
+// later, inserts keep landing in the last stage (overfilling it, as
+// dablooms does), keeping Add infallible like dablooms' API.
+func (s *Scalable) Add(item []byte) {
+	last := s.stages[len(s.stages)-1]
+	last.Add(item)
+	s.n++
+	if last.Count() >= s.cfg.StageCapacity &&
+		(s.cfg.MaxStages == 0 || len(s.stages) < s.cfg.MaxStages) {
+		_ = s.grow() // error: stay on the overfilled last stage
+	}
+}
+
+// Test implements Filter: membership in any stage.
+func (s *Scalable) Test(item []byte) bool {
+	for _, st := range s.stages {
+		if st.Test(item) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count implements Filter.
+func (s *Scalable) Count() uint64 { return s.n }
+
+// Stages returns the live stages, oldest first. Callers must not grow the
+// slice; mutating stages through it is how attack drivers model a
+// chosen-insertion adversary whose items land in known stages.
+func (s *Scalable) Stages() []Stage { return s.stages }
+
+// CompoundFPR returns F = 1 − ∏(1 − f̂ᵢ) where f̂ᵢ is each stage's
+// current estimated false-positive probability — the quantity plotted in
+// Fig 8.
+func (s *Scalable) CompoundFPR() float64 {
+	pass := 1.0
+	for _, st := range s.stages {
+		pass *= 1 - st.EstimatedFPR()
+	}
+	return 1 - pass
+}
+
+// AnalyticCompoundFPR returns the design-time bound 1 − ∏(1 − f₀rⁱ) over
+// λ stages.
+func AnalyticCompoundFPR(f0, r float64, stages int) float64 {
+	pass := 1.0
+	f := f0
+	for i := 0; i < stages; i++ {
+		pass *= 1 - f
+		f *= r
+	}
+	return 1 - pass
+}
+
+// ---------------------------------------------------------------------------
+// Dablooms: Bitly's scaling counting Bloom filter (§6).
+
+// DabloomsConfig mirrors the constants of §6: ten 4-bit-counter stages of
+// δ = 10000 items, f₀ = 0.01, r = 0.9, MurmurHash3 with the
+// Kirsch–Mitzenmacher index derivation.
+type DabloomsConfig struct {
+	InitialFPR      float64
+	TighteningRatio float64
+	StageCapacity   uint64
+	MaxStages       int
+	CounterWidth    int
+	Overflow        OverflowPolicy
+	Seed            uint64
+}
+
+// DefaultDabloomsConfig returns the paper's Fig 8 parameters.
+func DefaultDabloomsConfig() DabloomsConfig {
+	return DabloomsConfig{
+		InitialFPR:      0.01,
+		TighteningRatio: 0.9,
+		StageCapacity:   10000,
+		MaxStages:       10,
+		CounterWidth:    4,
+		Overflow:        Wrap,
+	}
+}
+
+// Dablooms combines scalable growth with counting stages, supporting Remove.
+type Dablooms struct {
+	Scalable
+	cfg DabloomsConfig
+}
+
+// NewDablooms builds a dablooms filter.
+func NewDablooms(cfg DabloomsConfig) (*Dablooms, error) {
+	if cfg.CounterWidth == 0 {
+		cfg.CounterWidth = 4
+	}
+	if cfg.Overflow == 0 {
+		cfg.Overflow = Wrap
+	}
+	factory := func(idx int, capacity uint64, fpr float64) (Stage, error) {
+		m := OptimalM(capacity, fpr)
+		if m == 0 {
+			return nil, fmt.Errorf("core: cannot size dablooms stage %d (capacity %d, fpr %v)", idx, capacity, fpr)
+		}
+		fam, err := hashes.NewDoubleHashing(KForFPR(fpr), m, cfg.Seed+uint64(idx))
+		if err != nil {
+			return nil, err
+		}
+		return NewCounting(fam, cfg.CounterWidth, cfg.Overflow)
+	}
+	inner, err := NewScalable(ScalableConfig{
+		InitialFPR:      cfg.InitialFPR,
+		TighteningRatio: cfg.TighteningRatio,
+		StageCapacity:   cfg.StageCapacity,
+		MaxStages:       cfg.MaxStages,
+		Factory:         factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dablooms{Scalable: *inner, cfg: cfg}, nil
+}
+
+// Remove deletes item from the newest stage that reports it present,
+// mirroring dablooms' behaviour of decrementing whichever filter holds the
+// item. Removing a never-inserted (but false-positive) item is exactly the
+// §6.2 deletion attack: it may create false negatives for other items.
+func (d *Dablooms) Remove(item []byte) error {
+	for i := len(d.stages) - 1; i >= 0; i-- {
+		st := d.stages[i]
+		if !st.Test(item) {
+			continue
+		}
+		counting, ok := st.(*Counting)
+		if !ok {
+			return fmt.Errorf("core: dablooms stage %d is not a counting filter", i)
+		}
+		return counting.Remove(item)
+	}
+	return fmt.Errorf("core: item not present in any stage")
+}
+
+// CountingStages returns the stages with their concrete counting type for
+// attack drivers.
+func (d *Dablooms) CountingStages() []*Counting {
+	out := make([]*Counting, 0, len(d.stages))
+	for _, st := range d.stages {
+		if c, ok := st.(*Counting); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestScalableConfigValidation(t *testing.T) {
+	base := ScalableConfig{InitialFPR: 0.01, TighteningRatio: 0.9, StageCapacity: 100}
+	bad := []ScalableConfig{
+		{InitialFPR: 0, TighteningRatio: 0.9, StageCapacity: 100},
+		{InitialFPR: 1, TighteningRatio: 0.9, StageCapacity: 100},
+		{InitialFPR: 0.01, TighteningRatio: 0, StageCapacity: 100},
+		{InitialFPR: 0.01, TighteningRatio: 1.1, StageCapacity: 100},
+		{InitialFPR: 0.01, TighteningRatio: 0.9, StageCapacity: 0},
+		{InitialFPR: 0.01, TighteningRatio: 0.9, StageCapacity: 100, MaxStages: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewScalable(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewScalable(base); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestScalableGrowth(t *testing.T) {
+	s, err := NewScalable(ScalableConfig{
+		InitialFPR:      0.01,
+		TighteningRatio: 0.9,
+		StageCapacity:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stages()) != 1 {
+		t.Fatalf("fresh scalable has %d stages", len(s.Stages()))
+	}
+	for i := 0; i < 450; i++ {
+		s.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	if got := len(s.Stages()); got != 5 {
+		t.Errorf("after 450 inserts: %d stages, want 5", got)
+	}
+	if s.Count() != 450 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	// No false negatives across stages.
+	for i := 0; i < 450; i++ {
+		if !s.Test([]byte(fmt.Sprintf("item-%d", i))) {
+			t.Fatalf("false negative for item-%d", i)
+		}
+	}
+}
+
+func TestScalableMaxStages(t *testing.T) {
+	s, err := NewScalable(ScalableConfig{
+		InitialFPR:      0.01,
+		TighteningRatio: 0.9,
+		StageCapacity:   50,
+		MaxStages:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	if got := len(s.Stages()); got != 2 {
+		t.Errorf("stage cap ignored: %d stages", got)
+	}
+	// Overfilled last stage still has no false negatives.
+	for i := 0; i < 500; i++ {
+		if !s.Test([]byte(fmt.Sprintf("item-%d", i))) {
+			t.Fatalf("false negative for item-%d", i)
+		}
+	}
+}
+
+func TestStageFPRGeometricSequence(t *testing.T) {
+	s, err := NewScalable(ScalableConfig{
+		InitialFPR:      0.01,
+		TighteningRatio: 0.9,
+		StageCapacity:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		want := 0.01 * math.Pow(0.9, float64(i))
+		if got := s.StageFPR(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("StageFPR(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAnalyticCompoundFPR(t *testing.T) {
+	// Fig 8's "no attack" level: λ=10, f0=0.01, r=0.9 →
+	// F = 1 − ∏(1 − 0.01·0.9^i) ≈ 0.063.
+	got := AnalyticCompoundFPR(0.01, 0.9, 10)
+	if math.Abs(got-0.0634) > 0.002 {
+		t.Errorf("analytic compound F = %v, want ≈0.063", got)
+	}
+	if AnalyticCompoundFPR(0.01, 0.9, 0) != 0 {
+		t.Error("zero stages should give F=0")
+	}
+}
+
+func TestScalableCompoundFPRTracksAnalytic(t *testing.T) {
+	s, err := NewScalable(ScalableConfig{
+		InitialFPR:      0.02,
+		TighteningRatio: 0.9,
+		StageCapacity:   2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 6000 // three full stages
+	for i := 0; i < total; i++ {
+		s.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	got := s.CompoundFPR()
+	want := AnalyticCompoundFPR(0.02, 0.9, 3)
+	if math.Abs(got-want) > want*0.5 {
+		t.Errorf("CompoundFPR = %v, want ≈%v", got, want)
+	}
+	// Empirical check.
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if s.Test([]byte(fmt.Sprintf("probe-%d", i))) {
+			fp++
+		}
+	}
+	emp := float64(fp) / probes
+	if math.Abs(emp-want) > want {
+		t.Errorf("empirical compound FPR = %v, analytic %v", emp, want)
+	}
+}
+
+func TestDabloomsDefaults(t *testing.T) {
+	cfg := DefaultDabloomsConfig()
+	if cfg.InitialFPR != 0.01 || cfg.TighteningRatio != 0.9 ||
+		cfg.StageCapacity != 10000 || cfg.MaxStages != 10 ||
+		cfg.CounterWidth != 4 || cfg.Overflow != Wrap {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestDabloomsAddTestRemove(t *testing.T) {
+	cfg := DefaultDabloomsConfig()
+	cfg.StageCapacity = 500
+	cfg.MaxStages = 4
+	d, err := NewDablooms(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([][]byte, 1200)
+	for i := range urls {
+		urls[i] = []byte(fmt.Sprintf("http://malware-%d.example.com/", i))
+		d.Add(urls[i])
+	}
+	if got := len(d.Stages()); got != 3 {
+		t.Errorf("stages = %d, want 3", got)
+	}
+	for _, u := range urls {
+		if !d.Test(u) {
+			t.Fatalf("false negative for %q", u)
+		}
+	}
+	if err := d.Remove(urls[0]); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := d.Remove([]byte("never seen, never a false positive — hopefully absent")); err == nil {
+		t.Log("removal of absent item succeeded: it was a false positive (acceptable)")
+	}
+	if len(d.CountingStages()) != len(d.Stages()) {
+		t.Error("CountingStages lost stages")
+	}
+}
+
+func TestDabloomsStageGeometry(t *testing.T) {
+	d, err := NewDablooms(DefaultDabloomsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stages()[0]
+	// f0=0.01 → k=7, m = 10000·ln(100)/(ln2)² ≈ 95851.
+	if st.K() != 7 {
+		t.Errorf("stage k = %d, want 7", st.K())
+	}
+	if st.M() < 95000 || st.M() > 97000 {
+		t.Errorf("stage m = %d, want ≈95851", st.M())
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"evilbloom/internal/bitset"
+	"evilbloom/internal/hashes"
+)
+
+// TwoChoice is the power-of-two-choices Bloom filter of Lumetta &
+// Mitzenmacher (the paper's conclusion contrasts its "power of two choices"
+// with the adversary's "power of evil choices"). Insertion evaluates two
+// independent index groups and commits the one that sets fewer new bits;
+// queries accept when either group is fully set.
+//
+// Measured behaviour (tests and BenchmarkExtensionTwoChoice): insertion does
+// set fewer bits, but queries must accept either group, so the false-
+// positive probability becomes ≈ 2p − p² for the per-group p — at many load
+// points a net loss even before any adversary. Adversarially the design is
+// strictly weaker: a chosen-insertion adversary crafts items with both
+// groups fresh (condition 6 twice) and still plants k bits per item, while
+// a query-only forger needs only ONE group all-set, roughly doubling her
+// success rate. Evil choices beat two choices.
+type TwoChoice struct {
+	bits     *bitset.BitSet
+	famA     hashes.IndexFamily
+	famB     hashes.IndexFamily
+	n        uint64
+	scratchA []uint64
+	scratchB []uint64
+}
+
+var _ Filter = (*TwoChoice)(nil)
+
+// NewTwoChoice builds a filter over two index families that must share the
+// same geometry.
+func NewTwoChoice(famA, famB hashes.IndexFamily) (*TwoChoice, error) {
+	if famA.M() != famB.M() || famA.K() != famB.K() {
+		return nil, fmt.Errorf("core: mismatched two-choice geometries (%d,%d) vs (%d,%d)",
+			famA.M(), famA.K(), famB.M(), famB.K())
+	}
+	return &TwoChoice{
+		bits:     bitset.New(famA.M()),
+		famA:     famA,
+		famB:     famB,
+		scratchA: make([]uint64, 0, famA.K()),
+		scratchB: make([]uint64, 0, famB.K()),
+	}, nil
+}
+
+// NewTwoChoiceMurmur builds a two-choice filter over two seeded
+// Kirsch–Mitzenmacher groups.
+func NewTwoChoiceMurmur(k int, m uint64, seedA, seedB uint64) (*TwoChoice, error) {
+	if seedA == seedB {
+		return nil, fmt.Errorf("core: two-choice groups need distinct seeds")
+	}
+	famA, err := hashes.NewDoubleHashing(k, m, seedA)
+	if err != nil {
+		return nil, err
+	}
+	famB, err := hashes.NewDoubleHashing(k, m, seedB)
+	if err != nil {
+		return nil, err
+	}
+	return NewTwoChoice(famA, famB)
+}
+
+func (t *TwoChoice) fresh(idx []uint64) int {
+	fresh := 0
+	for i, x := range idx {
+		dup := false
+		for j := 0; j < i; j++ {
+			if idx[j] == x {
+				dup = true
+				break
+			}
+		}
+		if !dup && !t.bits.Test(x) {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// Add implements Filter: the group that would set fewer new bits wins.
+func (t *TwoChoice) Add(item []byte) {
+	t.scratchA = t.famA.Indexes(t.scratchA[:0], item)
+	t.scratchB = t.famB.Indexes(t.scratchB[:0], item)
+	chosen := t.scratchA
+	if t.fresh(t.scratchB) < t.fresh(t.scratchA) {
+		chosen = t.scratchB
+	}
+	for _, x := range chosen {
+		t.bits.Set(x)
+	}
+	t.n++
+}
+
+// Test implements Filter: present when either group is fully set (the
+// inserter could have chosen either).
+func (t *TwoChoice) Test(item []byte) bool {
+	t.scratchA = t.famA.Indexes(t.scratchA[:0], item)
+	if t.allSet(t.scratchA) {
+		return true
+	}
+	t.scratchB = t.famB.Indexes(t.scratchB[:0], item)
+	return t.allSet(t.scratchB)
+}
+
+func (t *TwoChoice) allSet(idx []uint64) bool {
+	for _, x := range idx {
+		if !t.bits.Test(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count implements Filter.
+func (t *TwoChoice) Count() uint64 { return t.n }
+
+// M returns the filter size.
+func (t *TwoChoice) M() uint64 { return t.bits.Size() }
+
+// K returns the per-group hash count.
+func (t *TwoChoice) K() int { return t.famA.K() }
+
+// Weight returns the Hamming weight.
+func (t *TwoChoice) Weight() uint64 { return t.bits.Weight() }
+
+// EstimatedFPR returns ≈ 2(W/m)^k − (W/m)^2k: either group may match.
+func (t *TwoChoice) EstimatedFPR() float64 {
+	p := FPForgeryProbability(t.M(), t.K(), t.Weight())
+	return 2*p - p*p
+}
+
+// Families returns both index groups (public in the threat model).
+func (t *TwoChoice) Families() (hashes.IndexFamily, hashes.IndexFamily) {
+	return t.famA, t.famB
+}
+
+// Occupied reports whether bit i is set.
+func (t *TwoChoice) Occupied(i uint64) bool { return t.bits.Test(i) }

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evilbloom/internal/hashes"
+)
+
+// ---------------------------------------------------------------------------
+// TwoChoice (Lumetta–Mitzenmacher).
+
+func newTwoChoice(t testing.TB, k int, m uint64) *TwoChoice {
+	t.Helper()
+	tc, err := NewTwoChoiceMurmur(k, m, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestTwoChoiceValidation(t *testing.T) {
+	if _, err := NewTwoChoiceMurmur(4, 1000, 7, 7); err == nil {
+		t.Error("equal seeds accepted")
+	}
+	a, err := hashes.NewDoubleHashing(4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hashes.NewDoubleHashing(4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTwoChoice(a, b); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+}
+
+func TestTwoChoiceNoFalseNegatives(t *testing.T) {
+	tc := newTwoChoice(t, 4, 3200)
+	items := make([][]byte, 400)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("item-%d", i))
+		tc.Add(items[i])
+	}
+	for _, it := range items {
+		if !tc.Test(it) {
+			t.Fatalf("false negative for %q", it)
+		}
+	}
+	if tc.Count() != 400 {
+		t.Errorf("Count = %d", tc.Count())
+	}
+}
+
+// The headline of Lumetta–Mitzenmacher: two choices set fewer bits than one.
+func TestTwoChoiceSetsFewerBits(t *testing.T) {
+	const m, k, n = 3200, 4, 600
+	tc := newTwoChoice(t, k, m)
+	fam, err := hashes.NewDoubleHashing(k, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := NewBloom(fam)
+	for i := 0; i < n; i++ {
+		item := []byte(fmt.Sprintf("item-%d", i))
+		tc.Add(item)
+		classic.Add(item)
+	}
+	if tc.Weight() >= classic.Weight() {
+		t.Errorf("two-choice weight %d not below classic %d", tc.Weight(), classic.Weight())
+	}
+}
+
+// The adversarial flip side (conclusion of the paper): the query-only
+// forger's success roughly doubles because either group may match.
+func TestTwoChoiceDoublesForgerySurface(t *testing.T) {
+	const m, k, n = 3200, 4, 600
+	tc := newTwoChoice(t, k, m)
+	for i := 0; i < n; i++ {
+		tc.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	w := tc.Weight()
+	single := FPForgeryProbability(m, k, w)
+	hits := 0
+	const probes = 400000
+	for i := 0; i < probes; i++ {
+		if tc.Test([]byte(fmt.Sprintf("probe-%d", i))) {
+			hits++
+		}
+	}
+	got := float64(hits) / probes
+	want := 2*single - single*single
+	if math.Abs(got-want) > want/3 {
+		t.Errorf("two-choice FPR = %v, want ≈ 2p−p² = %v (single group p = %v)", got, want, single)
+	}
+	if est := tc.EstimatedFPR(); math.Abs(est-want) > 1e-12 {
+		t.Errorf("EstimatedFPR = %v, want %v", est, want)
+	}
+}
+
+// Chosen-insertion against TwoChoice: the adversary crafts items where both
+// groups are fully fresh, so the "min fresh" defence changes nothing —
+// weight still grows by k per item.
+func TestTwoChoicePollutionUnimpeded(t *testing.T) {
+	const m, k = 3200, 4
+	tc := newTwoChoice(t, k, m)
+	famA, famB := tc.Families()
+	fa, fb := famA.Clone(), famB.Clone()
+	var idxA, idxB []uint64
+	crafted := 0
+	for serial := 0; crafted < 100; serial++ {
+		item := []byte(fmt.Sprintf("crafted-%d", serial))
+		idxA = fa.Indexes(idxA[:0], item)
+		idxB = fb.Indexes(idxB[:0], item)
+		if !allFreshDistinct(tc, idxA) || !allFreshDistinct(tc, idxB) {
+			continue
+		}
+		before := tc.Weight()
+		tc.Add(item)
+		if tc.Weight()-before != k {
+			t.Fatalf("crafted insert %d set %d bits, want %d", crafted, tc.Weight()-before, k)
+		}
+		crafted++
+	}
+}
+
+func allFreshDistinct(tc *TwoChoice, idx []uint64) bool {
+	for i, x := range idx {
+		if tc.Occupied(x) {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			if idx[j] == x {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Nyberg accumulator.
+
+func TestNybergValidation(t *testing.T) {
+	if _, err := NewNyberg(0, 4); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewNyberg(10, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewNyberg(10, 33); err == nil {
+		t.Error("d=33 accepted")
+	}
+	if _, err := NewNybergForCapacity(0, 0.01); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewNybergForCapacity(100, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+}
+
+func TestNybergNoFalseNegatives(t *testing.T) {
+	a, err := NewNybergForCapacity(200, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([][]byte, 200)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("item-%d", i))
+		a.Add(items[i])
+	}
+	for _, it := range items {
+		if !a.Test(it) {
+			t.Fatalf("false negative for %q", it)
+		}
+	}
+	if a.Count() != 200 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
+
+func TestNybergEmpiricalFPR(t *testing.T) {
+	const n = 200
+	target := 0.02
+	a, err := NewNybergForCapacity(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	const probes = 3000
+	for i := 0; i < probes; i++ {
+		if a.Test([]byte(fmt.Sprintf("stranger-%d", i))) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	if got > target*3 {
+		t.Errorf("empirical FPR = %v, want ≲ %v", got, target)
+	}
+	if est := a.EstimatedFPR(); math.Abs(est-got) > 0.05 {
+		t.Errorf("EstimatedFPR = %v vs empirical %v", est, got)
+	}
+}
+
+// §9's claim: the accumulator is bigger than a Bloom filter (the log n
+// price) and consumes enormously more hash material per operation.
+func TestNybergSizeAndCostPenalty(t *testing.T) {
+	const n = 1000
+	f := 0.01
+	a, err := NewNybergForCapacity(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bloomBits := OptimalM(n, f)
+	if a.M() <= bloomBits {
+		t.Errorf("nyberg cells %d not above bloom bits %d", a.M(), bloomBits)
+	}
+	// Hash bits per operation: Bloom with recycling needs k·⌈log₂m⌉ ≈ 100;
+	// the accumulator needs m·d — four orders of magnitude more.
+	bloomHashBits := uint64(hashes.RequiredBits(KForFPR(f), bloomBits))
+	if a.HashBitsPerOperation() < bloomHashBits*100 {
+		t.Errorf("nyberg hash bits %d not ≫ bloom %d", a.HashBitsPerOperation(), bloomHashBits)
+	}
+}
+
+// §9's security claim: brute-force false-positive forgery against the
+// accumulator stalls where the Bloom filter yields — the adversary gains
+// nothing over the baseline FPR because patterns derive from full digests.
+func TestNybergResistsForgeryShortcut(t *testing.T) {
+	const n = 100
+	a, err := NewNybergForCapacity(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	// The best generic attack is random search; success per candidate must
+	// match the baseline FPR (no structural shortcut exists — compare the
+	// Bloom filter, where knowing supp(z) lifts success to (W/m)^k ≫ f and
+	// inversion makes it free).
+	hits := 0
+	const tries = 2000
+	for i := 0; i < tries; i++ {
+		if a.Test([]byte(fmt.Sprintf("forgery-%d", i))) {
+			hits++
+		}
+	}
+	rate := float64(hits) / tries
+	if rate > 5*a.EstimatedFPR()+0.01 {
+		t.Errorf("random forgery rate %v far above baseline %v", rate, a.EstimatedFPR())
+	}
+}
+
+// Property: accumulator membership is monotone — adding items never
+// removes anyone.
+func TestNybergMonotoneProperty(t *testing.T) {
+	a, err := NewNyberg(512, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(items [][]byte) bool {
+		for _, it := range items {
+			a.Add(it)
+			if !a.Test(it) {
+				return false
+			}
+		}
+		for _, it := range items {
+			if !a.Test(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTwoChoiceAdd(b *testing.B) {
+	tc, err := NewTwoChoiceMurmur(7, 1<<24, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	item := []byte("http://example.com/page")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc.Add(item)
+	}
+}
+
+func BenchmarkNybergTest(b *testing.B) {
+	a, err := NewNybergForCapacity(1000, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Add([]byte("member"))
+	item := []byte("http://example.com/page")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Test(item)
+	}
+}

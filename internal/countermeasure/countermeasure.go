@@ -1,0 +1,312 @@
+// Package countermeasure implements §8's defences: worst-case parameter
+// design (eq 9–12), keyed index families (MAC-based filters that defeat all
+// three adversaries), digest-bit recycling (the "salt and recycle" technique
+// making cryptographic hashing affordable, Fig 9 and Table 2), and an
+// extensible-output (XOF) construction standing in for SHAKE (§10) built
+// from HMAC in counter mode — the standard library has no SHA-3, and the
+// substitution preserves the "keyed, arbitrary-length digest" interface the
+// paper's conclusion calls for.
+package countermeasure
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/binary"
+	"fmt"
+	"hash"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+)
+
+// ---------------------------------------------------------------------------
+// §8.1: worst-case parameters.
+
+// WorstCaseDesign captures a filter hardened against chosen insertions: k is
+// chosen to minimize the adversary's achievable false-positive probability
+// instead of the honest one.
+type WorstCaseDesign struct {
+	// M and N are the designer's memory and capacity inputs.
+	M, N uint64
+	// K is k_adv_opt = m/(en) rounded (eq 9).
+	K int
+	// AdversarialFPR is the best the chosen-insertion adversary can force
+	// (eq 10).
+	AdversarialFPR float64
+	// HonestFPR is the price paid on uniform inputs (eq 11–12).
+	HonestFPR float64
+	// OptimalK and OptimalFPR are the classic design for comparison.
+	OptimalK   int
+	OptimalFPR float64
+	// OptimalAdversarialFPR is what the adversary forces against the
+	// classic design (eq 7 at n = N) — the number the hardening removes.
+	OptimalAdversarialFPR float64
+}
+
+// DesignWorstCase computes the §8.1 design for a memory budget of m bits
+// and n anticipated insertions.
+func DesignWorstCase(m, n uint64) (*WorstCaseDesign, error) {
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("countermeasure: m and n must be positive")
+	}
+	return &WorstCaseDesign{
+		M:                     m,
+		N:                     n,
+		K:                     core.WorstCaseKInt(m, n),
+		AdversarialFPR:        core.WorstCaseAdvFPR(m, n),
+		HonestFPR:             core.WorstCaseHonestFPR(m, n),
+		OptimalK:              core.OptimalKInt(m, n),
+		OptimalFPR:            core.OptimalFPR(m, n),
+		OptimalAdversarialFPR: core.AdversarialFPR(m, n, core.OptimalKInt(m, n)),
+	}, nil
+}
+
+// NewWorstCaseBloom builds a filter with worst-case parameters over fast
+// non-cryptographic hashing — §8.1's trade: "developers can keep their fast
+// non-cryptographic hash functions but at the cost of a larger Bloom
+// filter"; chosen-insertion adversaries are contained, query-only ones are
+// not.
+func NewWorstCaseBloom(m, n uint64, seed uint64) (*core.Bloom, error) {
+	design, err := DesignWorstCase(m, n)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hashes.NewDoubleHashing(design.K, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewBloom(fam), nil
+}
+
+// ---------------------------------------------------------------------------
+// §8.2: keyed filters.
+
+// RandomKey draws n cryptographically random bytes for a server-side key.
+func RandomKey(n int) ([]byte, error) {
+	key := make([]byte, n)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("countermeasure: drawing key: %w", err)
+	}
+	return key, nil
+}
+
+// NewKeyedBloom builds a classically-sized filter whose indexes come from a
+// keyed algorithm (HMAC-SHA-* or SipHash) with digest recycling, so the
+// per-query cost stays near one primitive call (Table 2) while every §4
+// adversary is reduced to blind guessing.
+func NewKeyedBloom(capacity uint64, f float64, alg hashes.Algorithm, key []byte) (*core.Bloom, error) {
+	if !alg.Keyed() {
+		return nil, fmt.Errorf("countermeasure: %v is not a keyed algorithm", alg)
+	}
+	m := core.OptimalM(capacity, f)
+	if m == 0 {
+		return nil, fmt.Errorf("countermeasure: invalid capacity %d or target %v", capacity, f)
+	}
+	k := core.KForFPR(f)
+	d, err := hashes.NewDigester(alg, key)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hashes.NewRecycling(d, k, m)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewBloom(fam), nil
+}
+
+// NewUniversalBloom builds a classically-sized filter over Carter–Wegman
+// universal hashing with a fresh random key — the countermeasure §8.2 cites
+// first (Crosby & Wallach's recommendation, deployed in the Heritrix
+// spider). Like the MAC variant it defeats all §4 adversaries; unlike it,
+// the per-item cost is one polynomial pass, no cryptographic primitive.
+func NewUniversalBloom(capacity uint64, f float64) (*core.Bloom, *hashes.UniversalKey, error) {
+	m := core.OptimalM(capacity, f)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("countermeasure: invalid capacity %d or target %v", capacity, f)
+	}
+	k := core.KForFPR(f)
+	key, err := hashes.NewUniversalKey(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	fam, err := hashes.NewUniversal(key, k, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewBloom(fam), key, nil
+}
+
+// ---------------------------------------------------------------------------
+// §8.2 / Fig 9: the recycling planner.
+
+// RecyclingPlan says how to derive one item's indexes from cryptographic
+// digests for a (f, m) design point: the bits required and, per algorithm,
+// the number of calls (0 = the digest cannot even hold one index).
+type RecyclingPlan struct {
+	// F and M are the design inputs.
+	F float64
+	M uint64
+	// K is the optimal hash count ⌈log₂(1/f)⌉.
+	K int
+	// BitsPerIndex is ⌈log₂ m⌉.
+	BitsPerIndex int
+	// BitsNeeded is k·⌈log₂m⌉, Fig 9's y-axis.
+	BitsNeeded int
+	// Calls maps each algorithm to its required invocation count.
+	Calls map[hashes.Algorithm]int
+}
+
+// PlanRecycling computes the Fig 9 data point for a target false-positive
+// probability and filter size.
+func PlanRecycling(f float64, m uint64) (*RecyclingPlan, error) {
+	if f <= 0 || f >= 1 || m == 0 {
+		return nil, fmt.Errorf("countermeasure: invalid plan inputs f=%v m=%d", f, m)
+	}
+	k := core.KForFPR(f)
+	plan := &RecyclingPlan{
+		F:            f,
+		M:            m,
+		K:            k,
+		BitsPerIndex: hashes.BitsPerIndex(m),
+		BitsNeeded:   hashes.RequiredBits(k, m),
+		Calls:        make(map[hashes.Algorithm]int, 5),
+	}
+	for _, alg := range []hashes.Algorithm{hashes.SHA1, hashes.SHA256, hashes.SHA384, hashes.SHA512} {
+		plan.Calls[alg] = hashes.DigestCallsFor(alg, k, m)
+	}
+	return plan, nil
+}
+
+// CheapestSingleCall returns the narrowest standard hash whose single digest
+// covers the whole index derivation, or ok=false when several calls are
+// unavoidable (the f ≤ 2⁻²⁰ regime of Fig 9).
+func CheapestSingleCall(f float64, m uint64) (hashes.Algorithm, bool) {
+	plan, err := PlanRecycling(f, m)
+	if err != nil {
+		return 0, false
+	}
+	for _, alg := range []hashes.Algorithm{hashes.SHA1, hashes.SHA256, hashes.SHA384, hashes.SHA512} {
+		if plan.Calls[alg] == 1 {
+			return alg, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// §10: extensible-output stand-in (SHAKE substitute).
+
+// XOF is a keyed extensible-output function built as HMAC in counter mode:
+// block_i = HMAC(key, item ‖ i). It stands in for keyed SHAKE-128/256 —
+// the "ideal hash function for Bloom filters" the paper's conclusion asks
+// for: keyed, uniform, and yielding arbitrary-length output so any (k, m)
+// geometry costs ⌈bits/ℓ⌉ PRF calls. Not safe for concurrent use; Clone
+// per goroutine.
+type XOF struct {
+	alg hashes.Algorithm
+	key []byte
+	mac hash.Hash
+}
+
+// NewXOF builds an XOF over HMAC-SHA-256 (bits ≤ 256 per block) or
+// HMAC-SHA-512 with the given key.
+func NewXOF(alg hashes.Algorithm, key []byte) (*XOF, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("countermeasure: XOF requires a key")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	switch alg {
+	case hashes.HMACSHA256:
+		return &XOF{alg: alg, key: k, mac: hmac.New(sha256.New, k)}, nil
+	case hashes.HMACSHA512:
+		return &XOF{alg: alg, key: k, mac: hmac.New(sha512.New, k)}, nil
+	default:
+		return nil, fmt.Errorf("countermeasure: XOF supports HMAC-SHA-256/512, not %v", alg)
+	}
+}
+
+// Clone returns an independent XOF with the same key.
+func (x *XOF) Clone() *XOF {
+	nx, err := NewXOF(x.alg, x.key)
+	if err != nil {
+		// Construction already succeeded once with identical inputs.
+		panic("countermeasure: clone of valid XOF failed: " + err.Error())
+	}
+	return nx
+}
+
+// Expand returns outBytes bytes of keyed output for item.
+func (x *XOF) Expand(item []byte, outBytes int) []byte {
+	out := make([]byte, 0, outBytes)
+	var ctr [4]byte
+	for i := uint32(0); len(out) < outBytes; i++ {
+		x.mac.Reset()
+		binary.BigEndian.PutUint32(ctr[:], i)
+		x.mac.Write(item)   //nolint:errcheck // hash writes never fail
+		x.mac.Write(ctr[:]) //nolint:errcheck
+		out = x.mac.Sum(out)
+	}
+	return out[:outBytes]
+}
+
+// XOFFamily derives Bloom indexes from an XOF: exactly ⌈k·⌈log₂m⌉/8⌉ bytes
+// are expanded per item.
+type XOFFamily struct {
+	xof     *XOF
+	k       int
+	m       uint64
+	bitsPer int
+}
+
+var _ hashes.IndexFamily = (*XOFFamily)(nil)
+
+// NewXOFFamily builds the family.
+func NewXOFFamily(alg hashes.Algorithm, key []byte, k int, m uint64) (*XOFFamily, error) {
+	if k <= 0 || m == 0 {
+		return nil, fmt.Errorf("countermeasure: invalid geometry k=%d m=%d", k, m)
+	}
+	xof, err := NewXOF(alg, key)
+	if err != nil {
+		return nil, err
+	}
+	return &XOFFamily{xof: xof, k: k, m: m, bitsPer: hashes.BitsPerIndex(m)}, nil
+}
+
+// Indexes implements hashes.IndexFamily.
+func (f *XOFFamily) Indexes(dst []uint64, item []byte) []uint64 {
+	need := (f.k*f.bitsPer + 7) / 8
+	stream := f.xof.Expand(item, need)
+	var acc uint64
+	bits := 0
+	produced := 0
+	for _, b := range stream {
+		acc = acc<<8 | uint64(b)
+		bits += 8
+		for bits >= f.bitsPer && produced < f.k {
+			shift := uint(bits - f.bitsPer)
+			v := acc >> shift & (1<<uint(f.bitsPer) - 1)
+			acc &= 1<<shift - 1
+			bits -= f.bitsPer
+			dst = append(dst, v%f.m)
+			produced++
+		}
+		if produced == f.k {
+			break
+		}
+	}
+	return dst
+}
+
+// K implements hashes.IndexFamily.
+func (f *XOFFamily) K() int { return f.k }
+
+// M implements hashes.IndexFamily.
+func (f *XOFFamily) M() uint64 { return f.m }
+
+// Clone implements hashes.IndexFamily.
+func (f *XOFFamily) Clone() hashes.IndexFamily {
+	return &XOFFamily{xof: f.xof.Clone(), k: f.k, m: f.m, bitsPer: f.bitsPer}
+}

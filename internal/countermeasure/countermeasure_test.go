@@ -1,0 +1,328 @@
+package countermeasure
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+func TestDesignWorstCase(t *testing.T) {
+	d, err := DesignWorstCase(3200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 2 || d.OptimalK != 4 {
+		t.Errorf("K = %d (want 2), OptimalK = %d (want 4)", d.K, d.OptimalK)
+	}
+	// k_opt/k_adv = e·ln2 ≈ 1.88 before rounding.
+	if ratio := core.OptimalK(3200, 600) / core.WorstCaseK(3200, 600); math.Abs(ratio-1.88) > 0.01 {
+		t.Errorf("k ratio = %v", ratio)
+	}
+	// The hardened design caps the adversary far below what she forces
+	// against the classic design.
+	if d.AdversarialFPR >= d.OptimalAdversarialFPR {
+		t.Errorf("hardening did not help: %v vs %v", d.AdversarialFPR, d.OptimalAdversarialFPR)
+	}
+	// The honest price is modest (eq 12 vs eq 3).
+	if d.HonestFPR < d.OptimalFPR {
+		t.Error("worst-case design cannot beat the optimal honest FPR")
+	}
+	if _, err := DesignWorstCase(0, 5); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+// End-to-end ablation: the same pollution campaign against the classic and
+// the worst-case design — the adversary's achieved FPR must match eq (7)
+// and eq (10) respectively, with the hardened filter well below.
+func TestWorstCaseDesignContainsPollution(t *testing.T) {
+	const m, n = 3200, 600
+	classic, err := core.NewBloomOptimal(n, core.OptimalFPR(m, n), hashes.SHA256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := NewWorstCaseBloom(m, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string]*core.Bloom{"classic": classic, "hardened": hardened} {
+		adv := attack.NewChosenInsertion(attack.NewBloomView(b), b, b, urlgen.New(3))
+		if _, err := adv.PolluteN(n, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	classicFPR := classic.EstimatedFPR()
+	hardenedFPR := hardened.EstimatedFPR()
+	if hardenedFPR >= classicFPR {
+		t.Errorf("hardened FPR %v not below classic %v under attack", hardenedFPR, classicFPR)
+	}
+	if math.Abs(hardenedFPR-core.WorstCaseAdvFPR(m, n)) > 0.05 {
+		t.Errorf("hardened FPR = %v, eq (10) predicts %v", hardenedFPR, core.WorstCaseAdvFPR(m, n))
+	}
+}
+
+func TestRandomKey(t *testing.T) {
+	a, err := RandomKey(32)
+	if err != nil || len(a) != 32 {
+		t.Fatalf("RandomKey: %v, len %d", err, len(a))
+	}
+	b, err := RandomKey(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(b) {
+		t.Error("two random keys identical")
+	}
+}
+
+func TestNewKeyedBloom(t *testing.T) {
+	key, err := RandomKey(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyedBloom(1000, 0.01, hashes.HMACSHA256, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Test([]byte(fmt.Sprintf("item-%d", i))) {
+			t.Fatal("keyed filter false negative")
+		}
+	}
+	if _, err := NewKeyedBloom(1000, 0.01, hashes.SHA256, nil); err == nil {
+		t.Error("unkeyed algorithm accepted")
+	}
+	if _, err := NewKeyedBloom(0, 0.01, hashes.HMACSHA256, key); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+// Fig 9: a single SHA-512 call covers every optimal filter with f ≥ 2⁻¹⁵
+// and m under a GByte (8.6·10⁹ bits).
+func TestPlanRecyclingFig9(t *testing.T) {
+	gbit := uint64(8) << 30 // one GByte of filter
+	for _, exp := range []int{5, 10, 15} {
+		f := math.Pow(2, -float64(exp))
+		plan, err := PlanRecycling(f, gbit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Calls[hashes.SHA512] != 1 {
+			t.Errorf("f=2^-%d: SHA-512 calls = %d, want 1", exp, plan.Calls[hashes.SHA512])
+		}
+	}
+	// f = 2⁻²⁰ needs several calls at 1 GByte (20 indexes × 33 bits = 660 > 512).
+	plan, err := PlanRecycling(math.Pow(2, -20), gbit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Calls[hashes.SHA512] < 2 {
+		t.Errorf("f=2^-20: SHA-512 calls = %d, want ≥ 2", plan.Calls[hashes.SHA512])
+	}
+	if plan.BitsNeeded != 20*hashes.BitsPerIndex(gbit) {
+		t.Errorf("BitsNeeded = %d", plan.BitsNeeded)
+	}
+	if _, err := PlanRecycling(0, 100); err == nil {
+		t.Error("f=0 accepted")
+	}
+}
+
+func TestCheapestSingleCall(t *testing.T) {
+	// Small filter, f=2^-5: 5 indexes × 17 bits = 85 bits → SHA-1 suffices.
+	alg, ok := CheapestSingleCall(1.0/32, 100000)
+	if !ok || alg != hashes.SHA1 {
+		t.Errorf("cheapest = %v, %v; want SHA-1", alg, ok)
+	}
+	// Large filter, tiny f: no single call.
+	if _, ok := CheapestSingleCall(math.Pow(2, -20), 8<<30); ok {
+		t.Error("single call claimed for f=2^-20 at 1 GByte")
+	}
+}
+
+func TestNewUniversalBloom(t *testing.T) {
+	b, key, err := NewUniversalBloom(600, 0.077)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key == nil || len(key.A) != b.K() {
+		t.Fatal("key geometry mismatch")
+	}
+	for i := 0; i < 600; i++ {
+		b.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	for i := 0; i < 600; i++ {
+		if !b.Test([]byte(fmt.Sprintf("item-%d", i))) {
+			t.Fatal("universal filter false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 50000; i++ {
+		if b.Test([]byte(fmt.Sprintf("probe-%d", i))) {
+			fp++
+		}
+	}
+	got := float64(fp) / 50000
+	if math.Abs(got-0.077) > 0.025 {
+		t.Errorf("universal empirical FPR = %v, want ≈0.077", got)
+	}
+	if _, _, err := NewUniversalBloom(0, 0.077); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+// Universal hashing defeats the forger exactly like the MAC variant: the
+// adversary who models the filter with her own guessed key gains nothing.
+func TestUniversalBloomResistsForgery(t *testing.T) {
+	server, _, err := NewUniversalBloom(600, 0.077)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := urlgen.New(8)
+	for i := 0; i < 600; i++ {
+		server.Add(gen.Next())
+	}
+	// Adversary's model: same bit pattern, her own (wrong) key.
+	model, _, err := NewUniversalBloom(600, 0.077)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range server.Bits().Support() {
+		model.AddIndexes([]uint64{i})
+	}
+	forger := attack.NewForger(attack.NewBloomView(model), urlgen.New(9))
+	hits := 0
+	const forgeries = 60
+	for i := 0; i < forgeries; i++ {
+		item, _, err := forger.ForgeFalsePositive(1 << 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if server.Test(item) {
+			hits++
+		}
+	}
+	rate := float64(hits) / forgeries
+	if rate > server.EstimatedFPR()*3+0.05 {
+		t.Errorf("forgery success %v against universal filter, baseline %v", rate, server.EstimatedFPR())
+	}
+}
+
+func TestXOFExpand(t *testing.T) {
+	x, err := NewXOF(hashes.HMACSHA256, []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := x.Expand([]byte("item"), 100)
+	if len(out) != 100 {
+		t.Fatalf("Expand returned %d bytes", len(out))
+	}
+	// Deterministic, prefix-consistent, item- and key-sensitive.
+	if string(out[:50]) != string(x.Expand([]byte("item"), 50)) {
+		t.Error("XOF not prefix-consistent")
+	}
+	if string(out) == string(x.Expand([]byte("item2"), 100)) {
+		t.Error("XOF ignores the item")
+	}
+	y, err := NewXOF(hashes.HMACSHA256, []byte("other-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) == string(y.Expand([]byte("item"), 100)) {
+		t.Error("XOF ignores the key")
+	}
+	if string(out) != string(x.Clone().Expand([]byte("item"), 100)) {
+		t.Error("clone diverges")
+	}
+	if _, err := NewXOF(hashes.HMACSHA256, nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := NewXOF(hashes.MD5, []byte("key")); err == nil {
+		t.Error("non-HMAC algorithm accepted")
+	}
+}
+
+func TestXOFFamily(t *testing.T) {
+	fam, err := NewXOFFamily(hashes.HMACSHA512, []byte("secret"), 10, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.K() != 10 || fam.M() != 1<<24 {
+		t.Errorf("geometry: k=%d m=%d", fam.K(), fam.M())
+	}
+	idx := fam.Indexes(nil, []byte("x"))
+	if len(idx) != 10 {
+		t.Fatalf("got %d indexes", len(idx))
+	}
+	for _, v := range idx {
+		if v >= 1<<24 {
+			t.Errorf("index %d out of range", v)
+		}
+	}
+	idx2 := fam.Clone().Indexes(nil, []byte("x"))
+	for i := range idx {
+		if idx[i] != idx2[i] {
+			t.Fatal("clone disagrees")
+		}
+	}
+	if _, err := NewXOFFamily(hashes.HMACSHA256, []byte("k"), 0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// A filter over the XOF family behaves like a normal Bloom filter.
+func TestXOFBloomNoFalseNegatives(t *testing.T) {
+	fam, err := NewXOFFamily(hashes.HMACSHA256, []byte("secret"), 7, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBloom(fam)
+	f := func(items [][]byte) bool {
+		for _, it := range items {
+			b.Add(it)
+		}
+		for _, it := range items {
+			if !b.Test(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// XOF family index distribution is near-uniform.
+func TestXOFFamilyDistribution(t *testing.T) {
+	const m = 512
+	fam, err := NewXOFFamily(hashes.HMACSHA256, []byte("secret"), 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, m)
+	var idx []uint64
+	for i := 0; i < 20000; i++ {
+		idx = fam.Indexes(idx[:0], []byte(fmt.Sprintf("item-%d", i)))
+		for _, v := range idx {
+			counts[v]++
+		}
+	}
+	expected := float64(20000*4) / m
+	var chi2 float64
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 511+6*32 {
+		t.Errorf("chi-squared = %.1f", chi2)
+	}
+}

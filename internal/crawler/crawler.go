@@ -1,0 +1,218 @@
+// Package crawler implements a Scrapy-like web spider (§5.1): a frontier of
+// scheduled URLs, a fetcher, and a pluggable duplicate filter deciding which
+// discovered links get scheduled. The five-step loop matches the paper:
+// select a URL, fetch it, archive the result, schedule the interesting
+// links, mark the URL visited. Scrapy performs the "seen" check at
+// scheduling time (its dupefilter's request_seen), and so does this crawler
+// — which is exactly what the blinding attack exploits.
+package crawler
+
+import (
+	"sync"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/webgraph"
+)
+
+// Deduper is the duplicate filter: Seen records url as visited and reports
+// whether it had been recorded before. Bloom-backed implementations may err
+// on the "seen" side (false positives) — never on the "new" side.
+type Deduper interface {
+	Seen(url string) bool
+}
+
+// HashSetDeduper is Scrapy's default exact filter: a hash set of URL
+// fingerprints. 77 bytes per URL at web scale is what motivates swapping in
+// a Bloom filter (§5.1).
+type HashSetDeduper struct {
+	seen map[string]struct{}
+}
+
+// NewHashSetDeduper returns an empty exact filter.
+func NewHashSetDeduper() *HashSetDeduper {
+	return &HashSetDeduper{seen: make(map[string]struct{})}
+}
+
+// Seen implements Deduper.
+func (h *HashSetDeduper) Seen(url string) bool {
+	_, ok := h.seen[url]
+	if !ok {
+		h.seen[url] = struct{}{}
+	}
+	return ok
+}
+
+// Len returns the number of distinct URLs recorded.
+func (h *HashSetDeduper) Len() int { return len(h.seen) }
+
+// BloomDeduper marks URLs in any core.Filter — the pyBloom-in-Scrapy setup
+// the paper attacks.
+type BloomDeduper struct {
+	filter core.Filter
+}
+
+// NewBloomDeduper wraps filter.
+func NewBloomDeduper(filter core.Filter) *BloomDeduper {
+	return &BloomDeduper{filter: filter}
+}
+
+// Seen implements Deduper: a membership test followed by insertion.
+func (b *BloomDeduper) Seen(url string) bool {
+	item := []byte(url)
+	if b.filter.Test(item) {
+		return true
+	}
+	b.filter.Add(item)
+	return false
+}
+
+// Filter exposes the wrapped filter (the adversary can model it perfectly:
+// the implementation is public).
+func (b *BloomDeduper) Filter() core.Filter { return b.filter }
+
+// Report summarizes one crawl.
+type Report struct {
+	// Fetched lists successfully fetched URLs in crawl order.
+	Fetched []string
+	// SkippedSeen counts links not scheduled because the filter said
+	// already-seen (true duplicates and false positives alike).
+	SkippedSeen int
+	// NotFound counts 404s.
+	NotFound int
+	// Truncated reports whether the crawl stopped at its page budget.
+	Truncated bool
+}
+
+// DidFetch reports whether url was fetched during the crawl.
+func (r *Report) DidFetch(url string) bool {
+	for _, u := range r.Fetched {
+		if u == url {
+			return true
+		}
+	}
+	return false
+}
+
+// Crawler executes breadth-first crawls over a web graph.
+type Crawler struct {
+	web   *webgraph.Web
+	dedup Deduper
+}
+
+// New builds a crawler over web with the given duplicate filter.
+func New(web *webgraph.Web, dedup Deduper) *Crawler {
+	return &Crawler{web: web, dedup: dedup}
+}
+
+// CrawlConcurrent crawls with the given number of worker goroutines. Page
+// fetching runs in parallel (the expensive part of a real spider);
+// scheduling and the dedup filter are serialized under one mutex, so any
+// Deduper — including a Bloom filter wrapped in core.NewSynced — stays
+// consistent. The fetch order is nondeterministic but the fetched set
+// equals the sequential crawl's for an exact deduper.
+func (c *Crawler) CrawlConcurrent(start string, workers, maxPages int) *Report {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		frontier []string
+		inflight int
+		stopped  bool
+		report   = &Report{}
+	)
+	mu.Lock()
+	if !c.dedup.Seen(start) {
+		frontier = append(frontier, start)
+	} else {
+		report.SkippedSeen++
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !stopped && len(frontier) == 0 && inflight > 0 {
+					cond.Wait()
+				}
+				if stopped || (len(frontier) == 0 && inflight == 0) {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				url := frontier[0]
+				frontier = frontier[1:]
+				inflight++
+				mu.Unlock()
+
+				page, err := c.web.Fetch(url) // parallel fetch
+
+				mu.Lock()
+				if err != nil {
+					report.NotFound++
+				} else if maxPages > 0 && len(report.Fetched) >= maxPages {
+					report.Truncated = true
+					stopped = true
+				} else {
+					report.Fetched = append(report.Fetched, url)
+					for _, link := range page.Links {
+						if c.dedup.Seen(link) {
+							report.SkippedSeen++
+							continue
+						}
+						frontier = append(frontier, link)
+					}
+				}
+				inflight--
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return report
+}
+
+// Crawl starts at start and fetches at most maxPages pages (0 = unbounded).
+func (c *Crawler) Crawl(start string, maxPages int) *Report {
+	report := &Report{}
+	var frontier []string
+	// Step 4/5 for the seed: schedule unless the filter claims it was seen.
+	if !c.dedup.Seen(start) {
+		frontier = append(frontier, start)
+	} else {
+		report.SkippedSeen++
+	}
+	for len(frontier) > 0 {
+		if maxPages > 0 && len(report.Fetched) >= maxPages {
+			report.Truncated = true
+			return report
+		}
+		// Step 1: select a URL from the scheduled list.
+		url := frontier[0]
+		frontier = frontier[1:]
+		// Step 2: fetch it.
+		page, err := c.web.Fetch(url)
+		if err != nil {
+			report.NotFound++
+			continue
+		}
+		// Step 3: archive the result.
+		report.Fetched = append(report.Fetched, url)
+		// Step 4: schedule the interesting links, deduplicating at schedule
+		// time (Scrapy's request_seen), which also marks them (step 5).
+		for _, link := range page.Links {
+			if c.dedup.Seen(link) {
+				report.SkippedSeen++
+				continue
+			}
+			frontier = append(frontier, link)
+		}
+	}
+	return report
+}

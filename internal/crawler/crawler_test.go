@@ -1,0 +1,266 @@
+package crawler
+
+import (
+	"testing"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/urlgen"
+	"evilbloom/internal/webgraph"
+)
+
+func buildHonestWeb(t testing.TB, pages int) (*webgraph.Web, string) {
+	t.Helper()
+	w := webgraph.New()
+	root := webgraph.BuildSite(w, urlgen.New(1), pages, 5)
+	return w, root
+}
+
+func TestHashSetDeduper(t *testing.T) {
+	d := NewHashSetDeduper()
+	if d.Seen("a") {
+		t.Error("fresh URL reported seen")
+	}
+	if !d.Seen("a") {
+		t.Error("repeated URL reported new")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestBloomDeduper(t *testing.T) {
+	f, err := core.NewPyBloom(1000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewBloomDeduper(f)
+	if d.Seen("http://a.example/") {
+		t.Error("fresh URL reported seen")
+	}
+	if !d.Seen("http://a.example/") {
+		t.Error("repeated URL reported new")
+	}
+	if d.Filter() != core.Filter(f) {
+		t.Error("Filter accessor lost the filter")
+	}
+}
+
+func TestCrawlVisitsWholeSite(t *testing.T) {
+	web, root := buildHonestWeb(t, 200)
+	c := New(web, NewHashSetDeduper())
+	report := c.Crawl(root, 0)
+	if len(report.Fetched) != web.Len() {
+		t.Errorf("fetched %d of %d pages", len(report.Fetched), web.Len())
+	}
+	if report.Truncated || report.NotFound != 0 {
+		t.Errorf("unexpected report: %+v", report)
+	}
+	if !report.DidFetch(root) {
+		t.Error("root not fetched")
+	}
+}
+
+func TestCrawlWithCleanBloomMatchesHashSet(t *testing.T) {
+	web, root := buildHonestWeb(t, 300)
+	f, err := core.NewPyBloom(100000, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bloomReport := New(web, NewBloomDeduper(f)).Crawl(root, 0)
+	exactReport := New(web, NewHashSetDeduper()).Crawl(root, 0)
+	// At f=1e-4 over 300 pages, a false positive is overwhelmingly unlikely;
+	// the Bloom crawl must match the exact crawl.
+	if len(bloomReport.Fetched) != len(exactReport.Fetched) {
+		t.Errorf("bloom crawl fetched %d, exact crawl %d",
+			len(bloomReport.Fetched), len(exactReport.Fetched))
+	}
+}
+
+func TestCrawlConcurrentMatchesSequential(t *testing.T) {
+	web, root := buildHonestWeb(t, 400)
+	seq := New(web, NewHashSetDeduper()).Crawl(root, 0)
+	for _, workers := range []int{1, 4, 16} {
+		report := New(web, NewHashSetDeduper()).CrawlConcurrent(root, workers, 0)
+		if len(report.Fetched) != len(seq.Fetched) {
+			t.Errorf("%d workers fetched %d pages, sequential fetched %d",
+				workers, len(report.Fetched), len(seq.Fetched))
+		}
+		fetched := map[string]bool{}
+		for _, u := range report.Fetched {
+			if fetched[u] {
+				t.Fatalf("%d workers fetched %s twice", workers, u)
+			}
+			fetched[u] = true
+		}
+	}
+}
+
+func TestCrawlConcurrentWithSyncedBloom(t *testing.T) {
+	web, root := buildHonestWeb(t, 400)
+	f, err := core.NewPyBloom(100000, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := New(web, NewBloomDeduper(core.NewSynced(f))).CrawlConcurrent(root, 8, 0)
+	if len(report.Fetched) != web.Len() {
+		t.Errorf("fetched %d of %d pages", len(report.Fetched), web.Len())
+	}
+}
+
+func TestCrawlConcurrentBudget(t *testing.T) {
+	web, root := buildHonestWeb(t, 300)
+	report := New(web, NewHashSetDeduper()).CrawlConcurrent(root, 4, 10)
+	if len(report.Fetched) > 10 || !report.Truncated {
+		t.Errorf("budget ignored: fetched %d, truncated %v", len(report.Fetched), report.Truncated)
+	}
+}
+
+func TestCrawlConcurrentSeenStart(t *testing.T) {
+	web, root := buildHonestWeb(t, 10)
+	d := NewHashSetDeduper()
+	d.Seen(root)
+	report := New(web, d).CrawlConcurrent(root, 2, 0)
+	if len(report.Fetched) != 0 || report.SkippedSeen != 1 {
+		t.Errorf("crawl of pre-seen start: %+v", report)
+	}
+}
+
+func TestCrawlRespectsPageBudget(t *testing.T) {
+	web, root := buildHonestWeb(t, 200)
+	report := New(web, NewHashSetDeduper()).Crawl(root, 10)
+	if len(report.Fetched) != 10 || !report.Truncated {
+		t.Errorf("budget ignored: %+v", report)
+	}
+}
+
+func TestCrawl404Counting(t *testing.T) {
+	web := webgraph.New()
+	web.AddPage("http://root.test/", "http://gone.test/", "http://also-gone.test/")
+	report := New(web, NewHashSetDeduper()).Crawl("http://root.test/", 0)
+	if report.NotFound != 2 {
+		t.Errorf("NotFound = %d, want 2", report.NotFound)
+	}
+}
+
+// §5.2 blinding: the adversary's link farm pollutes the dedup filter; a
+// subsequent crawl of an honest site is mostly skipped as "already seen".
+func TestBlindingAttack(t *testing.T) {
+	// Small filter: capacity 2000, f = 2^-5 — the under-provisioned setup
+	// developers reach for when memory is tight.
+	f, err := core.NewPyBloom(2000, 1.0/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := NewBloomDeduper(f)
+
+	// The adversary forges polluting URLs against a perfect model of the
+	// filter (public implementation, predictable operations). She accounts
+	// for the entry page itself being marked first.
+	model, err := core.NewPyBloom(2000, 1.0/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := "http://evil-entry.example.com/"
+	modelDedup := NewBloomDeduper(model)
+	modelDedup.Seen(entry)
+	forger := attack.NewForger(attack.NewPartitionedView(model), urlgen.New(99))
+	crafted := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		item, _, err := forger.ForgePolluting(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model.Add(item)
+		crafted = append(crafted, string(item))
+	}
+
+	web := webgraph.New()
+	webgraph.BuildLinkFarm(web, entry, crafted)
+	honestRoot := webgraph.BuildSite(web, urlgen.New(1), 500, 5)
+
+	c := New(web, dedup)
+	farmReport := c.Crawl(entry, 0)
+	if len(farmReport.Fetched) < 1900 {
+		t.Fatalf("link farm crawl fetched only %d pages", len(farmReport.Fetched))
+	}
+
+	// The spider now believes huge swaths of the honest web are old news.
+	honestReport := c.Crawl(honestRoot, 0)
+	total := len(honestReport.Fetched) + honestReport.SkippedSeen
+	skippedFrac := float64(honestReport.SkippedSeen) / float64(total)
+	// f_adv = (nk/m)^k with n=2001, k=5, m=2000·ln32/ln2²·... ≈ 0.25; the
+	// crawl is recursive so skipping compounds: expect a large skipped
+	// fraction where a clean filter would skip almost nothing.
+	if skippedFrac < 0.10 {
+		t.Errorf("blinding had no effect: skipped fraction %.3f", skippedFrac)
+	}
+
+	// Control: the same honest site under a clean filter is fully crawled.
+	clean, err := core.NewPyBloom(2000, 1.0/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := New(web, NewBloomDeduper(clean)).Crawl(honestRoot, 0)
+	if len(control.Fetched) <= len(honestReport.Fetched) {
+		t.Errorf("polluted crawl fetched %d pages, clean crawl %d — attack had no effect",
+			len(honestReport.Fetched), len(control.Fetched))
+	}
+}
+
+// Fig 7: ghost pages hidden behind decoys. The adversary fixes her secret
+// (ghost) URL, then forges decoy URLs whose combined index sets cover the
+// ghost's — once the spider has crawled the decoys, the ghost reads as
+// already-visited and is never fetched.
+func TestDecoyGhostAttack(t *testing.T) {
+	const capacity, fpr = 500, 1.0 / 32
+	f, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ghost := "http://root-decoy.example.com/secret/ghost-page"
+	// Adversary-side model of the (empty, predictable) filter, used only to
+	// compute index sets — the implementation is public.
+	model, err := core.NewPyBloom(capacity, fpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghostIdx := model.Indexes(nil, []byte(ghost))
+	forger := attack.NewForger(attack.NewPartitionedView(model), urlgen.New(7777))
+	decoyItems, err := forger.ForgeDecoySet(ghostIdx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Θ(k log k) expectation: with k=5, a handful of decoys suffice.
+	if len(decoyItems) > 5 {
+		t.Errorf("cover used %d decoys for k=5", len(decoyItems))
+	}
+	decoys := make([]string, len(decoyItems))
+	for i, d := range decoyItems {
+		decoys[i] = string(d)
+	}
+
+	root := "http://root-decoy.example.com/"
+	web := webgraph.New()
+	webgraph.BuildDecoyChain(web, root, decoys, ghost)
+
+	report := New(web, NewBloomDeduper(f)).Crawl(root, 0)
+	for _, d := range append([]string{root}, decoys...) {
+		if !report.DidFetch(d) {
+			t.Errorf("decoy %s not fetched", d)
+		}
+	}
+	if report.DidFetch(ghost) {
+		t.Error("ghost page was fetched — hiding failed")
+	}
+	if report.SkippedSeen == 0 {
+		t.Error("ghost skip not recorded")
+	}
+
+	// Control: with an exact dedup filter the ghost is found.
+	exact := New(web, NewHashSetDeduper()).Crawl(root, 0)
+	if !exact.DidFetch(ghost) {
+		t.Error("exact filter also missed the ghost — web graph broken")
+	}
+}

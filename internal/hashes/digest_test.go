@@ -1,0 +1,156 @@
+package hashes
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlgorithmMetadata(t *testing.T) {
+	cases := []struct {
+		alg    Algorithm
+		name   string
+		bits   int
+		crypto bool
+		keyed  bool
+	}{
+		{MD5, "MD5", 128, true, false},
+		{SHA1, "SHA-1", 160, true, false},
+		{SHA256, "SHA-256", 256, true, false},
+		{SHA384, "SHA-384", 384, true, false},
+		{SHA512, "SHA-512", 512, true, false},
+		{HMACSHA1, "HMAC-SHA-1", 160, true, true},
+		{HMACSHA256, "HMAC-SHA-256", 256, true, true},
+		{HMACSHA512, "HMAC-SHA-512", 512, true, true},
+		{MurmurHash32, "MurmurHash-32", 32, false, false},
+		{MurmurHash128, "MurmurHash-128", 128, false, false},
+		{JenkinsOAAT, "Jenkins-OAAT", 32, false, false},
+		{FNV1a64, "FNV-1a-64", 64, false, false},
+		{SipHash24Alg, "SipHash-2-4", 64, false, true},
+	}
+	for _, c := range cases {
+		if got := c.alg.String(); got != c.name {
+			t.Errorf("%v String = %q, want %q", c.alg, got, c.name)
+		}
+		if got := c.alg.DigestBits(); got != c.bits {
+			t.Errorf("%v DigestBits = %d, want %d", c.alg, got, c.bits)
+		}
+		if got := c.alg.Cryptographic(); got != c.crypto {
+			t.Errorf("%v Cryptographic = %v, want %v", c.alg, got, c.crypto)
+		}
+		if got := c.alg.Keyed(); got != c.keyed {
+			t.Errorf("%v Keyed = %v, want %v", c.alg, got, c.keyed)
+		}
+		parsed, err := ParseAlgorithm(c.name)
+		if err != nil || parsed != c.alg {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", c.name, parsed, err)
+		}
+	}
+	if Algorithm(999).String() == "" || !strings.Contains(Algorithm(999).String(), "999") {
+		t.Error("unknown algorithm String not descriptive")
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("ParseAlgorithm accepted junk")
+	}
+}
+
+func TestNewDigesterValidation(t *testing.T) {
+	if _, err := NewDigester(HMACSHA1, nil); err == nil {
+		t.Error("keyed algorithm without key accepted")
+	}
+	if _, err := NewDigester(MD5, []byte("key")); err == nil {
+		t.Error("unkeyed algorithm with key accepted")
+	}
+	if _, err := NewDigester(SipHash24Alg, []byte("short")); err == nil {
+		t.Error("SipHash with 5-byte key accepted")
+	}
+	if _, err := NewDigester(Algorithm(0), nil); err == nil {
+		t.Error("zero algorithm accepted")
+	}
+}
+
+func TestDigesterSumLengthsAndDeterminism(t *testing.T) {
+	key16 := []byte("0123456789abcdef")
+	for _, alg := range Algorithms {
+		var key []byte
+		if alg.Keyed() {
+			key = key16
+		}
+		d, err := NewDigester(alg, key)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		sum := d.Sum(nil, []byte("item"), 7)
+		if len(sum)*8 != alg.DigestBits() {
+			t.Errorf("%v: digest is %d bits, want %d", alg, len(sum)*8, alg.DigestBits())
+		}
+		sum2 := d.Sum(nil, []byte("item"), 7)
+		if string(sum) != string(sum2) {
+			t.Errorf("%v: digest not deterministic", alg)
+		}
+		other := d.Sum(nil, []byte("item"), 8)
+		if string(sum) == string(other) {
+			t.Errorf("%v: salt does not change the digest", alg)
+		}
+		otherItem := d.Sum(nil, []byte("item2"), 7)
+		if string(sum) == string(otherItem) {
+			t.Errorf("%v: item does not change the digest", alg)
+		}
+		// Sum64 must agree with the digest prefix.
+		v := d.Sum64([]byte("item"), 7)
+		var fromSum uint64
+		take := len(sum)
+		if take > 8 {
+			take = 8
+		}
+		for _, b := range sum[:take] {
+			fromSum = fromSum<<8 | uint64(b)
+		}
+		if v != fromSum {
+			t.Errorf("%v: Sum64 = %#x, digest prefix = %#x", alg, v, fromSum)
+		}
+	}
+}
+
+func TestDigesterAppendSemantics(t *testing.T) {
+	d, err := NewDigester(SHA256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix")
+	out := d.Sum(prefix, []byte("x"), 0)
+	if string(out[:6]) != "prefix" {
+		t.Error("Sum did not append to dst")
+	}
+	if len(out) != 6+32 {
+		t.Errorf("appended length = %d, want 38", len(out))
+	}
+}
+
+func TestDigesterClone(t *testing.T) {
+	d, err := NewDigester(HMACSHA256, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	a := d.Sum(nil, []byte("x"), 3)
+	b := c.Sum(nil, []byte("x"), 3)
+	if string(a) != string(b) {
+		t.Error("clone digests differ from original")
+	}
+}
+
+func TestKeyedDigestsDependOnKey(t *testing.T) {
+	for _, alg := range []Algorithm{HMACSHA1, HMACSHA256, HMACSHA512, SipHash24Alg} {
+		d1, err := NewDigester(alg, []byte("0123456789abcdef"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := NewDigester(alg, []byte("fedcba9876543210"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(d1.Sum(nil, []byte("x"), 0)) == string(d2.Sum(nil, []byte("x"), 0)) {
+			t.Errorf("%v: digest independent of key", alg)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package hashes implements every hash primitive the paper touches and the
+// index-derivation strategies that turn digests into the k Bloom-filter
+// indexes I_x = {h_1(x) mod m, …, h_k(x) mod m}.
+//
+// Non-cryptographic functions (§2 of the paper): MurmurHash3 (32-bit x86 and
+// 128-bit x64 variants, as used by Bitly's dablooms), Jenkins one-at-a-time,
+// FNV-1a (via the standard library) and SipHash-2-4 (keyed).
+//
+// Cryptographic functions: MD5, SHA-1, SHA-256/384/512 and HMAC built from
+// the standard library. The package also provides digest truncation — the
+// "security sin" the paper exploits — and MurmurHash3 inversion, which makes
+// pre-image forgery constant time exactly as §6.2 claims.
+//
+// Index derivation strategies (§3, §5.2, §6.1, §7, §8.2):
+//
+//   - Salted: k independent calls h(salt_i ‖ x), the pyBloom layout.
+//   - DoubleHashing: Kirsch–Mitzenmacher g_i = h1 + i·h2, the dablooms trick.
+//   - Recycling: one long digest sliced into k·⌈log₂m⌉ bits (§8.2, Table 2).
+//   - MD5Split: one 128-bit MD5 split into four 32-bit indexes (Squid, §7).
+//
+// Any strategy can be keyed (HMAC or SipHash) to obtain the countermeasure
+// of §8.2: an adversary who cannot predict indexes cannot forge items.
+package hashes

@@ -1,0 +1,124 @@
+package hashes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInvertFmix64(t *testing.T) {
+	for _, h := range []uint64{0, 1, 0xdeadbeefcafebabe, ^uint64(0)} {
+		if got := fmix64(InvertFmix64(h)); got != h {
+			t.Errorf("fmix64(InvertFmix64(%#x)) = %#x", h, got)
+		}
+		if got := InvertFmix64(fmix64(h)); got != h {
+			t.Errorf("InvertFmix64(fmix64(%#x)) = %#x", h, got)
+		}
+	}
+}
+
+func TestInvertFmix64Property(t *testing.T) {
+	f := func(h uint64) bool { return fmix64(InvertFmix64(h)) == h }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulInverse64(t *testing.T) {
+	for _, a := range []uint64{1, 3, 5, murmur64C1, murmur64C2, 0xff51afd7ed558ccd, 0xc4ceb9fe1a85ec53} {
+		if a*mulInverse64(a) != 1 {
+			t.Errorf("a·inv(a) ≠ 1 for a=%#x", a)
+		}
+	}
+}
+
+func TestMurmur128Preimage(t *testing.T) {
+	prefixes := [][]byte{
+		nil,
+		[]byte("http://evil.com/"), // exactly 16 bytes
+		[]byte("http://phishing-site.example.org"), // 32 bytes
+	}
+	targets := [][2]uint64{
+		{0, 0},
+		{1, 2},
+		{0xdeadbeefcafebabe, 0x0123456789abcdef},
+		{^uint64(0), ^uint64(0)},
+	}
+	for _, p := range prefixes {
+		for _, tgt := range targets {
+			for _, seed := range []uint64{0, 42, 1 << 40} {
+				msg, err := Murmur128Preimage(p, tgt[0], tgt[1], seed)
+				if err != nil {
+					t.Fatalf("preimage(%q, %v, seed=%d): %v", p, tgt, seed, err)
+				}
+				h1, h2 := Murmur128(msg, seed)
+				if h1 != tgt[0] || h2 != tgt[1] {
+					t.Errorf("Murmur128(preimage) = (%#x, %#x), want (%#x, %#x)", h1, h2, tgt[0], tgt[1])
+				}
+				if string(msg[:len(p)]) != string(p) {
+					t.Error("prefix not preserved")
+				}
+			}
+		}
+	}
+}
+
+func TestMurmur128PreimageRejectsBadPrefix(t *testing.T) {
+	if _, err := Murmur128Preimage([]byte("short"), 0, 0, 0); err == nil {
+		t.Error("prefix length 5 accepted")
+	}
+}
+
+func TestMurmur128PreimageProperty(t *testing.T) {
+	f := func(t1, t2, seed uint64, prefixRaw []byte) bool {
+		prefix := prefixRaw[:len(prefixRaw)-len(prefixRaw)%16]
+		msg, err := Murmur128Preimage(prefix, t1, t2, seed)
+		if err != nil {
+			return false
+		}
+		h1, h2 := Murmur128(msg, seed)
+		return h1 == t1 && h2 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The dablooms-killer: forging an item that lands on an exact chosen index
+// set of the Kirsch–Mitzenmacher family.
+func TestMurmur128PreimageIndexes(t *testing.T) {
+	const m, k, seed = 95851, 7, 3
+	fam, err := NewDoubleHashing(k, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ base, stride uint64 }{
+		{0, 0},         // all k indexes collapse onto counter 0
+		{100, 0},       // all onto counter 100 (overflow attack shape)
+		{5, 17},        // arithmetic progression
+		{95850, 95850}, // maximal values
+	} {
+		item, err := Murmur128PreimageIndexes([]byte("http://evil.com/"), tc.base, tc.stride, m, seed)
+		if err != nil {
+			t.Fatalf("forge(%d, %d): %v", tc.base, tc.stride, err)
+		}
+		idx := fam.Indexes(nil, item)
+		for i, v := range idx {
+			want := (tc.base + uint64(i)*tc.stride) % m
+			if v != want {
+				t.Errorf("base=%d stride=%d: g_%d = %d, want %d", tc.base, tc.stride, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMurmur128PreimageIndexesValidation(t *testing.T) {
+	if _, err := Murmur128PreimageIndexes(nil, 0, 0, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Murmur128PreimageIndexes(nil, 10, 0, 10, 0); err == nil {
+		t.Error("base==m accepted")
+	}
+	if _, err := Murmur128PreimageIndexes(nil, 0, 10, 10, 0); err == nil {
+		t.Error("stride==m accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package hashes
+
+// Jenkins32 computes Bob Jenkins' one-at-a-time hash, one of the
+// non-cryptographic functions the paper cites (§2) as "designed to be fast"
+// but trivially forgeable. A seed is folded in up front so filters can derive
+// k salted variants.
+func Jenkins32(data []byte, seed uint32) uint32 {
+	h := seed
+	for _, b := range data {
+		h += uint32(b)
+		h += h << 10
+		h ^= h >> 6
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}

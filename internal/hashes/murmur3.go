@@ -1,0 +1,175 @@
+package hashes
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// MurmurHash3 constants (Austin Appleby's reference implementation).
+const (
+	murmur32C1 = 0xcc9e2d51
+	murmur32C2 = 0x1b873593
+	murmur64C1 = 0x87c37b91114253d5
+	murmur64C2 = 0x4cf5ad432745937f
+)
+
+// Murmur32 computes the 32-bit x86 variant of MurmurHash3 with the given
+// seed. This is the function dablooms feeds to its Kirsch–Mitzenmacher index
+// derivation and the one whose inversion (see Invert functions) the paper
+// uses to claim constant-time pre-image forgery.
+func Murmur32(data []byte, seed uint32) uint32 {
+	h := seed
+	n := uint32(len(data))
+	for len(data) >= 4 {
+		k := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		h ^= murmur32Scramble(k)
+		h = bits.RotateLeft32(h, 13)
+		h = h*5 + 0xe6546b64
+	}
+	var k uint32
+	switch len(data) {
+	case 3:
+		k ^= uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(data[0])
+		h ^= murmur32Scramble(k)
+	}
+	h ^= n
+	return fmix32(h)
+}
+
+// murmur32Scramble applies the per-block mixing of the 32-bit variant.
+func murmur32Scramble(k uint32) uint32 {
+	k *= murmur32C1
+	k = bits.RotateLeft32(k, 15)
+	k *= murmur32C2
+	return k
+}
+
+// fmix32 is MurmurHash3's 32-bit finalizer. Every step is a bijection on
+// uint32, which is what makes the digest invertible (see InvertFmix32).
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Murmur128 computes the 128-bit x64 variant of MurmurHash3, returning the
+// two 64-bit halves. Bloom filters use the halves as the h1/h2 pair of the
+// Kirsch–Mitzenmacher derivation ("less hashing, same performance").
+func Murmur128(data []byte, seed uint64) (uint64, uint64) {
+	h1, h2 := seed, seed
+	n := uint64(len(data))
+	for len(data) >= 16 {
+		k1 := binary.LittleEndian.Uint64(data)
+		k2 := binary.LittleEndian.Uint64(data[8:])
+		data = data[16:]
+
+		k1 *= murmur64C1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= murmur64C2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= murmur64C2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= murmur64C1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	var k1, k2 uint64
+	switch len(data) & 15 {
+	case 15:
+		k2 ^= uint64(data[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(data[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(data[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(data[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(data[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(data[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(data[8])
+		k2 *= murmur64C2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= murmur64C1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(data[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(data[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(data[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(data[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(data[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(data[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(data[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(data[0])
+		k1 *= murmur64C1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= murmur64C2
+		h1 ^= k1
+	}
+
+	h1 ^= n
+	h2 ^= n
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// Murmur64 returns the first 64-bit half of Murmur128; a convenient 64-bit
+// non-cryptographic hash for salted index derivation.
+func Murmur64(data []byte, seed uint64) uint64 {
+	h1, _ := Murmur128(data, seed)
+	return h1
+}

@@ -1,0 +1,76 @@
+package hashes
+
+import (
+	"testing"
+)
+
+// The Kirsch–Mitzenmacher derivation has a structural pathology the §6.2
+// attacks exploit: when h2 ≡ 0 (mod m) all k indexes collapse onto a single
+// position, so the item effectively uses k = 1 — and with an invertible
+// hash the adversary mints such items at will (the overflow attack's
+// mechanism). A salted family has no such degenerate class.
+func TestDoubleHashingStrideZeroPathology(t *testing.T) {
+	const m, k, seed = 9585, 7, 3
+	fam, err := NewDoubleHashing(k, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := Murmur128PreimageIndexes([]byte("http://evil.com/"), 1234, 0, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := fam.Indexes(nil, item)
+	for i, v := range idx {
+		if v != 1234 {
+			t.Fatalf("index %d = %d, want full collapse onto 1234", i, v)
+		}
+	}
+
+	// Honest items essentially never collapse (probability 1/m per item).
+	collapsed := 0
+	for i := 0; i < 5000; i++ {
+		idx = fam.Indexes(idx[:0], []byte{byte(i), byte(i >> 8), 'x'})
+		allSame := true
+		for _, v := range idx[1:] {
+			if v != idx[0] {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			collapsed++
+		}
+	}
+	if collapsed > 2 {
+		t.Errorf("%d/5000 honest items collapsed", collapsed)
+	}
+}
+
+// A second KM pathology: stride m/gcd patterns make indexes revisit few
+// distinct positions. The adversary controls the number of distinct
+// positions an item touches — anywhere from 1 to k.
+func TestDoubleHashingChosenDistinctPositions(t *testing.T) {
+	const m, k, seed = 9585, 7, 9
+	fam, err := NewDoubleHashing(k, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []uint64{0, 1, 5} {
+		item, err := Murmur128PreimageIndexes([]byte("http://evil.com/"), 100, stride, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := fam.Indexes(nil, item)
+		distinct := map[uint64]bool{}
+		for _, v := range idx {
+			distinct[v] = true
+		}
+		want := k
+		if stride == 0 {
+			want = 1
+		}
+		if len(distinct) != want {
+			t.Errorf("stride %d: %d distinct positions, want %d", stride, len(distinct), want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package hashes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Official SipHash-2-4 test vectors from the reference implementation
+// (Aumasson & Bernstein): key 000102…0f, messages 00, 0001, 000102, … of
+// increasing length; expected 64-bit outputs (little-endian in the paper's
+// vectors.h, given here as integers).
+var sipVectors = []uint64{
+	0x726fdb47dd0e0e31, 0x74f839c593dc67fd, 0x0d6c8009d9a94f5a, 0x85676696d7fb7e2d,
+	0xcf2794e0277187b7, 0x18765564cd99a68d, 0xcbc9466e58fee3ce, 0xab0200f58b01d137,
+	0x93f5f5799a932462, 0x9e0082df0ba9e4b0, 0x7a5dbbc594ddb9f3, 0xf4b32f46226bada7,
+	0x751e8fbc860ee5fb, 0x14ea5627c0843d90, 0xf723ca908e7af2ee, 0xa129ca6149be45e5,
+	0x3f2acc7f57c29bdb, 0x699ae9f52cbe4794, 0x4bc1b3f0968dd39c, 0xbb6dc91da77961bd,
+	0xbed65cf21aa2ee98, 0xd0f2cbb02e3b67c7, 0x93536795e3a33e88, 0xa80c038ccd5ccec8,
+	0xb8ad50c6f649af94, 0xbce192de8a85b8ea, 0x17d835b85bbb15f3, 0x2f2e6163076bcfad,
+	0xde4daaaca71dc9a5, 0xa6a2506687956571, 0xad87a3535c49ef28, 0x32d892fad841c342,
+}
+
+func TestSipHash24Vectors(t *testing.T) {
+	var keyBytes [16]byte
+	for i := range keyBytes {
+		keyBytes[i] = byte(i)
+	}
+	key := SipKeyFromBytes(keyBytes)
+	msg := make([]byte, 0, len(sipVectors))
+	for i, want := range sipVectors {
+		if got := SipHash24(key, msg); got != want {
+			t.Errorf("vector %d: SipHash24 = %#x, want %#x", i, got, want)
+		}
+		msg = append(msg, byte(i))
+	}
+}
+
+func TestSipKeyFromBytes(t *testing.T) {
+	var b [16]byte
+	b[0] = 1
+	b[8] = 2
+	key := SipKeyFromBytes(b)
+	if key.K0 != 1 || key.K1 != 2 {
+		t.Errorf("key = %+v, want K0=1 K1=2", key)
+	}
+}
+
+// Property: different keys produce different digests for the same message
+// (with overwhelming probability) — the unpredictability that defeats the
+// paper's adversaries.
+func TestSipHashKeySensitivity(t *testing.T) {
+	f := func(k0a, k1a, k0b, k1b uint64, msg []byte) bool {
+		if k0a == k0b && k1a == k1b {
+			return true
+		}
+		a := SipHash24(SipKey{K0: k0a, K1: k1a}, msg)
+		b := SipHash24(SipKey{K0: k0b, K1: k1b}, msg)
+		return a != b // a 2^-64 false-failure chance, negligible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJenkins32Vectors(t *testing.T) {
+	// Known one-at-a-time values (seed 0).
+	cases := []struct {
+		data string
+		want uint32
+	}{
+		{"", 0},
+		{"a", 0xca2e9442},
+		{"The quick brown fox jumps over the lazy dog", 0x519e91f5},
+	}
+	for _, c := range cases {
+		if got := Jenkins32([]byte(c.data), 0); got != c.want {
+			t.Errorf("Jenkins32(%q, 0) = %#x, want %#x", c.data, got, c.want)
+		}
+	}
+	// Seed changes the digest.
+	if Jenkins32([]byte("x"), 1) == Jenkins32([]byte("x"), 2) {
+		t.Error("Jenkins32 ignores the seed")
+	}
+}

@@ -1,0 +1,164 @@
+package hashes
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Carter–Wegman universal hashing (§8.2: "The first countermeasure proposed
+// to defeat algorithmic complexity attack was to use universal hash
+// functions"; Crosby & Wallach's recommendation, used by the Heritrix
+// spider). The item is absorbed as the coefficients of a polynomial over
+// GF(2^61−1) evaluated at a secret point r (an ε-almost-universal family —
+// collision probability ≤ len/p over the random key), then each of the k
+// indexes applies an independent secret affine map. Without the key an
+// adversary cannot evaluate — let alone invert — the index function, so
+// chosen-insertion, query-only and deletion searches all degrade to blind
+// guessing, exactly like the MAC constructions but with cheaper arithmetic.
+
+// mersenne61 is the prime 2^61 − 1 used as the field modulus.
+const mersenne61 = 1<<61 - 1
+
+// UniversalKey is the secret of a Universal family: the evaluation point and
+// k affine pairs.
+type UniversalKey struct {
+	// R is the polynomial evaluation point, in [2, p−1).
+	R uint64
+	// A and B are the per-index affine coefficients; A_i ∈ [1, p), B_i ∈ [0, p).
+	A []uint64
+	B []uint64
+}
+
+// NewUniversalKey draws a fresh secret for k indexes from crypto/rand.
+func NewUniversalKey(k int) (*UniversalKey, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("hashes: universal key needs k ≥ 1, got %d", k)
+	}
+	key := &UniversalKey{A: make([]uint64, k), B: make([]uint64, k)}
+	var err error
+	if key.R, err = randField(2); err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if key.A[i], err = randField(1); err != nil {
+			return nil, err
+		}
+		if key.B[i], err = randField(0); err != nil {
+			return nil, err
+		}
+	}
+	return key, nil
+}
+
+// randField draws a uniform field element ≥ lo.
+func randField(lo uint64) (uint64, error) {
+	var buf [8]byte
+	for {
+		if _, err := rand.Read(buf[:]); err != nil {
+			return 0, fmt.Errorf("hashes: drawing universal key: %w", err)
+		}
+		v := binary.LittleEndian.Uint64(buf[:]) & mersenne61
+		if v >= lo && v < mersenne61 {
+			return v, nil
+		}
+	}
+}
+
+// Universal is an IndexFamily over the keyed polynomial hash.
+type Universal struct {
+	key *UniversalKey
+	k   int
+	m   uint64
+}
+
+var _ IndexFamily = (*Universal)(nil)
+
+// NewUniversal builds the family; the key's k must cover the requested k.
+func NewUniversal(key *UniversalKey, k int, m uint64) (*Universal, error) {
+	if err := checkKM(k, m); err != nil {
+		return nil, err
+	}
+	if key == nil || len(key.A) < k || len(key.B) < k {
+		return nil, fmt.Errorf("hashes: universal key covers %d indexes, need %d", keyLen(key), k)
+	}
+	return &Universal{key: key, k: k, m: m}, nil
+}
+
+func keyLen(key *UniversalKey) int {
+	if key == nil {
+		return 0
+	}
+	return len(key.A)
+}
+
+// mulMod61 multiplies modulo 2^61−1 using a 128-bit intermediate.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// Fold the 128-bit product: x mod (2^61−1) = (x >> 61) + (x & p) folded.
+	sum := (lo & mersenne61) + (lo>>61 | hi<<3)
+	sum = (sum & mersenne61) + (sum >> 61)
+	if sum >= mersenne61 {
+		sum -= mersenne61
+	}
+	return sum
+}
+
+func addMod61(a, b uint64) uint64 {
+	s := a + b // both < 2^61, no overflow in uint64
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// Fingerprint evaluates the item polynomial at the secret point: an
+// ε-almost-universal 61-bit fingerprint. The length is absorbed first so
+// distinct-length prefixes cannot collide trivially.
+func (u *Universal) Fingerprint(item []byte) uint64 {
+	h := mulMod61(uint64(len(item))+1, u.key.R)
+	for len(item) >= 7 {
+		// 7 bytes < 2^61 keeps every coefficient a valid field element.
+		chunk := uint64(item[0]) | uint64(item[1])<<8 | uint64(item[2])<<16 |
+			uint64(item[3])<<24 | uint64(item[4])<<32 | uint64(item[5])<<40 |
+			uint64(item[6])<<48
+		h = mulMod61(addMod61(h, chunk), u.key.R)
+		item = item[7:]
+	}
+	if len(item) > 0 {
+		var chunk uint64
+		for i, b := range item {
+			chunk |= uint64(b) << (8 * uint(i))
+		}
+		h = mulMod61(addMod61(h, chunk+1), u.key.R)
+	}
+	return h
+}
+
+// Indexes implements IndexFamily: index_i = (A_i·fp + B_i mod p) mod m.
+func (u *Universal) Indexes(dst []uint64, item []byte) []uint64 {
+	fp := u.Fingerprint(item)
+	for i := 0; i < u.k; i++ {
+		v := addMod61(mulMod61(u.key.A[i], fp), u.key.B[i])
+		dst = append(dst, v%u.m)
+	}
+	return dst
+}
+
+// K implements IndexFamily.
+func (u *Universal) K() int { return u.k }
+
+// M implements IndexFamily.
+func (u *Universal) M() uint64 { return u.m }
+
+// DigestCalls implements DigestCounter: one polynomial pass per item.
+func (u *Universal) DigestCalls() int { return 1 }
+
+// Clone implements IndexFamily. The key is shared (it is read-only after
+// construction); scratch state does not exist, so the receiver itself is
+// safe to share across goroutines for Indexes calls.
+func (u *Universal) Clone() IndexFamily {
+	cp := *u
+	return &cp
+}

@@ -1,0 +1,177 @@
+package hashes
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newUniversal(t testing.TB, k int, m uint64) *Universal {
+	t.Helper()
+	key, err := NewUniversalKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniversal(key, k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUniversalValidation(t *testing.T) {
+	if _, err := NewUniversalKey(0); err == nil {
+		t.Error("k=0 key accepted")
+	}
+	key, err := NewUniversalKey(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUniversal(key, 4, 100); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewUniversal(nil, 1, 100); err == nil {
+		t.Error("nil key accepted")
+	}
+	if _, err := NewUniversal(key, 2, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestUniversalFamilyContract(t *testing.T) {
+	u := newUniversal(t, 4, 3200)
+	checkFamily(t, u, 4, 3200)
+	if u.DigestCalls() != 1 {
+		t.Errorf("DigestCalls = %d", u.DigestCalls())
+	}
+}
+
+func TestMulMod61(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 5, 0},
+		{1, mersenne61 - 1, mersenne61 - 1},
+		{2, mersenne61 - 1, mersenne61 - 2}, // 2(p−1) = 2p−2 ≡ p−2
+		{mersenne61 - 1, mersenne61 - 1, 1}, // (p−1)² ≡ 1
+	}
+	for _, c := range cases {
+		if got := mulMod61(c.a, c.b); got != c.want {
+			t.Errorf("mulMod61(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: mulMod61 agrees with big-integer arithmetic via the double-and-
+// add identity a·b = a·(b−1) + a.
+func TestMulMod61Property(t *testing.T) {
+	f := func(aRaw, bRaw uint64) bool {
+		a, b := aRaw&mersenne61, bRaw&mersenne61
+		if a == mersenne61 || b == mersenne61 {
+			return true
+		}
+		if b == 0 {
+			return mulMod61(a, b) == 0
+		}
+		return mulMod61(a, b) == addMod61(mulMod61(a, b-1), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniversalDistinctKeysDisagree(t *testing.T) {
+	a := newUniversal(t, 4, 1<<20)
+	b := newUniversal(t, 4, 1<<20)
+	same := 0
+	for i := 0; i < 100; i++ {
+		item := []byte(fmt.Sprintf("item-%d", i))
+		ia := a.Indexes(nil, item)
+		ib := b.Indexes(nil, item)
+		match := true
+		for j := range ia {
+			if ia[j] != ib[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("%d/100 items had identical index sets under independent keys", same)
+	}
+}
+
+// The ε-almost-universal guarantee, empirically: random item pairs collide
+// on the fingerprint with probability ≈ len/p ≈ 0 at this scale.
+func TestUniversalFingerprintCollisions(t *testing.T) {
+	u := newUniversal(t, 1, 1000)
+	seen := map[uint64][]byte{}
+	for i := 0; i < 200000; i++ {
+		item := []byte(fmt.Sprintf("http://site-%d.example.com/", i))
+		fp := u.Fingerprint(item)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %q vs %q", prev, item)
+		}
+		seen[fp] = item
+	}
+}
+
+// Length-extension and prefix structure must not leak: items that are
+// prefixes of each other, or differ only in trailing zeros, get distinct
+// fingerprints.
+func TestUniversalFingerprintStructure(t *testing.T) {
+	u := newUniversal(t, 1, 1000)
+	items := [][]byte{
+		{}, {0}, {0, 0}, {0, 0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0, 0, 0},
+		[]byte("abc"), []byte("abc\x00"), []byte("abcdefg"), []byte("abcdefgh"),
+	}
+	seen := map[uint64]int{}
+	for i, item := range items {
+		fp := u.Fingerprint(item)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("items %d and %d share a fingerprint", prev, i)
+		}
+		seen[fp] = i
+	}
+}
+
+// Index distribution stays near-uniform.
+func TestUniversalDistribution(t *testing.T) {
+	const m = 512
+	u := newUniversal(t, 4, m)
+	counts := make([]float64, m)
+	var idx []uint64
+	for i := 0; i < 20000; i++ {
+		idx = u.Indexes(idx[:0], []byte(fmt.Sprintf("item-%d", i)))
+		for _, v := range idx {
+			counts[v]++
+		}
+	}
+	expected := float64(20000*4) / m
+	var chi2 float64
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 511+6*32 {
+		t.Errorf("chi-squared = %.1f", chi2)
+	}
+}
+
+func BenchmarkUniversalIndexes(b *testing.B) {
+	key, err := NewUniversalKey(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := NewUniversal(key, 7, 1<<24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	item := []byte("http://example.com/some/long/path/page.html")
+	var idx []uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx = u.Indexes(idx[:0], item)
+	}
+}

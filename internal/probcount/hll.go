@@ -1,0 +1,207 @@
+// Package probcount implements probabilistic counting — HyperLogLog — and
+// its adversarial analysis. The paper's conclusion (§10) names probabilistic
+// counting algorithms as a natural extension of its adversary models:
+// "Hashing (and the truncation that comes along) is the core mechanism. It
+// will be interesting to analyze the existing implementations in an
+// adversarial setting." This package performs that analysis: with an
+// unkeyed, invertible hash (MurmurHash3, as deployed by many HLL libraries)
+// a chosen-insertion adversary can inflate the cardinality estimate
+// arbitrarily or freeze it near zero — in constant time per item — while a
+// keyed hash (SipHash) restores the honest behaviour.
+package probcount
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"evilbloom/internal/hashes"
+)
+
+// Hash64 produces the 64-bit item digests a sketch consumes. The zero-key
+// Murmur variant models real deployments; the SipHash variant is the
+// countermeasure.
+type Hash64 interface {
+	// Sum64 digests the item.
+	Sum64(item []byte) uint64
+	// Keyed reports whether the adversary can predict digests.
+	Keyed() bool
+}
+
+// MurmurHash64 is the unkeyed (attackable) digest source.
+type MurmurHash64 struct {
+	// Seed is public in the threat model (a compile-time constant in
+	// typical deployments).
+	Seed uint64
+}
+
+// Sum64 implements Hash64.
+func (h MurmurHash64) Sum64(item []byte) uint64 { return hashes.Murmur64(item, h.Seed) }
+
+// Keyed implements Hash64.
+func (MurmurHash64) Keyed() bool { return false }
+
+// SipHash64 is the keyed digest source (§8.2 applied to counting).
+type SipHash64 struct {
+	Key hashes.SipKey
+}
+
+// Sum64 implements Hash64.
+func (h SipHash64) Sum64(item []byte) uint64 { return hashes.SipHash24(h.Key, item) }
+
+// Keyed implements Hash64.
+func (SipHash64) Keyed() bool { return true }
+
+// HLL is a HyperLogLog cardinality sketch with 2^precision registers.
+type HLL struct {
+	precision uint8
+	registers []uint8
+	hash      Hash64
+}
+
+// NewHLL builds a sketch; precision must be in [4, 18] (the usual range).
+func NewHLL(precision uint8, hash Hash64) (*HLL, error) {
+	if precision < 4 || precision > 18 {
+		return nil, fmt.Errorf("probcount: precision %d outside [4,18]", precision)
+	}
+	if hash == nil {
+		return nil, fmt.Errorf("probcount: nil hash")
+	}
+	return &HLL{
+		precision: precision,
+		registers: make([]uint8, 1<<precision),
+		hash:      hash,
+	}, nil
+}
+
+// M returns the number of registers.
+func (h *HLL) M() int { return len(h.registers) }
+
+// Add folds an item into the sketch.
+func (h *HLL) Add(item []byte) {
+	h.addHash(h.hash.Sum64(item))
+}
+
+// addHash folds a raw digest: the top precision bits select the register,
+// the rank is the position of the first 1 in the remainder.
+func (h *HLL) addHash(x uint64) {
+	idx := x >> (64 - h.precision)
+	rest := x << h.precision
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	maxRank := uint8(64 - h.precision + 1)
+	if rank > maxRank {
+		rank = maxRank
+	}
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Register returns register i (attack drivers and tests).
+func (h *HLL) Register(i int) uint8 { return h.registers[i] }
+
+// Estimate returns the cardinality estimate with the standard small-range
+// (linear counting) correction.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(len(h.registers)) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros)) // linear counting
+	}
+	return est
+}
+
+// alpha is the standard HLL bias constant.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// RelativeError returns the theoretical standard error 1.04/√m.
+func (h *HLL) RelativeError() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.registers)))
+}
+
+// ---------------------------------------------------------------------------
+// Adversaries. Both exploit predictable digests: the item's register and
+// rank are known (and even choosable, via MurmurHash3 inversion) before
+// insertion.
+
+// Forge crafts an item whose 64-bit Murmur digest places it in register idx
+// with exactly the given rank — constant time via Murmur128 pre-image
+// (Murmur64 is the first half of Murmur128). prefix must be a multiple of
+// 16 bytes; vary salt to obtain distinct items with identical effect.
+func Forge(h *HLL, prefix []byte, idx int, rank uint8, salt uint64) ([]byte, error) {
+	mm, ok := h.hash.(MurmurHash64)
+	if !ok {
+		return nil, fmt.Errorf("probcount: forging needs the unkeyed Murmur hash")
+	}
+	if idx < 0 || idx >= len(h.registers) {
+		return nil, fmt.Errorf("probcount: register %d out of range", idx)
+	}
+	maxRank := uint8(64 - h.precision)
+	if rank < 1 || rank > maxRank {
+		return nil, fmt.Errorf("probcount: rank %d outside [1,%d]", rank, maxRank)
+	}
+	// Digest layout: [precision bits: idx][rank-1 zeros][1][salt bits].
+	target := uint64(idx) << (64 - h.precision)
+	restBits := 64 - int(h.precision)
+	oneShift := restBits - int(rank)
+	target |= 1 << uint(oneShift)
+	if oneShift > 0 {
+		target |= salt & (1<<uint(oneShift) - 1)
+	}
+	return hashes.Murmur128Preimage(prefix, target, 0, mm.Seed)
+}
+
+// InflationAttack feeds the sketch items items crafted to claim the maximum
+// rank in distinct registers: after one pass the estimate exceeds any real
+// workload by orders of magnitude (a chosen-insertion "count explosion" —
+// e.g. convincing a superspreader detector that a flood is happening).
+// It returns the crafted items.
+func InflationAttack(h *HLL, prefix []byte, items int) ([][]byte, error) {
+	maxRank := uint8(64 - h.precision)
+	out := make([][]byte, 0, items)
+	for i := 0; i < items; i++ {
+		item, err := Forge(h, prefix, i%h.M(), maxRank, uint64(i/h.M()))
+		if err != nil {
+			return nil, err
+		}
+		h.Add(item)
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+// SuppressionAttack feeds the sketch `items` *distinct* items all crafted to
+// collapse onto register 0 with rank 1: the estimate stays pinned near zero
+// however many items flow past (hiding a heavy hitter from a probabilistic
+// counter). It returns the crafted items.
+func SuppressionAttack(h *HLL, prefix []byte, items int) ([][]byte, error) {
+	out := make([][]byte, 0, items)
+	for i := 0; i < items; i++ {
+		item, err := Forge(h, prefix, 0, 1, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		h.Add(item)
+		out = append(out, item)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package probcount
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+func newTestHLL(t testing.TB, precision uint8) *HLL {
+	t.Helper()
+	h, err := NewHLL(precision, MurmurHash64{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHLLValidation(t *testing.T) {
+	if _, err := NewHLL(3, MurmurHash64{}); err == nil {
+		t.Error("precision 3 accepted")
+	}
+	if _, err := NewHLL(19, MurmurHash64{}); err == nil {
+		t.Error("precision 19 accepted")
+	}
+	if _, err := NewHLL(10, nil); err == nil {
+		t.Error("nil hash accepted")
+	}
+}
+
+func TestHLLHonestAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10000, 200000} {
+		h := newTestHLL(t, 12) // m=4096, σ ≈ 1.6%
+		gen := urlgen.New(int64(n))
+		for i := 0; i < n; i++ {
+			h.Add(gen.Next())
+		}
+		est := h.Estimate()
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if rel > 5*h.RelativeError() {
+			t.Errorf("n=%d: estimate %.0f (%.2f%% off, σ=%.2f%%)", n, est, 100*rel, 100*h.RelativeError())
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := newTestHLL(t, 10)
+	for i := 0; i < 10000; i++ {
+		h.Add([]byte("same item"))
+	}
+	if est := h.Estimate(); est > 5 {
+		t.Errorf("10k duplicates estimated as %.1f distinct", est)
+	}
+}
+
+func TestForgePlacesRegisterAndRank(t *testing.T) {
+	h := newTestHLL(t, 12)
+	for _, tc := range []struct {
+		idx  int
+		rank uint8
+	}{{0, 1}, {17, 5}, {4095, 52}, {100, 30}} {
+		item, err := Forge(h, []byte("http://evil.com/"), tc.idx, tc.rank, 7)
+		if err != nil {
+			t.Fatalf("forge(%d,%d): %v", tc.idx, tc.rank, err)
+		}
+		before := h.Register(tc.idx)
+		h.Add(item)
+		after := h.Register(tc.idx)
+		want := tc.rank
+		if before > want {
+			want = before
+		}
+		if after != want {
+			t.Errorf("register %d = %d after rank-%d forge", tc.idx, after, tc.rank)
+		}
+	}
+}
+
+func TestForgeValidation(t *testing.T) {
+	h := newTestHLL(t, 12)
+	if _, err := Forge(h, nil, -1, 1, 0); err == nil {
+		t.Error("negative register accepted")
+	}
+	if _, err := Forge(h, nil, 1<<12, 1, 0); err == nil {
+		t.Error("register out of range accepted")
+	}
+	if _, err := Forge(h, nil, 0, 0, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := Forge(h, nil, 0, 60, 0); err == nil {
+		t.Error("rank beyond digest accepted")
+	}
+	keyed, err := NewHLL(12, SipHash64{Key: hashes.SipKey{K0: 1, K1: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Forge(keyed, nil, 0, 1, 0); err == nil {
+		t.Error("forging against a keyed sketch accepted")
+	}
+}
+
+// The inflation attack: a few thousand crafted items make the sketch report
+// astronomically more distinct items than were inserted.
+func TestInflationAttack(t *testing.T) {
+	h := newTestHLL(t, 12)
+	gen := urlgen.New(1)
+	for i := 0; i < 10000; i++ {
+		h.Add(gen.Next())
+	}
+	honest := h.Estimate()
+	items, err := InflationAttack(h, []byte("http://evil.com/"), h.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != h.M() {
+		t.Fatalf("crafted %d items", len(items))
+	}
+	attacked := h.Estimate()
+	if attacked < honest*1e6 {
+		t.Errorf("inflation: %.3g → %.3g (want ≥ 10^6x)", honest, attacked)
+	}
+}
+
+// The suppression attack: 100k distinct items, estimate stays near zero.
+func TestSuppressionAttack(t *testing.T) {
+	h := newTestHLL(t, 12)
+	items, err := SuppressionAttack(h, []byte("http://evil.com/"), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The items really are distinct.
+	seen := map[string]bool{}
+	for _, it := range items {
+		seen[string(it)] = true
+	}
+	if len(seen) != 100000 {
+		t.Fatalf("only %d distinct items", len(seen))
+	}
+	if est := h.Estimate(); est > 10 {
+		t.Errorf("100k distinct adversarial items estimated as %.1f", est)
+	}
+}
+
+// The §8.2 countermeasure: a keyed sketch cannot be steered — adversarial
+// streams built for the unkeyed sketch behave like random items.
+func TestKeyedHLLResists(t *testing.T) {
+	unkeyed := newTestHLL(t, 12)
+	crafted, err := SuppressionAttack(unkeyed, []byte("http://evil.com/"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := NewHLL(12, SipHash64{Key: hashes.SipKey{K0: 0xdead, K1: 0xbeef}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range crafted {
+		keyed.Add(it)
+	}
+	est := keyed.Estimate()
+	rel := math.Abs(est-50000) / 50000
+	if rel > 5*keyed.RelativeError() {
+		t.Errorf("keyed sketch estimated %.0f for 50k crafted items (%.2f%% off)", est, 100*rel)
+	}
+}
+
+// Property: addHash is idempotent and order-independent (registers only
+// ever grow to the max rank seen).
+func TestHLLMergeSemanticsProperty(t *testing.T) {
+	f := func(hashesIn []uint64) bool {
+		a := newTestHLL(t, 8)
+		b := newTestHLL(t, 8)
+		for _, x := range hashesIn {
+			a.addHash(x)
+		}
+		for i := len(hashesIn) - 1; i >= 0; i-- {
+			b.addHash(hashesIn[i])
+			b.addHash(hashesIn[i]) // duplicates are no-ops
+		}
+		for i := 0; i < a.M(); i++ {
+			if a.Register(i) != b.Register(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	h := newTestHLL(t, 10)
+	if est := h.Estimate(); est != 0 {
+		t.Errorf("empty sketch estimate = %v", est)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h, err := NewHLL(14, MurmurHash64{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([][]byte, 256)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("http://site-%d.example.com/", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(items[i&255])
+	}
+}
+
+func BenchmarkHLLForge(b *testing.B) {
+	h, err := NewHLL(14, MurmurHash64{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forge(h, []byte("http://evil.com/"), i&(h.M()-1), 40, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package spamfilter models a Bitly-style URL shortener protected by a
+// Dablooms blacklist (§6): URLs reported as malicious (e.g. via PhishTank)
+// are inserted into a scaling counting Bloom filter; shortening requests for
+// blacklisted URLs are refused; takedown appeals remove entries. The three
+// §6 attacks — pollution, adversarial deletion, counter overflow — all enter
+// through these same honest interfaces.
+package spamfilter
+
+import (
+	"fmt"
+	"strconv"
+
+	"evilbloom/internal/core"
+)
+
+// Stats aggregates service counters.
+type Stats struct {
+	// Shortened counts successfully created short links.
+	Shortened int
+	// Rejected counts requests refused because the blacklist matched.
+	Rejected int
+	// Reports counts malicious-URL reports ingested.
+	Reports int
+	// Removals counts takedown appeals honoured.
+	Removals int
+}
+
+// Shortener is the URL-shortening service.
+type Shortener struct {
+	blacklist *core.Dablooms
+	links     map[string]string
+	serial    uint64
+
+	// Stats accumulates service counters.
+	Stats Stats
+}
+
+// New builds a shortener over a Dablooms blacklist with the given
+// configuration (use core.DefaultDabloomsConfig for the paper's Fig 8
+// parameters).
+func New(cfg core.DabloomsConfig) (*Shortener, error) {
+	bl, err := core.NewDablooms(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("spamfilter: building blacklist: %w", err)
+	}
+	return &Shortener{
+		blacklist: bl,
+		links:     make(map[string]string),
+	}, nil
+}
+
+// Blacklist exposes the underlying filter for attack drivers and reports
+// (the implementation is public in the threat model).
+func (s *Shortener) Blacklist() *core.Dablooms { return s.blacklist }
+
+// ReportMalicious ingests a malicious-URL report into the blacklist. This
+// is the chosen-insertion channel: anyone can get URLs reported (§6.2 —
+// "flood the web with her malicious URLs... or register her URLs directly
+// to anti-phishing websites").
+func (s *Shortener) ReportMalicious(url string) {
+	s.blacklist.Add([]byte(url))
+	s.Stats.Reports++
+}
+
+// RemoveReport honours a takedown appeal: the URL is deleted from the
+// blacklist. This is the deletion channel of §6.2.
+func (s *Shortener) RemoveReport(url string) error {
+	if err := s.blacklist.Remove([]byte(url)); err != nil {
+		return fmt.Errorf("spamfilter: removing report: %w", err)
+	}
+	s.Stats.Removals++
+	return nil
+}
+
+// ErrBlacklisted is returned (wrapped) by Shorten for blacklisted URLs.
+var ErrBlacklisted = fmt.Errorf("spamfilter: URL is blacklisted")
+
+// Shorten creates a short link for url unless the blacklist matches it.
+// False positives therefore deny service to honest URLs — the damage the
+// Fig 8 pollution attack maximizes.
+func (s *Shortener) Shorten(url string) (string, error) {
+	if s.blacklist.Test([]byte(url)) {
+		s.Stats.Rejected++
+		return "", fmt.Errorf("%w: %s", ErrBlacklisted, url)
+	}
+	s.serial++
+	short := "https://bit.ly/" + strconv.FormatUint(s.serial, 36)
+	s.links[short] = url
+	s.Stats.Shortened++
+	return short, nil
+}
+
+// Resolve expands a short link.
+func (s *Shortener) Resolve(short string) (string, bool) {
+	long, ok := s.links[short]
+	return long, ok
+}
+
+// RejectionRate returns the fraction of Shorten calls refused so far.
+func (s *Shortener) RejectionRate() float64 {
+	total := s.Stats.Shortened + s.Stats.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Stats.Rejected) / float64(total)
+}

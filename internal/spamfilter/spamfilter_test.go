@@ -1,0 +1,227 @@
+package spamfilter
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/urlgen"
+)
+
+func smallConfig() core.DabloomsConfig {
+	cfg := core.DefaultDabloomsConfig()
+	cfg.StageCapacity = 500
+	cfg.MaxStages = 2
+	return cfg
+}
+
+func TestShortenResolveRoundTrip(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := s.Shorten("http://honest.example.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, ok := s.Resolve(short)
+	if !ok || long != "http://honest.example.com/page" {
+		t.Errorf("Resolve = %q, %v", long, ok)
+	}
+	if _, ok := s.Resolve("https://bit.ly/nope"); ok {
+		t.Error("resolved a never-created link")
+	}
+}
+
+func TestBlacklistBlocksReported(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ReportMalicious("http://malware.example.com/")
+	if _, err := s.Shorten("http://malware.example.com/"); !errors.Is(err, ErrBlacklisted) {
+		t.Errorf("blacklisted URL shortened: %v", err)
+	}
+	if s.Stats.Rejected != 1 || s.Stats.Reports != 1 {
+		t.Errorf("stats: %+v", s.Stats)
+	}
+}
+
+func TestRemoveReportUnblocks(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ReportMalicious("http://appealed.example.com/")
+	if err := s.RemoveReport("http://appealed.example.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Shorten("http://appealed.example.com/"); err != nil {
+		t.Errorf("removed URL still blocked: %v", err)
+	}
+	if err := s.RemoveReport("http://never-reported.example.com/"); err == nil {
+		t.Log("removal of unreported URL succeeded: false positive (acceptable)")
+	}
+}
+
+func TestHonestRejectionRateLow(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := urlgen.New(1)
+	for i := 0; i < 1000; i++ { // fills both stages to design capacity
+		s.ReportMalicious(reports.URL())
+	}
+	honest := urlgen.New(999)
+	for i := 0; i < 2000; i++ {
+		s.Shorten(honest.URL()) //nolint:errcheck // rejection is the measurement
+	}
+	if rate := s.RejectionRate(); rate > 0.05 {
+		t.Errorf("honest rejection rate = %v, want ≤ f0-ish", rate)
+	}
+}
+
+// §6.2 pollution via the report feed: crafted reports inflate the compound
+// false-positive probability, denying service to honest URLs.
+func TestPollutionRaisesRejections(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary pollutes each stage as it appears, using instant
+	// forgery (the filter uses MurmurHash3 + Kirsch–Mitzenmacher).
+	total := int(cfg.StageCapacity) * cfg.MaxStages
+	for i := 0; i < total; i++ {
+		stages := s.Blacklist().CountingStages()
+		last := stages[len(stages)-1]
+		fam, ok := last.Family().(*hashes.DoubleHashing)
+		if !ok {
+			t.Fatal("dablooms stage does not use double hashing")
+		}
+		forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		item, err := forger.PollutingItem(attack.NewCountingView(last), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ReportMalicious(string(item))
+	}
+	honest := urlgen.New(999)
+	for i := 0; i < 2000; i++ {
+		s.Shorten(honest.URL()) //nolint:errcheck
+	}
+	rate := s.RejectionRate()
+	// Full pollution drives each stage's FPR to (δk/m)^k ≈ 0.066 and the
+	// compound F to ≈ 1-(1-0.066)…; must far exceed the honest ≈0.03.
+	if rate < 0.10 {
+		t.Errorf("polluted rejection rate = %v, want ≥ 0.10", rate)
+	}
+}
+
+// §6.2 deletion: the adversary's malicious URL is reported by the honest
+// feed; she then crafts a second pre-image and appeals ITS takedown,
+// whitelisting her malware.
+func TestDeletionWhitelistsMalware(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := urlgen.New(5)
+	for i := 0; i < 300; i++ { // stays within stage 0's capacity
+		s.ReportMalicious(reports.URL())
+	}
+	malware := "http://actual-malware.example.com/dropper"
+	s.ReportMalicious(malware)
+	if _, err := s.Shorten(malware); !errors.Is(err, ErrBlacklisted) {
+		t.Fatal("malware not blocked after report")
+	}
+
+	stage := s.Blacklist().CountingStages()[0]
+	fam, ok := stage.Family().(*hashes.DoubleHashing)
+	if !ok {
+		t.Fatal("stage family type")
+	}
+	victimIdx := fam.Clone().Indexes(nil, []byte(malware))
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doppel, err := forger.SecondPreimage(victimIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveReport(string(doppel)); err != nil {
+		t.Fatalf("appeal refused: %v", err)
+	}
+	if _, err := s.Shorten(malware); err != nil {
+		t.Errorf("malware still blocked after second-preimage deletion: %v", err)
+	}
+}
+
+// §6.2 overflow: a full stage that contains nothing. The insertion counter
+// says δ, the counters say empty — wasted memory and a useless filter.
+func TestOverflowEmptyStage(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := s.Blacklist().CountingStages()[0]
+	fam := stage.Family().(*hashes.DoubleHashing)
+	forger, err := attack.NewInstantForger(fam, []byte("http://evil.com/"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := forger.EmptyViaOverflow(stage, cfg.StageCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		s.ReportMalicious(string(it))
+	}
+	if stage.Count() != cfg.StageCapacity {
+		t.Errorf("stage insertion count = %d, want %d", stage.Count(), cfg.StageCapacity)
+	}
+	if w := stage.Weight(); w > 1 {
+		t.Errorf("stage weight = %d — overflow attack failed", w)
+	}
+	// None of the "reported" URLs is actually detected any more.
+	detected := 0
+	for _, it := range items[:100] {
+		if stage.Test(it) {
+			detected++
+		}
+	}
+	if detected > 1 {
+		t.Errorf("%d overflow items still detected", detected)
+	}
+}
+
+func TestRejectionRateEmpty(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RejectionRate() != 0 {
+		t.Error("fresh service has non-zero rejection rate")
+	}
+}
+
+func BenchmarkShorten(b *testing.B) {
+	s, err := New(smallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Shorten(fmt.Sprintf("http://site-%d.example.com/", i)) //nolint:errcheck
+	}
+}

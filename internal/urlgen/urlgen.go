@@ -1,0 +1,102 @@
+// Package urlgen generates deterministic, human-plausible fake URLs. It
+// substitutes the Python fake-factory package the paper uses to drive its
+// experiments: the attacks only require an endless stream of distinct,
+// realistic-looking URLs, so a seeded word-list generator preserves the
+// relevant behaviour while keeping every experiment reproducible.
+package urlgen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+var (
+	words = []string{
+		"alpha", "atlas", "aurora", "beacon", "bridge", "cedar", "cipher",
+		"cloud", "cobalt", "comet", "coral", "crystal", "delta", "drift",
+		"ember", "falcon", "fern", "flint", "frost", "garnet", "glacier",
+		"harbor", "hazel", "horizon", "indigo", "iris", "jade", "juniper",
+		"karma", "kepler", "lagoon", "lantern", "linden", "lumen", "maple",
+		"meadow", "mesa", "mistral", "nebula", "nimbus", "north", "nova",
+		"ocean", "onyx", "opal", "orbit", "osprey", "pearl", "pinnacle",
+		"pioneer", "prairie", "quartz", "quasar", "raven", "ridge", "river",
+		"saffron", "sage", "sierra", "signal", "slate", "solace", "sparrow",
+		"spruce", "summit", "sunset", "tempest", "thistle", "timber", "topaz",
+		"tundra", "umber", "vertex", "violet", "vista", "walnut", "willow",
+		"winter", "yarrow", "zenith", "zephyr",
+	}
+	tlds     = []string{"com", "net", "org", "info", "io", "biz", "eu", "fr"}
+	schemes  = []string{"http", "https"}
+	sections = []string{
+		"news", "blog", "shop", "docs", "wiki", "forum", "media", "static",
+		"archive", "products", "articles", "users", "tags", "search",
+	}
+	extensions = []string{"", "", ".html", ".php", ".aspx"}
+)
+
+// Generator yields fake URLs from a deterministic stream. It is not safe
+// for concurrent use; create one per goroutine.
+type Generator struct {
+	rng    *rand.Rand
+	serial uint64
+	buf    strings.Builder
+}
+
+// New returns a Generator seeded deterministically.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) pick(list []string) string {
+	return list[g.rng.Intn(len(list))]
+}
+
+// Domain returns a fake registrable domain like "cobalt-meadow.net".
+func (g *Generator) Domain() string {
+	if g.rng.Intn(2) == 0 {
+		return g.pick(words) + "-" + g.pick(words) + "." + g.pick(tlds)
+	}
+	return g.pick(words) + g.pick(words) + "." + g.pick(tlds)
+}
+
+// URL returns a fake absolute URL. A monotone serial is embedded so the
+// stream never repeats, which brute-force forgery relies on.
+func (g *Generator) URL() string {
+	g.buf.Reset()
+	g.buf.WriteString(g.pick(schemes))
+	g.buf.WriteString("://")
+	g.buf.WriteString(g.Domain())
+	g.buf.WriteByte('/')
+	g.buf.WriteString(g.pick(sections))
+	g.buf.WriteByte('/')
+	depth := g.rng.Intn(3)
+	for i := 0; i < depth; i++ {
+		g.buf.WriteString(g.pick(words))
+		g.buf.WriteByte('/')
+	}
+	g.buf.WriteString(g.pick(words))
+	g.buf.WriteByte('-')
+	g.buf.WriteString(strconv.FormatUint(g.serial, 36))
+	g.buf.WriteString(g.pick(extensions))
+	g.serial++
+	return g.buf.String()
+}
+
+// Next implements the attack.Generator contract: each call yields a fresh
+// URL as bytes.
+func (g *Generator) Next() []byte {
+	return []byte(g.URL())
+}
+
+// URLs returns the next n URLs.
+func (g *Generator) URLs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.URL()
+	}
+	return out
+}
+
+// Serial returns how many URLs have been generated.
+func (g *Generator) Serial() uint64 { return g.serial }

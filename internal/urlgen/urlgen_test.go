@@ -1,0 +1,97 @@
+package urlgen
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.URL() != b.URL() {
+			t.Fatalf("same seed diverged at URL %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.URL() == c.URL() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical URLs", same)
+	}
+}
+
+func TestURLsAreUniqueAndParseable(t *testing.T) {
+	g := New(1)
+	seen := make(map[string]bool, 100000)
+	for i := 0; i < 100000; i++ {
+		u := g.URL()
+		if seen[u] {
+			t.Fatalf("duplicate URL after %d: %s", i, u)
+		}
+		seen[u] = true
+		if i < 1000 {
+			parsed, err := url.Parse(u)
+			if err != nil {
+				t.Fatalf("unparseable URL %q: %v", u, err)
+			}
+			if parsed.Scheme != "http" && parsed.Scheme != "https" {
+				t.Errorf("unexpected scheme in %q", u)
+			}
+			if parsed.Host == "" || !strings.Contains(parsed.Host, ".") {
+				t.Errorf("bad host in %q", u)
+			}
+			if !strings.HasPrefix(parsed.Path, "/") {
+				t.Errorf("bad path in %q", u)
+			}
+		}
+	}
+	if g.Serial() != 100000 {
+		t.Errorf("Serial = %d, want 100000", g.Serial())
+	}
+}
+
+func TestNextMatchesURLStream(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if string(a.Next()) != b.URL() {
+			t.Fatal("Next and URL streams diverge")
+		}
+	}
+}
+
+func TestURLsBatch(t *testing.T) {
+	g := New(5)
+	batch := g.URLs(50)
+	if len(batch) != 50 {
+		t.Fatalf("URLs returned %d items", len(batch))
+	}
+	for i, u := range batch {
+		if u == "" {
+			t.Errorf("empty URL at %d", i)
+		}
+	}
+}
+
+func TestDomain(t *testing.T) {
+	g := New(9)
+	for i := 0; i < 100; i++ {
+		d := g.Domain()
+		if !strings.Contains(d, ".") || strings.Contains(d, "/") {
+			t.Errorf("bad domain %q", d)
+		}
+	}
+}
+
+func BenchmarkURL(b *testing.B) {
+	g := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.URL()
+	}
+}

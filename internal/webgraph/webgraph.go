@@ -1,0 +1,124 @@
+// Package webgraph models an in-memory world-wide web: pages identified by
+// URL with outgoing links. It is the substrate the Scrapy-style crawler
+// (§5) runs against — the attacks target the crawler's dedup filter, not its
+// networking, so an in-memory graph preserves the relevant behaviour.
+package webgraph
+
+import (
+	"fmt"
+
+	"evilbloom/internal/urlgen"
+)
+
+// Page is one web page: its URL and the URLs it links to.
+type Page struct {
+	URL   string
+	Links []string
+}
+
+// Web is a set of pages. Not safe for concurrent mutation.
+type Web struct {
+	pages map[string]*Page
+}
+
+// New returns an empty web.
+func New() *Web {
+	return &Web{pages: make(map[string]*Page)}
+}
+
+// AddPage inserts (or replaces) a page with the given outgoing links.
+func (w *Web) AddPage(url string, links ...string) *Page {
+	p := &Page{URL: url, Links: append([]string(nil), links...)}
+	w.pages[url] = p
+	return p
+}
+
+// Fetch returns the page at url. A missing page yields an error, modelling
+// a 404 — crawlers hit plenty of those on adversarial link farms.
+func (w *Web) Fetch(url string) (*Page, error) {
+	p, ok := w.pages[url]
+	if !ok {
+		return nil, fmt.Errorf("webgraph: 404 %s", url)
+	}
+	return p, nil
+}
+
+// Has reports whether the page exists.
+func (w *Web) Has(url string) bool {
+	_, ok := w.pages[url]
+	return ok
+}
+
+// Len returns the number of pages.
+func (w *Web) Len() int { return len(w.pages) }
+
+// URLs returns every page URL (order unspecified).
+func (w *Web) URLs() []string {
+	out := make([]string, 0, len(w.pages))
+	for u := range w.pages {
+		out = append(out, u)
+	}
+	return out
+}
+
+// BuildSite adds a realistic honest site: root linking into a tree of pages
+// drawn from gen, fanout links per page, totalling ≈pages pages. It returns
+// the root URL.
+func BuildSite(w *Web, gen *urlgen.Generator, pages, fanout int) string {
+	if pages < 1 {
+		pages = 1
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	root := gen.URL()
+	frontier := []string{root}
+	created := map[string]bool{root: true}
+	for len(created) < pages && len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		var links []string
+		for i := 0; i < fanout && len(created)+len(links) < pages+1; i++ {
+			u := gen.URL()
+			links = append(links, u)
+		}
+		w.AddPage(cur, links...)
+		for _, u := range links {
+			if !created[u] {
+				created[u] = true
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	// Remaining frontier entries become leaf pages.
+	for _, u := range frontier {
+		if !w.Has(u) {
+			w.AddPage(u)
+		}
+	}
+	return root
+}
+
+// BuildLinkFarm adds the §5.2 pollution page: a single entry page whose
+// links are the adversary's crafted URLs (the linked pages themselves exist
+// as empty leaves so the crawl proceeds quietly). It returns the entry URL.
+func BuildLinkFarm(w *Web, entry string, craftedURLs []string) string {
+	w.AddPage(entry, craftedURLs...)
+	for _, u := range craftedURLs {
+		w.AddPage(u)
+	}
+	return entry
+}
+
+// BuildDecoyChain adds the Fig 7 structure: a chain of decoy pages
+// root → d₁ → … → dₙ, with the final decoy linking to the ghost page. The
+// ghost page exists but its URL is crafted to look already-visited to the
+// crawler's polluted-or-probed filter, so it is never fetched.
+func BuildDecoyChain(w *Web, root string, decoys []string, ghost string) {
+	chain := append([]string{root}, decoys...)
+	for i := 0; i < len(chain)-1; i++ {
+		w.AddPage(chain[i], chain[i+1])
+	}
+	w.AddPage(chain[len(chain)-1], ghost)
+	w.AddPage(ghost)
+}

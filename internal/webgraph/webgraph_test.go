@@ -1,0 +1,98 @@
+package webgraph
+
+import (
+	"testing"
+
+	"evilbloom/internal/urlgen"
+)
+
+func TestAddFetch(t *testing.T) {
+	w := New()
+	w.AddPage("http://a.test/", "http://b.test/")
+	p, err := w.Fetch("http://a.test/")
+	if err != nil || p.URL != "http://a.test/" || len(p.Links) != 1 {
+		t.Fatalf("Fetch: %+v, %v", p, err)
+	}
+	if _, err := w.Fetch("http://missing.test/"); err == nil {
+		t.Error("missing page fetched")
+	}
+	if !w.Has("http://a.test/") || w.Has("http://missing.test/") {
+		t.Error("Has wrong")
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if len(w.URLs()) != 1 {
+		t.Errorf("URLs = %v", w.URLs())
+	}
+}
+
+func TestAddPageCopiesLinks(t *testing.T) {
+	w := New()
+	links := []string{"http://x.test/"}
+	w.AddPage("http://a.test/", links...)
+	links[0] = "mutated"
+	p, _ := w.Fetch("http://a.test/")
+	if p.Links[0] != "http://x.test/" {
+		t.Error("AddPage aliased the caller's slice")
+	}
+}
+
+func TestBuildSite(t *testing.T) {
+	w := New()
+	root := BuildSite(w, urlgen.New(1), 100, 4)
+	if !w.Has(root) {
+		t.Fatal("root missing")
+	}
+	if w.Len() < 100 {
+		t.Errorf("site has %d pages, want ≥ 100", w.Len())
+	}
+	// Every link must resolve (no dangling 404s in an honest site).
+	for _, u := range w.URLs() {
+		p, _ := w.Fetch(u)
+		for _, l := range p.Links {
+			if !w.Has(l) {
+				t.Fatalf("dangling link %s on %s", l, u)
+			}
+		}
+	}
+	// Degenerate inputs clamp.
+	w2 := New()
+	BuildSite(w2, urlgen.New(2), 0, 0)
+	if w2.Len() == 0 {
+		t.Error("degenerate site empty")
+	}
+}
+
+func TestBuildLinkFarm(t *testing.T) {
+	w := New()
+	crafted := []string{"http://evil.test/a", "http://evil.test/b"}
+	entry := BuildLinkFarm(w, "http://evil.test/", crafted)
+	p, err := w.Fetch(entry)
+	if err != nil || len(p.Links) != 2 {
+		t.Fatalf("entry: %+v, %v", p, err)
+	}
+	for _, u := range crafted {
+		if !w.Has(u) {
+			t.Errorf("crafted leaf %s missing", u)
+		}
+	}
+}
+
+func TestBuildDecoyChain(t *testing.T) {
+	w := New()
+	decoys := []string{"http://r.test/main", "http://r.test/main/tags"}
+	BuildDecoyChain(w, "http://r.test/", decoys, "http://r.test/ghost")
+	// root → d1 → d2 → ghost
+	p, _ := w.Fetch("http://r.test/")
+	if len(p.Links) != 1 || p.Links[0] != decoys[0] {
+		t.Errorf("root links: %v", p.Links)
+	}
+	p, _ = w.Fetch(decoys[1])
+	if len(p.Links) != 1 || p.Links[0] != "http://r.test/ghost" {
+		t.Errorf("last decoy links: %v", p.Links)
+	}
+	if !w.Has("http://r.test/ghost") {
+		t.Error("ghost page missing")
+	}
+}
