@@ -13,11 +13,18 @@
 //	§6.2    BenchmarkOverflowAttackCrafting, BenchmarkInstantSecondPreimage
 //
 // Ablations (DESIGN.md §4): BenchmarkAblation*.
+//
+// Service layer (§8 served live): BenchmarkServiceShardedVsSynced compares
+// the sharded striped-lock store against the single-mutex Synced wrapper
+// under parallel mixed load; internal/service's own bench_test.go has the
+// full matrix (stripe counts, hardened hashing, monitored workloads).
 package evilbloom
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,6 +35,7 @@ import (
 	"evilbloom/internal/countermeasure"
 	"evilbloom/internal/hashes"
 	"evilbloom/internal/probcount"
+	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
 
@@ -575,6 +583,75 @@ func BenchmarkExtensionNybergVsBloom(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			filter.Test(item)
 		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: the sharded store vs the seed's single global mutex, under
+// a parallel 90% test / 10% add mix with periodic stats polling — the
+// workload `evilbloom serve` actually faces. Sharded answers stats from
+// incrementally-tracked weights in O(shards); the Synced baseline must
+// popcount the whole bit vector under the one lock every request waits on.
+// Keep the workload shape (geometry, 90/10 mix, scrape rate, item count) in
+// step with BenchmarkParallelMixedMonitored in internal/service/bench_test.go,
+// which owns the full comparison matrix; this root copy exists so the
+// headline number regenerates alongside the paper's figures.
+func BenchmarkServiceShardedVsSynced(b *testing.B) {
+	const totalBits, k, statsEvery = 1 << 24, 5, 512
+	gen := urlgen.New(42)
+	items := make([][]byte, 1<<16)
+	for i := range items {
+		items[i] = gen.Next()
+	}
+	run := func(b *testing.B, add func([]byte), test func([]byte) bool, stats func()) {
+		for _, it := range items[:len(items)/2] {
+			add(it)
+		}
+		var ctr atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(ctr.Add(1)) * 7919
+			var sink bool
+			for pb.Next() {
+				it := items[i&(len(items)-1)]
+				switch {
+				case i%statsEvery == 0:
+					stats()
+				case i%10 == 0:
+					add(it)
+				default:
+					sink = sink != test(it)
+				}
+				i++
+			}
+			_ = sink
+		})
+	}
+	b.Run("synced-global-mutex", func(b *testing.B) {
+		fam, err := hashes.NewDoubleHashing(k, totalBits, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		filter := core.NewBloom(fam)
+		run(b,
+			func(it []byte) { mu.Lock(); filter.Add(it); mu.Unlock() },
+			func(it []byte) bool { mu.Lock(); ok := filter.Test(it); mu.Unlock(); return ok },
+			func() { mu.Lock(); _ = filter.Weight(); mu.Unlock() })
+	})
+	b.Run("sharded-16", func(b *testing.B) {
+		s, err := service.NewSharded(service.Config{
+			Shards:    16,
+			ShardBits: totalBits / 16,
+			HashCount: k,
+			Mode:      service.ModeNaive,
+			Seed:      3,
+			RouteKey:  []byte("fedcba9876543210"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s.Add, s.Test, func() { s.Stats() })
 	})
 }
 

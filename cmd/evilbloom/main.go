@@ -11,9 +11,10 @@
 //	evilbloom squid     two-proxy cache-digest pollution experiment
 //	evilbloom params    average-case vs worst-case parameter designs (§8.1)
 //	evilbloom overflow  §6.2 counter-overflow attack demonstration
+//	evilbloom serve     sharded filter service over HTTP (§8 made live)
 //
-// Every subcommand prints the paper's reference values next to the measured
-// ones. All runs are deterministic for a fixed -seed.
+// Every experiment subcommand prints the paper's reference values next to
+// the measured ones. All runs are deterministic for a fixed -seed.
 package main
 
 import (
@@ -69,6 +70,8 @@ func run(args []string) error {
 		return cmdOverflow(rest)
 	case "hll":
 		return cmdHLL(rest)
+	case "serve":
+		return cmdServe(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -93,6 +96,7 @@ subcommands:
   params    worst-case vs average-case design (paper §8.1)
   overflow  counter-overflow attack (paper §6.2)
   hll       adversarial probabilistic counting (paper §10 extension)
+  serve     sharded filter service over HTTP, naive or hardened (§8 live)
 `)
 }
 

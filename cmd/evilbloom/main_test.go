@@ -83,4 +83,16 @@ func TestSubcommandFlagErrors(t *testing.T) {
 	if err := run([]string{"fig3", "-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
 	}
+	if err := run([]string{"serve", "-definitely-not-a-flag"}); err == nil {
+		t.Error("serve: bad flag accepted")
+	}
+	if err := run([]string{"serve", "-mode", "evil"}); err == nil {
+		t.Error("serve: unknown mode accepted")
+	}
+	if err := run([]string{"serve", "-key", "zz"}); err == nil {
+		t.Error("serve: malformed key accepted")
+	}
+	if err := run([]string{"serve", "-shards", "3"}); err == nil {
+		t.Error("serve: non-power-of-two shard count accepted")
+	}
 }

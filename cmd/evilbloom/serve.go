@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"evilbloom/internal/service"
+)
+
+// cmdServe runs the sharded filter service (evilbloomd): the paper's §8
+// naive-vs-hardened comparison as a live HTTP endpoint the attack machinery
+// can be pointed at.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8379", "listen address")
+	shards := fs.Int("shards", 8, "shard count (power of two)")
+	capacity := fs.Uint64("capacity", 1<<20, "total anticipated insertions")
+	fpr := fs.Float64("fpr", 1.0/1024, "target false-positive probability")
+	mode := fs.String("mode", "naive", "index derivation: naive (attackable Murmur) or hardened (keyed SipHash)")
+	seed := fs.Uint64("seed", 3, "public Murmur seed (naive mode)")
+	keyHex := fs.String("key", "", "hex-encoded 16-byte index secret (hardened mode; random when empty)")
+	routeKeyHex := fs.String("route-key", "", "hex-encoded 16-byte shard-routing secret (random when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := service.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cfg := service.Config{
+		Shards:    *shards,
+		Capacity:  *capacity,
+		TargetFPR: *fpr,
+		Mode:      m,
+		Seed:      *seed,
+	}
+	if cfg.Key, err = parseKeyFlag(*keyHex); err != nil {
+		return fmt.Errorf("-key: %w", err)
+	}
+	if cfg.RouteKey, err = parseKeyFlag(*routeKeyHex); err != nil {
+		return fmt.Errorf("-route-key: %w", err)
+	}
+	store, err := service.NewSharded(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evilbloom serve: %s mode, %d shards × %d bits, k=%d, listening on http://%s\n",
+		store.Mode(), store.Shards(), store.ShardBits(), store.K(), ln.Addr())
+	if store.Mode() == service.ModeNaive {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: naive index seed %d is PUBLIC (served on /v1/info) — this mode is meant to be attacked\n", store.Seed())
+	}
+	srv := &http.Server{
+		Handler: service.NewServer(store),
+		// The filter attacks are the point; transport-level stalls
+		// (slowloris clients holding goroutines open) are not.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.Serve(ln)
+}
+
+// parseKeyFlag decodes an optional hex key flag; empty means "draw random".
+func parseKeyFlag(s string) ([]byte, error) {
+	if s == "" {
+		return nil, nil
+	}
+	key, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(key) != 16 {
+		return nil, fmt.Errorf("want 16 bytes, got %d", len(key))
+	}
+	return key, nil
+}

@@ -1,0 +1,99 @@
+// Servepollution runs the paper's chosen-insertion attack (§4.1, Fig 3) as
+// a full client-vs-server scenario: a sharded filter service is started on
+// a loopback port, and the adversary — armed only with HTTP access and the
+// server's public /v1/info parameters — pollutes it through the public add
+// endpoint. The run is repeated against a hardened (§8.2, keyed SipHash)
+// server to show the countermeasure blunting the identical campaign.
+//
+//	go run ./examples/servepollution
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"evilbloom/internal/analysis"
+	"evilbloom/internal/attack"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// campaign starts a live server in mode, runs the 600-insertion pollution
+// campaign against it over HTTP, and returns the server's own post-attack
+// stats.
+func campaign(mode service.Mode) (*attack.RemoteStats, error) {
+	store, err := service.NewSharded(service.Config{
+		Shards:    1, // the paper's single Fig 3 filter, served
+		ShardBits: 3200,
+		HashCount: 4,
+		Mode:      mode,
+		Seed:      3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: service.NewServer(store)}
+	go srv.Serve(ln) //nolint:errcheck // shut down below
+	defer srv.Close()
+
+	client := attack.NewRemoteClient("http://"+ln.Addr().String(), nil)
+
+	// The adversary first tries to learn the index family from the public
+	// info endpoint — the paper's "implementation is public" assumption.
+	view, err := attack.NewRemoteViewFromInfo(client)
+	if err != nil {
+		// Hardened: no seed published. She falls back to guessing the
+		// dablooms-style default and attacks anyway.
+		fmt.Printf("  %v\n  adversary falls back to guessing the default seed\n", err)
+		guess, gerr := hashes.NewDoubleHashing(4, 3200, 3)
+		if gerr != nil {
+			return nil, gerr
+		}
+		view = attack.NewRemoteView(client, guess)
+	} else {
+		fmt.Println("  /v1/info published the seed; adversary reconstructed the index family")
+	}
+
+	adv := attack.NewChosenInsertion(view, view, view, urlgen.New(7))
+	if _, err := adv.PolluteN(600, 0); err != nil {
+		return nil, err
+	}
+	if err := view.Err(); err != nil {
+		return nil, err
+	}
+	return client.Stats()
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("pollution over HTTP: 600 chosen insertions against a live filter service")
+	fmt.Printf("geometry: m=3200, k=4 — paper Fig 3 (random insertions reach FPR %.4f)\n\n",
+		core.FPR(3200, 600, 4))
+
+	rows := make([][]string, 0, 2)
+	for _, mode := range []service.Mode{service.ModeNaive, service.ModeHardened} {
+		fmt.Printf("%s server:\n", mode)
+		st, err := campaign(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  server stats after the campaign: weight=%d fill=%.3f FPR=%.4f\n\n",
+			st.Weight, st.Fill, st.FPR)
+		rows = append(rows, []string{
+			mode.String(),
+			fmt.Sprintf("%d", st.Weight),
+			fmt.Sprintf("%.4f", st.FPR),
+		})
+	}
+	fmt.Print(analysis.FormatTable([]string{"Server mode", "Weight after attack", "Server FPR"}, rows))
+	fmt.Println("\npaper: chosen insertions force 0.316 where random reach 0.077; the keyed")
+	fmt.Println("filter (§8.2) reduces the adversary to exactly those random insertions")
+}

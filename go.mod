@@ -1,0 +1,3 @@
+module evilbloom
+
+go 1.22

@@ -1,7 +1,3 @@
-// Package analysis is the experiment harness: it drives the attacks against
-// the filters and application substrates to regenerate every figure and
-// table of the paper's evaluation, and renders series as aligned text tables
-// and ASCII charts for the CLI.
 package analysis
 
 import (

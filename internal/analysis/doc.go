@@ -1,0 +1,14 @@
+// Package analysis is the experiment harness: it drives the attacks against
+// the filters and application substrates to regenerate every figure and
+// table of the paper's evaluation, and renders series as aligned text
+// tables and ASCII charts for the CLI.
+//
+// One Run* function exists per artefact — RunFig3 (pollution curves),
+// RunFig5 (polluting-URL forging cost), RunFig6 (ghost-URL cost vs
+// occupation), RunFig8 (Dablooms compound FPR), RunFig9 (digest-bit
+// budgets), RunTable1 (attack success probabilities), RunTable2 (naive vs
+// recycling query cost) and RunSquid (§7's two-proxy experiment). Each
+// takes a Config with a Seed so every experiment is reproducible, and
+// returns plain data that cmd/evilbloom formats next to the paper's
+// reference values.
+package analysis

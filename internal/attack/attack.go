@@ -1,17 +1,3 @@
-// Package attack implements the paper's three adversary models (§4): the
-// chosen-insertion adversary (pollution and saturation, §4.1), the
-// query-only adversary (false-positive forgery and worst-case-latency
-// queries, §4.2) and the deletion adversary (§4.3). All adversaries follow
-// the threat model of §4: the filter is maintained by a trusted party, its
-// implementation and parameters are public, and — for query-only and
-// deletion adversaries — its current state is known.
-//
-// Forgery is brute-force search over a candidate-item generator, exactly as
-// the paper describes ("an item is selected at random and its k indexes are
-// computed; if [the condition fails] the item is discarded and a new one is
-// tried"). For MurmurHash-based filters, package hashes additionally
-// provides constant-time pre-images, which this package wires into instant
-// (search-free) variants of every attack.
 package attack
 
 import (

@@ -1,0 +1,259 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"evilbloom/internal/bitset"
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+)
+
+// RemoteClient speaks the evilbloom serve HTTP/JSON protocol (package
+// service's Server) from the attacker's side of the wire. It deliberately
+// uses nothing but the public endpoints: everything the adversary learns,
+// she learns the way a real client would.
+type RemoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemoteClient targets an evilbloom serve instance at base (e.g.
+// "http://127.0.0.1:8379"). hc may be nil for http.DefaultClient.
+func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &RemoteClient{base: base, hc: hc}
+}
+
+// RemoteInfo is the server's public self-description (/v1/info): the threat
+// model's "the implementation of the Bloom filter is public and known". In
+// naive mode Seed is published; in hardened mode it is absent.
+type RemoteInfo struct {
+	Mode      string  `json:"mode"`
+	Shards    int     `json:"shards"`
+	K         int     `json:"k"`
+	ShardBits uint64  `json:"shard_bits"`
+	Algorithm string  `json:"algorithm"`
+	Seed      *uint64 `json:"seed"`
+}
+
+// RemoteStats is the slice of /v1/stats the attack experiments read back:
+// the server's own ground-truth estimate of the damage.
+type RemoteStats struct {
+	Count  uint64  `json:"count"`
+	Weight uint64  `json:"weight"`
+	Fill   float64 `json:"fill"`
+	FPR    float64 `json:"estimated_fpr"`
+}
+
+// Info fetches the server's public parameters.
+func (c *RemoteClient) Info() (*RemoteInfo, error) {
+	var info RemoteInfo
+	if err := c.get("/v1/info", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stats fetches the server's aggregate filter statistics.
+func (c *RemoteClient) Stats() (*RemoteStats, error) {
+	var st RemoteStats
+	if err := c.get("/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Add inserts one item through the public add endpoint.
+func (c *RemoteClient) Add(item []byte) error {
+	return c.post("/v1/add", map[string]string{"item": string(item)}, nil)
+}
+
+// AddBatch inserts items through the batch endpoint.
+func (c *RemoteClient) AddBatch(items [][]byte) error {
+	return c.post("/v1/add-batch", map[string][]string{"items": toStrings(items)}, nil)
+}
+
+// Test queries one item's membership.
+func (c *RemoteClient) Test(item []byte) (bool, error) {
+	var resp struct {
+		Present bool `json:"present"`
+	}
+	if err := c.post("/v1/test", map[string]string{"item": string(item)}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Present, nil
+}
+
+// TestBatch queries a batch, results in input order.
+func (c *RemoteClient) TestBatch(items [][]byte) ([]bool, error) {
+	var resp struct {
+		Present []bool `json:"present"`
+	}
+	if err := c.post("/v1/test-batch", map[string][]string{"items": toStrings(items)}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Present) != len(items) {
+		return nil, fmt.Errorf("attack: server answered %d results for %d items", len(resp.Present), len(items))
+	}
+	return resp.Present, nil
+}
+
+func toStrings(items [][]byte) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = string(it)
+	}
+	return out
+}
+
+func (c *RemoteClient) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("attack: GET %s: %w", path, err)
+	}
+	return decodeRemote(resp, path, out)
+}
+
+func (c *RemoteClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("attack: encoding %s request: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("attack: POST %s: %w", path, err)
+	}
+	return decodeRemote(resp, path, out)
+}
+
+func decodeRemote(resp *http.Response, path string, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("attack: %s answered %d: %s", path, resp.StatusCode, msg)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("attack: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// RemoteView adapts a live filter server to the adversary's View, turning
+// the paper's in-process pollution attacks into client-vs-server scenarios.
+//
+// The adversary cannot read the server's bits, so the view is a shadow
+// model: she assumes the published (naive-mode) index family, computes every
+// candidate's indexes locally, and records the positions of the items she
+// has inserted in a private bit vector. Against a naive server the shadow is
+// exact up to shard multiplexing — an item whose indexes are fresh in the
+// shadow sets k fresh bits in whichever shard the keyed router picks,
+// because every shard shares the public family — so condition (6) holds and
+// the campaign drives the compound FPR like Fig 3. Against a hardened
+// server the same shadow is fiction: the server's keyed family scatters her
+// carefully-chosen items uniformly, and the campaign degrades into random
+// insertions (the §8.2 countermeasure doing its job).
+//
+// RemoteView implements View, Inserter and Weigher, so it plugs straight
+// into ChosenInsertion; Weigher reports the shadow's view of the damage,
+// while RemoteClient.Stats reads the server's ground truth for comparison.
+type RemoteView struct {
+	client *RemoteClient
+	fam    hashes.IndexFamily
+	shadow *bitset.BitSet
+	count  uint64
+	err    error
+}
+
+var (
+	_ View     = (*RemoteView)(nil)
+	_ Inserter = (*RemoteView)(nil)
+	_ Weigher  = (*RemoteView)(nil)
+)
+
+// NewRemoteView builds the adversary's shadow view of the server behind
+// client, deriving indexes from fam — normally the family reconstructed
+// from the server's published /v1/info parameters (see NewRemoteViewFromInfo).
+func NewRemoteView(client *RemoteClient, fam hashes.IndexFamily) *RemoteView {
+	return &RemoteView{client: client, fam: fam, shadow: bitset.New(fam.M())}
+}
+
+// NewRemoteViewFromInfo fetches the server's public parameters and builds
+// the shadow view the paper's threat model grants: it succeeds only against
+// a naive-mode server, whose index derivation is fully public. Against a
+// hardened server it fails — which is the point; to model an adversary who
+// *guesses* anyway, build a family by hand and use NewRemoteView.
+func NewRemoteViewFromInfo(client *RemoteClient) (*RemoteView, error) {
+	info, err := client.Info()
+	if err != nil {
+		return nil, err
+	}
+	if info.Seed == nil {
+		return nil, fmt.Errorf("attack: server mode %q publishes no seed; indexes are not predictable", info.Mode)
+	}
+	fam, err := hashes.NewDoubleHashing(info.K, info.ShardBits, *info.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteView(client, fam), nil
+}
+
+// Indexes implements View using the assumed-public family.
+func (v *RemoteView) Indexes(dst []uint64, item []byte) []uint64 {
+	return v.fam.Indexes(dst, item)
+}
+
+// OccupiedAt implements View against the shadow state.
+func (v *RemoteView) OccupiedAt(_ int, idx uint64) bool { return v.shadow.Test(idx) }
+
+// Partitioned implements View.
+func (v *RemoteView) Partitioned() bool { return false }
+
+// K implements View.
+func (v *RemoteView) K() int { return v.fam.K() }
+
+// M implements View.
+func (v *RemoteView) M() uint64 { return v.fam.M() }
+
+// Add implements Inserter: the forged item goes to the live server and its
+// (assumed) positions are recorded in the shadow. Transport errors are
+// latched in Err, since the Inserter interface has nowhere to report them.
+func (v *RemoteView) Add(item []byte) {
+	if v.err != nil {
+		return
+	}
+	if err := v.client.Add(item); err != nil {
+		v.err = err
+		return
+	}
+	idx := v.fam.Indexes(make([]uint64, 0, v.fam.K()), item)
+	for _, i := range idx {
+		v.shadow.Set(i)
+	}
+	v.count++
+}
+
+// Err returns the first transport error hit by Add, if any.
+func (v *RemoteView) Err() error { return v.err }
+
+// Weight implements Weigher over the shadow model.
+func (v *RemoteView) Weight() uint64 { return v.shadow.Weight() }
+
+// Count implements Weigher.
+func (v *RemoteView) Count() uint64 { return v.count }
+
+// EstimatedFPR implements Weigher: (W/m)^k over the shadow — what the
+// adversary believes she has achieved. The server's stats endpoint is the
+// ground truth that confirms (naive) or refutes (hardened) the belief.
+func (v *RemoteView) EstimatedFPR() float64 {
+	return core.FPForgeryProbability(v.fam.M(), v.fam.K(), v.shadow.Weight())
+}

@@ -1,0 +1,187 @@
+package attack_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// fig3Geometry is the paper's Fig 3 filter (m=3200, k=4) served live.
+func fig3Geometry(mode service.Mode, shards int) service.Config {
+	return service.Config{
+		Shards:    shards,
+		ShardBits: 3200,
+		HashCount: 4,
+		Mode:      mode,
+		Seed:      7,
+		Key:       []byte("0123456789abcdef"),
+		RouteKey:  []byte("fedcba9876543210"),
+	}
+}
+
+// startServer brings up a live filter service for the adversary to attack.
+func startServer(t *testing.T, cfg service.Config) (*httptest.Server, *attack.RemoteClient) {
+	t.Helper()
+	store, err := service.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewServer(store))
+	t.Cleanup(ts.Close)
+	return ts, attack.NewRemoteClient(ts.URL, nil)
+}
+
+// remoteCampaign runs the Fig 3 pollution campaign (600 chosen insertions)
+// against a live server and returns the server's own post-attack FPR
+// estimate — the ground truth, independent of the adversary's beliefs.
+func remoteCampaign(t *testing.T, client *attack.RemoteClient, view *attack.RemoteView) float64 {
+	t.Helper()
+	adv := attack.NewChosenInsertion(view, view, view, urlgen.New(2))
+	if _, err := adv.PolluteN(600, 0); err != nil {
+		t.Fatalf("pollution campaign: %v", err)
+	}
+	if err := view.Err(); err != nil {
+		t.Fatalf("transport during campaign: %v", err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 600 {
+		t.Fatalf("server counted %d insertions, want 600", st.Count)
+	}
+	return st.FPR
+}
+
+// The acceptance scenario: the paper's chosen-insertion attack, run over
+// HTTP against a live naive-mode server, reproduces the Fig 3 adversarial
+// FPR (≈0.316 after 600 insertions, vs ≈0.077 for random insertions); the
+// identical campaign against a hardened-mode server is blunted back to the
+// random-insertion level.
+func TestRemotePollutionNaiveVsHardened(t *testing.T) {
+	// Naive: the adversary reconstructs the index family from the server's
+	// published parameters alone.
+	_, naiveClient := startServer(t, fig3Geometry(service.ModeNaive, 1))
+	naiveView, err := attack.NewRemoteViewFromInfo(naiveClient)
+	if err != nil {
+		t.Fatalf("building view from public info: %v", err)
+	}
+	naiveFPR := remoteCampaign(t, naiveClient, naiveView)
+
+	// Hardened: the same server geometry with keyed SipHash. The public
+	// info publishes no seed, so the from-info constructor must refuse...
+	_, hardClient := startServer(t, fig3Geometry(service.ModeHardened, 1))
+	if _, err := attack.NewRemoteViewFromInfo(hardClient); err == nil {
+		t.Fatal("hardened server let the adversary reconstruct its family from /v1/info")
+	}
+	// ...and an adversary who assumes the dablooms default anyway gets
+	// nothing for her trouble.
+	guess, err := hashes.NewDoubleHashing(4, 3200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardFPR := remoteCampaign(t, hardClient, attack.NewRemoteView(hardClient, guess))
+
+	t.Logf("post-campaign server FPR: naive=%.4f (paper 0.316), hardened=%.4f (random ≈0.077)", naiveFPR, hardFPR)
+	if naiveFPR < 0.30 {
+		t.Errorf("naive server FPR %.4f, want ≥0.30 (paper: 0.316)", naiveFPR)
+	}
+	if hardFPR > 0.12 {
+		t.Errorf("hardened server FPR %.4f, want ≤0.12 (random insertions: ≈0.077)", hardFPR)
+	}
+	if naiveFPR < 2.5*hardFPR {
+		t.Errorf("hardening blunted the attack only from %.4f to %.4f", naiveFPR, hardFPR)
+	}
+}
+
+// Sharding does not blunt the naive-mode attack (the shards share the public
+// family, so shadow-fresh items set k fresh bits wherever the keyed router
+// sends them): after n polluting insertions the aggregate weight is exactly
+// n·k, with zero server-side collisions.
+func TestRemotePollutionCrossesShards(t *testing.T) {
+	_, client := startServer(t, fig3Geometry(service.ModeNaive, 4))
+	view, err := attack.NewRemoteViewFromInfo(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := attack.NewChosenInsertion(view, view, view, urlgen.New(3))
+	const n = 150
+	if _, err := adv.PolluteN(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Weight != n*4 {
+		t.Errorf("aggregate weight %d after %d polluting insertions, want exactly %d", st.Weight, n, n*4)
+	}
+}
+
+// The client must surface server-side rejections and transport failures.
+func TestRemoteClientErrors(t *testing.T) {
+	_, client := startServer(t, fig3Geometry(service.ModeNaive, 1))
+	if err := client.Add(nil); err == nil {
+		t.Error("empty item accepted")
+	}
+	dead := attack.NewRemoteClient("http://127.0.0.1:1", nil)
+	if _, err := dead.Info(); err == nil {
+		t.Error("unreachable server produced no error")
+	}
+	view := attack.NewRemoteView(dead, mustFamily(t))
+	view.Add([]byte("x"))
+	if view.Err() == nil {
+		t.Error("transport failure not latched in Err")
+	}
+	if view.Count() != 0 {
+		t.Error("failed Add counted as an insertion")
+	}
+}
+
+// RemoteClient round trip: adds are visible to tests and batch agrees with
+// singleton.
+func TestRemoteClientRoundTrip(t *testing.T) {
+	_, client := startServer(t, fig3Geometry(service.ModeHardened, 2))
+	items := [][]byte{[]byte("http://a.example/1"), []byte("http://a.example/2")}
+	if err := client.AddBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		ok, err := client.Test(it)
+		if err != nil || !ok {
+			t.Errorf("Test(%q) = %v, %v", it, ok, err)
+		}
+	}
+	got, err := client.TestBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range got {
+		if !ok {
+			t.Errorf("batch test %d reported absent", i)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 2 {
+		t.Errorf("Count = %d, want 2", st.Count)
+	}
+}
+
+func mustFamily(t *testing.T) *hashes.DoubleHashing {
+	t.Helper()
+	fam, err := hashes.NewDoubleHashing(4, 3200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam
+}

@@ -1,12 +1,3 @@
-// Package bitset provides a dense, fixed-size bit vector used as the storage
-// substrate for every Bloom-filter variant in this repository.
-//
-// The type is deliberately minimal and allocation-conscious: a filter of m
-// bits occupies ⌈m/64⌉ machine words. All index arguments are uint64 so that
-// reduced hash digests can be used directly; indexes are interpreted modulo
-// nothing — callers must reduce before calling (the Bloom layer owns the
-// "mod m" step, mirroring the paper's notation where digests are reduced
-// once).
 package bitset
 
 import (

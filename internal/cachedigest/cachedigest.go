@@ -1,16 +1,3 @@
-// Package cachedigest simulates Squid's cache-digest mechanism (§7): sibling
-// proxies periodically exchange Bloom-filter summaries of their caches; a
-// proxy receiving a client request checks its siblings' digests and fetches
-// from the closest sibling claiming the object. Every digest false positive
-// costs at least one wasted round trip between the proxies — the quantity
-// the paper's attack inflates.
-//
-// The digest is built exactly like Squid's: m = 5n + 7 bits for n cached
-// objects, k = 4 indexes obtained by splitting one 128-bit MD5 of the store
-// key (retrieval method + URL). These parameters are deliberately
-// sub-optimal (5 bits/entry instead of 6, k = 4 instead of 3–4 optimal for
-// such density), which the paper calls out: for n = 200 the false-positive
-// probability is ≈0.09 instead of the optimal 0.03.
 package cachedigest
 
 import (

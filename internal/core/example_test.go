@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+)
+
+// ExampleNewBloomOptimal builds the paper's Fig 3 filter the way a designer
+// would: pick a capacity and an acceptable false-positive probability and
+// let equations 2–3 choose the geometry.
+func ExampleNewBloomOptimal() {
+	// 600 anticipated items at f ≈ 0.077 → m ≈ 3200 bits, k = 4 (the paper
+	// rounds eq 3's 3201.6 down; OptimalM rounds up).
+	filter, err := core.NewBloomOptimal(600, 0.077, hashes.SHA256, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m=%d bits, k=%d\n", filter.M(), filter.K())
+
+	filter.Add([]byte("http://example.com/a"))
+	filter.Add([]byte("http://example.com/b"))
+	fmt.Println(filter.Test([]byte("http://example.com/a")))
+	fmt.Println(filter.Test([]byte("http://example.com/nope")))
+	fmt.Printf("insertions=%d weight=%d\n", filter.Count(), filter.Weight())
+	// Output:
+	// m=3202 bits, k=4
+	// true
+	// false
+	// insertions=2 weight=8
+}

@@ -1,8 +1,3 @@
-// Package core implements the Bloom-filter variants studied in the paper —
-// classic, counting, scalable, partitioned (pyBloom layout) and Dablooms
-// (Bitly's scaling counting filter) — together with the parameter mathematics
-// of §3 (average case), §4 (adversarial case, eq 7) and §8.1 (worst-case
-// parameters, eq 9–12).
 package core
 
 import (

@@ -1,11 +1,3 @@
-// Package countermeasure implements §8's defences: worst-case parameter
-// design (eq 9–12), keyed index families (MAC-based filters that defeat all
-// three adversaries), digest-bit recycling (the "salt and recycle" technique
-// making cryptographic hashing affordable, Fig 9 and Table 2), and an
-// extensible-output (XOF) construction standing in for SHAKE (§10) built
-// from HMAC in counter mode — the standard library has no SHA-3, and the
-// substitution preserves the "keyed, arbitrary-length digest" interface the
-// paper's conclusion calls for.
 package countermeasure
 
 import (

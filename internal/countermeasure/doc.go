@@ -1,0 +1,23 @@
+// Package countermeasure implements §8's defences: worst-case parameter
+// design (eq 9–12), keyed index families (MAC-based filters that defeat all
+// three adversaries), digest-bit recycling (the "salt and recycle"
+// technique making cryptographic hashing affordable, Fig 9 and Table 2),
+// and an extensible-output (XOF) construction standing in for SHAKE (§10)
+// built from HMAC in counter mode — the standard library has no SHA-3, and
+// the substitution preserves the "keyed, arbitrary-length digest" interface
+// the paper's conclusion calls for.
+//
+// The two defence families trade differently:
+//
+//   - DesignWorstCase / NewWorstCaseBloom (§8.1) keep fast unkeyed hashing
+//     and instead pick k = m/(en), minimising what a chosen-insertion
+//     adversary can force. Cheap, but query-only adversaries still win.
+//   - NewKeyedBloom / NewUniversalBloom (§8.2) move the defence into the
+//     hash: a server-side key (HMAC, SipHash, or Carter–Wegman universal
+//     hashing) makes indexes unpredictable, reducing every §4 adversary to
+//     blind guessing. Digest recycling keeps the per-query cost near one
+//     primitive call.
+//
+// The service package deploys the §8.2 defence live: its hardened mode is
+// keyed SipHash with recycling, one derived key per shard.
+package countermeasure

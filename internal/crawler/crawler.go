@@ -1,10 +1,3 @@
-// Package crawler implements a Scrapy-like web spider (§5.1): a frontier of
-// scheduled URLs, a fetcher, and a pluggable duplicate filter deciding which
-// discovered links get scheduled. The five-step loop matches the paper:
-// select a URL, fetch it, archive the result, schedule the interesting
-// links, mark the URL visited. Scrapy performs the "seen" check at
-// scheduling time (its dupefilter's request_seen), and so does this crawler
-// — which is exactly what the blinding attack exploits.
 package crawler
 
 import (

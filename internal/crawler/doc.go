@@ -1,0 +1,15 @@
+// Package crawler implements a Scrapy-like web spider (§5.1): a frontier of
+// scheduled URLs, a fetcher, and a pluggable duplicate filter deciding
+// which discovered links get scheduled. The five-step loop matches the
+// paper: select a URL, fetch it, archive the result, schedule the
+// interesting links, mark the URL visited. Scrapy performs the "seen" check
+// at scheduling time (its dupefilter's request_seen), and so does this
+// crawler — which is exactly what the blinding attack exploits: an
+// adversary who can get ghost URLs into the dedup filter makes the crawler
+// skip pages it has never visited.
+//
+// The crawler runs against webgraph's in-memory web and accepts any
+// core.Filter as its dedup filter, so the same crawl can be repeated over
+// an attackable filter and a keyed one; examples/crawlerblinding stages
+// that comparison.
+package crawler

@@ -1,0 +1,15 @@
+// Package probcount implements probabilistic counting — HyperLogLog — and
+// its adversarial analysis. The paper's conclusion (§10) names
+// probabilistic counting algorithms as a natural extension of its adversary
+// models: "Hashing (and the truncation that comes along) is the core
+// mechanism. It will be interesting to analyze the existing implementations
+// in an adversarial setting." This package performs that analysis: with an
+// unkeyed, invertible hash (MurmurHash3, as deployed by many HLL libraries)
+// a chosen-insertion adversary can inflate the cardinality estimate
+// arbitrarily (InflationAttack: maximum rank into every register) or freeze
+// it near zero (SuppressionAttack: every item collapses onto one register)
+// — in constant time per item — while a keyed hash (SipHash) restores the
+// honest behaviour.
+//
+// `evilbloom hll` drives all three streams side by side.
+package probcount

@@ -1,13 +1,3 @@
-// Package probcount implements probabilistic counting — HyperLogLog — and
-// its adversarial analysis. The paper's conclusion (§10) names probabilistic
-// counting algorithms as a natural extension of its adversary models:
-// "Hashing (and the truncation that comes along) is the core mechanism. It
-// will be interesting to analyze the existing implementations in an
-// adversarial setting." This package performs that analysis: with an
-// unkeyed, invertible hash (MurmurHash3, as deployed by many HLL libraries)
-// a chosen-insertion adversary can inflate the cardinality estimate
-// arbitrarily or freeze it near zero — in constant time per item — while a
-// keyed hash (SipHash) restores the honest behaviour.
 package probcount
 
 import (

@@ -1,0 +1,42 @@
+package service_test
+
+import (
+	"fmt"
+	"log"
+
+	"evilbloom/internal/service"
+)
+
+// ExampleSharded stands up the hardened sharded store — the configuration a
+// deployment that cares about the paper's attacks would run — and drives
+// the batch API a server round trip maps onto.
+func ExampleSharded() {
+	store, err := service.NewSharded(service.Config{
+		Shards:    4,
+		Capacity:  10000,
+		TargetFPR: 1.0 / 1024,
+		Mode:      service.ModeHardened,
+		Key:       []byte("0123456789abcdef"), // server-side secret
+		RouteKey:  []byte("fedcba9876543210"), // shard-routing secret
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store.AddBatch([][]byte{
+		[]byte("http://example.com/a"),
+		[]byte("http://example.com/b"),
+		[]byte("http://example.com/c"),
+	})
+	present := store.TestBatch(nil, [][]byte{
+		[]byte("http://example.com/a"),
+		[]byte("http://example.com/never-inserted"),
+	})
+	fmt.Println(present)
+
+	st := store.Stats()
+	fmt.Printf("mode=%s shards=%d count=%d weight=%d\n", st.Mode, st.Shards, st.Count, st.Weight)
+	// Output:
+	// [true false]
+	// mode=hardened shards=4 count=3 weight=30
+}

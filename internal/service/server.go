@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Wire format limits, all enforced independently: a request must satisfy
+// every one of them. Batch sizes are bounded so one request cannot hold a
+// shard lock for an unbounded stretch; item length is bounded because every
+// byte is hashed k times; the body cap bounds the server's JSON-decoding
+// memory, so a full MaxBatch of maximum-length items does not fit in one
+// request — split such batches.
+const (
+	// MaxBatch is the largest accepted add-batch/test-batch size.
+	MaxBatch = 10000
+	// MaxItemLen is the largest accepted item length in bytes.
+	MaxItemLen = 4096
+	// MaxBodyBytes caps request bodies. Exceeding it answers 413 with a
+	// message naming this limit.
+	MaxBodyBytes = 8 << 20
+)
+
+// itemRequest is the body of /v1/add and /v1/test.
+type itemRequest struct {
+	Item string `json:"item"`
+}
+
+// batchRequest is the body of /v1/add-batch and /v1/test-batch.
+type batchRequest struct {
+	Items []string `json:"items"`
+}
+
+// addResponse answers /v1/add and /v1/add-batch.
+type addResponse struct {
+	Added int    `json:"added"`
+	Count uint64 `json:"count"`
+}
+
+// testResponse answers /v1/test.
+type testResponse struct {
+	Present bool `json:"present"`
+}
+
+// testBatchResponse answers /v1/test-batch, Present in input order.
+type testBatchResponse struct {
+	Present []bool `json:"present"`
+}
+
+// InfoResponse answers /v1/info: the public parameters of the serving
+// filter. In naive mode that includes the index seed — the paper's threat
+// model ("the implementation of the Bloom filter is public and known") made
+// concrete. In hardened mode Seed is omitted and Algorithm names the keyed
+// scheme; the keys themselves never leave the server.
+type InfoResponse struct {
+	Mode      string  `json:"mode"`
+	Shards    int     `json:"shards"`
+	K         int     `json:"k"`
+	ShardBits uint64  `json:"shard_bits"`
+	Algorithm string  `json:"algorithm"`
+	Seed      *uint64 `json:"seed,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a Sharded store over HTTP/JSON:
+//
+//	POST /v1/add         {"item": s}            -> {"added": 1, "count": n}
+//	POST /v1/test        {"item": s}            -> {"present": bool}
+//	POST /v1/add-batch   {"items": [s...]}      -> {"added": len, "count": n}
+//	POST /v1/test-batch  {"items": [s...]}      -> {"present": [bool...]}
+//	GET  /v1/stats                              -> Stats
+//	GET  /v1/info                               -> InfoResponse
+type Server struct {
+	store *Sharded
+	mux   *http.ServeMux
+}
+
+// NewServer wraps store in an HTTP API.
+func NewServer(store *Sharded) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/add", s.handleAdd)
+	s.mux.HandleFunc("/v1/test", s.handleTest)
+	s.mux.HandleFunc("/v1/add-batch", s.handleAddBatch)
+	s.mux.HandleFunc("/v1/test-batch", s.handleTestBatch)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
+	return s
+}
+
+// Store returns the underlying Sharded filter.
+func (s *Server) Store() *Sharded { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	s.store.Add([]byte(req.Item))
+	writeJSON(w, http.StatusOK, addResponse{Added: 1, Count: s.store.Count()})
+}
+
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	writeJSON(w, http.StatusOK, testResponse{Present: s.store.Test([]byte(req.Item))})
+}
+
+func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	items, ok := checkBatch(w, req.Items)
+	if !ok {
+		return
+	}
+	s.store.AddBatch(items)
+	writeJSON(w, http.StatusOK, addResponse{Added: len(items), Count: s.store.Count()})
+}
+
+func (s *Server) handleTestBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	items, ok := checkBatch(w, req.Items)
+	if !ok {
+		return
+	}
+	present := s.store.TestBatch(make([]bool, 0, len(items)), items)
+	writeJSON(w, http.StatusOK, testBatchResponse{Present: present})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	info := InfoResponse{
+		Mode:      s.store.Mode().String(),
+		Shards:    s.store.Shards(),
+		K:         s.store.K(),
+		ShardBits: s.store.ShardBits(),
+	}
+	switch s.store.Mode() {
+	case ModeNaive:
+		info.Algorithm = "murmur3-double-hashing"
+		seed := s.store.Seed()
+		info.Seed = &seed
+	case ModeHardened:
+		info.Algorithm = "siphash-2-4-recycling"
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// decode parses a POST JSON body into dst, answering the error itself when
+// the request is malformed.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes; split the batch", MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// checkItem validates a single item, answering the error itself.
+func checkItem(w http.ResponseWriter, item string) bool {
+	if item == "" {
+		writeError(w, http.StatusBadRequest, "empty item")
+		return false
+	}
+	if len(item) > MaxItemLen {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("item exceeds %d bytes", MaxItemLen))
+		return false
+	}
+	return true
+}
+
+// checkBatch validates a batch and converts it to byte slices.
+func checkBatch(w http.ResponseWriter, items []string) ([][]byte, bool) {
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return nil, false
+	}
+	if len(items) > MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d items", MaxBatch))
+		return nil, false
+	}
+	out := make([][]byte, len(items))
+	for i, it := range items {
+		if it == "" || len(it) > MaxItemLen {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("item %d empty or exceeds %d bytes", i, MaxItemLen))
+			return nil, false
+		}
+		out[i] = []byte(it)
+	}
+	return out, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,436 @@
+// Package service turns the paper's offline filter experiments into an
+// online, serving system: a sharded, striped-lock filter store (Sharded)
+// behind an HTTP/JSON API (Server), started by `evilbloom serve`.
+//
+// The store splits one logical Bloom filter into N power-of-two shards,
+// each an independent core.Bloom with its own index family and its own
+// read-write lock, so adds and membership tests on different shards never
+// contend. Shard selection uses a separate keyed SipHash over the item, so
+// an adversary who can predict the per-shard index families still cannot
+// aim her insertions at a single shard and saturate it ahead of the others.
+//
+// Two modes mirror §8 of the paper:
+//
+//   - ModeNaive: unkeyed MurmurHash3 double hashing with a public seed, the
+//     dablooms configuration of §6. A chosen-insertion adversary who clones
+//     the family can pollute the filter through the public add endpoint —
+//     package attack's RemoteView does exactly that.
+//   - ModeHardened: keyed SipHash-2-4 with digest recycling (§8.2), one key
+//     per shard derived from a server secret. The same adversary's crafted
+//     items land on unpredictable positions and degrade into random
+//     insertions.
+//
+// The HTTP server exposes add, test, batch add/test, stats (fill ratio,
+// estimated false-positive rate, per-shard weights) and info endpoints; see
+// Server for the wire format.
+package service
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+)
+
+// Mode selects the index-derivation scheme served by a Sharded store.
+type Mode int
+
+const (
+	// ModeNaive is the attackable configuration of §6: unkeyed MurmurHash3
+	// double hashing with a public seed shared by every shard, exactly like
+	// dablooms' compile-time seed constant.
+	ModeNaive Mode = iota
+	// ModeHardened is the §8.2 countermeasure: keyed SipHash-2-4 with digest
+	// recycling, one derived key per shard, all keys server-side secrets.
+	ModeHardened
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "naive"
+	case ModeHardened:
+		return "hardened"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves "naive" or "hardened".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "naive":
+		return ModeNaive, nil
+	case "hardened":
+		return ModeHardened, nil
+	default:
+		return 0, fmt.Errorf("service: unknown mode %q (want naive or hardened)", s)
+	}
+}
+
+// Config sizes and keys a Sharded store.
+type Config struct {
+	// Shards is the shard count; it must be a power of two. Default 8.
+	Shards int
+	// Capacity is the total anticipated insertions across all shards.
+	// Default 1<<20. Ignored when ShardBits is set.
+	Capacity uint64
+	// TargetFPR is the designed false-positive probability. Default 2^-10.
+	// Ignored (for sizing) when both ShardBits and HashCount are set.
+	TargetFPR float64
+	// ShardBits optionally fixes each shard's size in bits instead of
+	// deriving it from Capacity and TargetFPR — experiments reproducing a
+	// paper geometry (m=3200, k=4) set this together with HashCount.
+	ShardBits uint64
+	// HashCount optionally fixes k instead of deriving it from TargetFPR.
+	HashCount int
+	// Mode selects naive or hardened index derivation. Default ModeNaive.
+	Mode Mode
+	// Seed is the public MurmurHash3 seed used in ModeNaive.
+	Seed uint64
+	// Key is the 16-byte server secret used in ModeHardened; per-shard keys
+	// are derived from it. Drawn from crypto/rand when nil.
+	Key []byte
+	// RouteKey is the 16-byte secret keying shard selection. Drawn from
+	// crypto/rand when nil. Kept separate from Key so that even a leaked
+	// index key does not let an adversary target one shard.
+	RouteKey []byte
+}
+
+// withDefaults fills zero fields and validates the result.
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Shards < 1 || c.Shards&(c.Shards-1) != 0 {
+		return c, fmt.Errorf("service: shard count %d is not a power of two", c.Shards)
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 20
+	}
+	if c.TargetFPR == 0 {
+		c.TargetFPR = 1.0 / 1024
+	}
+	if c.TargetFPR <= 0 || c.TargetFPR >= 1 {
+		return c, fmt.Errorf("service: target FPR %v out of (0, 1)", c.TargetFPR)
+	}
+	if c.ShardBits == 0 {
+		perShard := (c.Capacity + uint64(c.Shards) - 1) / uint64(c.Shards)
+		c.ShardBits = core.OptimalM(perShard, c.TargetFPR)
+		if c.ShardBits == 0 {
+			return c, fmt.Errorf("service: capacity %d and FPR %v yield an empty shard", c.Capacity, c.TargetFPR)
+		}
+	}
+	if c.HashCount == 0 {
+		c.HashCount = core.KForFPR(c.TargetFPR)
+	}
+	if c.HashCount < 1 {
+		return c, fmt.Errorf("service: hash count %d must be positive", c.HashCount)
+	}
+	var err error
+	if c.RouteKey, err = ensureKey(c.RouteKey); err != nil {
+		return c, err
+	}
+	if c.Mode == ModeHardened {
+		if c.Key, err = ensureKey(c.Key); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// ensureKey returns key when it is already 16 bytes, a fresh random key when
+// it is nil, and an error otherwise.
+func ensureKey(key []byte) ([]byte, error) {
+	if key == nil {
+		key = make([]byte, 16)
+		if _, err := rand.Read(key); err != nil {
+			return nil, fmt.Errorf("service: drawing key: %w", err)
+		}
+		return key, nil
+	}
+	if len(key) != 16 {
+		return nil, fmt.Errorf("service: keys must be 16 bytes, got %d", len(key))
+	}
+	return key, nil
+}
+
+// shard pairs one filter with its lock and a pool of per-goroutine index
+// families (IndexFamily instances reuse digest state and must not be shared;
+// pooling clones keeps index derivation out of the critical section).
+type shard struct {
+	mu     sync.RWMutex
+	filter *core.Bloom
+	// weight tracks the filter's Hamming weight incrementally from the
+	// fresh-bit counts AddIndexes reports, so Stats is O(shards) instead of
+	// an O(m) popcount scan under the lock.
+	weight uint64
+	pool   sync.Pool // of *scratch
+}
+
+// scratch is the per-goroutine working set checked out of a shard's pool.
+type scratch struct {
+	fam hashes.IndexFamily
+	idx []uint64
+}
+
+// Sharded is a striped-lock filter store: N independent core.Bloom shards,
+// shard selection by a keyed hash. It implements core.Filter; unlike
+// core.Synced it scales with parallel load because operations on different
+// shards proceed concurrently and membership tests on the same shard share a
+// read lock.
+type Sharded struct {
+	shards []shard
+	mask   uint64
+	route  hashes.SipKey
+	mode   Mode
+	seed   uint64
+	k      int
+	mShard uint64
+}
+
+var _ core.Filter = (*Sharded)(nil)
+
+// NewSharded builds a store from cfg (zero fields take defaults).
+func NewSharded(cfg Config) (*Sharded, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var rk [16]byte
+	copy(rk[:], cfg.RouteKey)
+	s := &Sharded{
+		shards: make([]shard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+		route:  hashes.SipKeyFromBytes(rk),
+		mode:   cfg.Mode,
+		seed:   cfg.Seed,
+		k:      cfg.HashCount,
+		mShard: cfg.ShardBits,
+	}
+	for i := range s.shards {
+		fam, err := newShardFamily(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		sh := &s.shards[i]
+		sh.filter = core.NewBloom(fam)
+		proto := fam // each clone source is the shard's own family
+		k := cfg.HashCount
+		sh.pool.New = func() any {
+			return &scratch{fam: proto.Clone(), idx: make([]uint64, 0, k)}
+		}
+	}
+	return s, nil
+}
+
+// newShardFamily builds shard i's index family under cfg's mode.
+func newShardFamily(cfg Config, i int) (hashes.IndexFamily, error) {
+	switch cfg.Mode {
+	case ModeNaive:
+		// Every shard shares the one public seed, mirroring how deployed
+		// filters (dablooms, Squid) bake a constant into the binary — the
+		// property the §6 attacks rely on.
+		return hashes.NewDoubleHashing(cfg.HashCount, cfg.ShardBits, cfg.Seed)
+	case ModeHardened:
+		d, err := hashes.NewDigester(hashes.SipHash24Alg, deriveShardKey(cfg.Key, i))
+		if err != nil {
+			return nil, err
+		}
+		return hashes.NewRecycling(d, cfg.HashCount, cfg.ShardBits)
+	default:
+		return nil, fmt.Errorf("service: unknown mode %v", cfg.Mode)
+	}
+}
+
+// deriveShardKey expands the server secret into shard i's 16-byte SipHash
+// key: SHA-256(secret ‖ i) truncated. Shards must not share an index key or
+// one shard's forged false positives would replay against every other.
+func deriveShardKey(secret []byte, i int) []byte {
+	h := sha256.New()
+	h.Write(secret)                                                      //nolint:errcheck // hash writes never fail
+	h.Write([]byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}) //nolint:errcheck
+	return h.Sum(nil)[:16]
+}
+
+// shardFor routes item to its shard index via the keyed routing hash.
+func (s *Sharded) shardFor(item []byte) int {
+	return int(hashes.SipHash24(s.route, item) & s.mask)
+}
+
+// Add implements core.Filter. Index derivation happens outside the shard
+// lock on a pooled family clone; only the bit writes are serialized.
+func (s *Sharded) Add(item []byte) {
+	sh := &s.shards[s.shardFor(item)]
+	sc := sh.pool.Get().(*scratch)
+	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
+	sh.mu.Lock()
+	sh.weight += uint64(sh.filter.AddIndexes(sc.idx))
+	sh.mu.Unlock()
+	sh.pool.Put(sc)
+}
+
+// Test implements core.Filter. Concurrent tests on one shard share its read
+// lock.
+func (s *Sharded) Test(item []byte) bool {
+	sh := &s.shards[s.shardFor(item)]
+	sc := sh.pool.Get().(*scratch)
+	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
+	sh.mu.RLock()
+	ok := sh.filter.TestIndexes(sc.idx)
+	sh.mu.RUnlock()
+	sh.pool.Put(sc)
+	return ok
+}
+
+// AddBatch inserts every item, grouping by shard so each shard's lock is
+// taken once per batch instead of once per item.
+func (s *Sharded) AddBatch(items [][]byte) {
+	groups := s.group(items)
+	for si := range s.shards {
+		g := groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sc := sh.pool.Get().(*scratch)
+		sc.idx = sc.idx[:0]
+		for _, ii := range g {
+			sc.idx = sc.fam.Indexes(sc.idx, items[ii])
+		}
+		sh.mu.Lock()
+		for j := 0; j < len(g); j++ {
+			sh.weight += uint64(sh.filter.AddIndexes(sc.idx[j*s.k : (j+1)*s.k]))
+		}
+		sh.mu.Unlock()
+		sh.pool.Put(sc)
+	}
+}
+
+// TestBatch reports membership for every item, in input order, grouping by
+// shard like AddBatch. The result is appended to dst.
+func (s *Sharded) TestBatch(dst []bool, items [][]byte) []bool {
+	base := len(dst)
+	dst = append(dst, make([]bool, len(items))...)
+	groups := s.group(items)
+	for si := range s.shards {
+		g := groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sc := sh.pool.Get().(*scratch)
+		sc.idx = sc.idx[:0]
+		for _, ii := range g {
+			sc.idx = sc.fam.Indexes(sc.idx, items[ii])
+		}
+		sh.mu.RLock()
+		for j, ii := range g {
+			dst[base+ii] = sh.filter.TestIndexes(sc.idx[j*s.k : (j+1)*s.k])
+		}
+		sh.mu.RUnlock()
+		sh.pool.Put(sc)
+	}
+	return dst
+}
+
+// group partitions item positions by destination shard.
+func (s *Sharded) group(items [][]byte) [][]int {
+	groups := make([][]int, len(s.shards))
+	for i, it := range items {
+		si := s.shardFor(it)
+		groups[si] = append(groups[si], i)
+	}
+	return groups
+}
+
+// Count implements core.Filter: total insertions across shards.
+func (s *Sharded) Count() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.filter.Count()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Mode returns the serving mode.
+func (s *Sharded) Mode() Mode { return s.mode }
+
+// Seed returns the public naive-mode seed (meaningless in hardened mode).
+func (s *Sharded) Seed() uint64 { return s.seed }
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// K returns the per-item index count.
+func (s *Sharded) K() int { return s.k }
+
+// ShardBits returns each shard's size in bits.
+func (s *Sharded) ShardBits() uint64 { return s.mShard }
+
+// ShardStats is one shard's snapshot inside Stats.
+type ShardStats struct {
+	Shard  int     `json:"shard"`
+	Count  uint64  `json:"count"`
+	Weight uint64  `json:"weight"`
+	Fill   float64 `json:"fill"`
+	FPR    float64 `json:"estimated_fpr"`
+}
+
+// Stats is a point-in-time snapshot of the whole store. FPR is the mean of
+// the per-shard estimates: the keyed router spreads uniform queries evenly,
+// so a random query's false-positive probability is the shard average.
+type Stats struct {
+	Mode      string       `json:"mode"`
+	Shards    int          `json:"shards"`
+	K         int          `json:"k"`
+	ShardBits uint64       `json:"shard_bits"`
+	Count     uint64       `json:"count"`
+	Weight    uint64       `json:"weight"`
+	Fill      float64      `json:"fill"`
+	FPR       float64      `json:"estimated_fpr"`
+	PerShard  []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots every shard in O(shards): weights are tracked
+// incrementally at insertion time, so no shard holds its lock for an O(m)
+// bit-vector scan. Shards are locked one at a time, so the snapshot is
+// per-shard consistent but not a global atomic cut — fine for monitoring,
+// which is its purpose.
+func (s *Sharded) Stats() Stats {
+	st := Stats{
+		Mode:      s.mode.String(),
+		Shards:    len(s.shards),
+		K:         s.k,
+		ShardBits: s.mShard,
+		PerShard:  make([]ShardStats, len(s.shards)),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		count, weight := sh.filter.Count(), sh.weight
+		sh.mu.RUnlock()
+		ss := ShardStats{
+			Shard:  i,
+			Count:  count,
+			Weight: weight,
+			Fill:   float64(weight) / float64(s.mShard),
+			FPR:    core.FPForgeryProbability(s.mShard, s.k, weight),
+		}
+		st.PerShard[i] = ss
+		st.Count += ss.Count
+		st.Weight += ss.Weight
+		st.FPR += ss.FPR
+	}
+	total := float64(s.mShard) * float64(len(s.shards))
+	st.Fill = float64(st.Weight) / total
+	st.FPR /= float64(len(s.shards))
+	return st
+}

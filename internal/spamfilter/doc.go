@@ -1,0 +1,11 @@
+// Package spamfilter models a Bitly-style URL shortener protected by a
+// Dablooms blacklist (§6): URLs reported as malicious (e.g. via PhishTank)
+// are inserted into a scaling counting Bloom filter; shortening requests
+// for blacklisted URLs are refused; takedown appeals remove entries. The
+// three §6 attacks — pollution, adversarial deletion, counter overflow —
+// all enter through these same honest interfaces: the adversary never needs
+// more than the ability to report, request, and appeal.
+//
+// examples/evilcounting and examples/dabloomspollution stage the attacks
+// against this substrate end to end.
+package spamfilter

@@ -1,0 +1,10 @@
+// Package urlgen generates deterministic, human-plausible fake URLs. It
+// substitutes the Python fake-factory package the paper uses to drive its
+// experiments: the attacks only require an endless stream of distinct,
+// realistic-looking URLs, so a seeded word-list generator preserves the
+// relevant behaviour while keeping every experiment reproducible.
+//
+// A Generator is owned by one goroutine; give each worker its own seed
+// rather than sharing one generator. It implements attack.Generator, and
+// every experiment in this repository draws its candidates from it.
+package urlgen

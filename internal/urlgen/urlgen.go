@@ -1,8 +1,3 @@
-// Package urlgen generates deterministic, human-plausible fake URLs. It
-// substitutes the Python fake-factory package the paper uses to drive its
-// experiments: the attacks only require an endless stream of distinct,
-// realistic-looking URLs, so a seeded word-list generator preserves the
-// relevant behaviour while keeping every experiment reproducible.
 package urlgen
 
 import (

@@ -1,0 +1,8 @@
+// Package webgraph models an in-memory world-wide web: pages identified by
+// URL with outgoing links. It is the substrate the Scrapy-style crawler
+// (§5) runs against — the attacks target the crawler's dedup filter, not
+// its networking, so an in-memory graph preserves the relevant behaviour
+// while keeping crawls fast and reproducible. Graphs are built
+// deterministically from a seed, and the blinding experiment grafts the
+// adversary's link-farm pages onto an honest graph.
+package webgraph

@@ -1,7 +1,3 @@
-// Package webgraph models an in-memory world-wide web: pages identified by
-// URL with outgoing links. It is the substrate the Scrapy-style crawler
-// (§5) runs against — the attacks target the crawler's dedup filter, not its
-// networking, so an in-memory graph preserves the relevant behaviour.
 package webgraph
 
 import (
