@@ -11,7 +11,8 @@
 //	evilbloom squid     two-proxy cache-digest pollution experiment
 //	evilbloom params    average-case vs worst-case parameter designs (§8.1)
 //	evilbloom overflow  §6.2 counter-overflow attack demonstration
-//	evilbloom serve     sharded filter service over HTTP (§8 made live)
+//	evilbloom serve     multi-filter service over HTTP: named bloom/counting
+//	                    filters (§8 and §4.3 made live)
 //
 // Every experiment subcommand prints the paper's reference values next to
 // the measured ones. All runs are deterministic for a fixed -seed.
@@ -96,7 +97,8 @@ subcommands:
   params    worst-case vs average-case design (paper §8.1)
   overflow  counter-overflow attack (paper §6.2)
   hll       adversarial probabilistic counting (paper §10 extension)
-  serve     sharded filter service over HTTP, naive or hardened (§8 live)
+  serve     multi-filter HTTP service: named bloom/counting filters, naive
+            or hardened, with remove endpoints (§8 and §4.3 live)
 `)
 }
 

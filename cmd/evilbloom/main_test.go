@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"evilbloom/internal/service"
 )
 
 // captureStdout redirects os.Stdout for the duration of fn.
@@ -95,4 +97,59 @@ func TestSubcommandFlagErrors(t *testing.T) {
 	if err := run([]string{"serve", "-shards", "3"}); err == nil {
 		t.Error("serve: non-power-of-two shard count accepted")
 	}
+}
+
+// Contradictory serve flag combinations must error up front instead of
+// being silently ignored.
+func TestServeFlagValidation(t *testing.T) {
+	key := "00112233445566778899aabbccddeeff"
+	bad := [][]string{
+		{"serve", "-variant", "cuckoo"},                   // unknown variant
+		{"serve", "-mode", "hardened", "-seed", "7"},      // hardened has no public seed
+		{"serve", "-mode", "naive", "-key", key},          // naive has no index secret
+		{"serve", "-key", key},                            // mode defaults to naive
+		{"serve", "-counter-width", "8"},                  // counters need -variant counting
+		{"serve", "-overflow", "saturate"},                // ditto
+		{"serve", "-variant", "bloom", "-overflow", "wrap"},
+		{"serve", "-variant", "counting", "-overflow", "explode"}, // unknown policy
+		{"serve", "-variant", "counting", "-counter-width", "99"}, // width out of range
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+	// Coherent combinations must pass validation (checked without binding a
+	// listener by exercising the config assembly through NewSharded).
+	good := []struct {
+		variant, mode string
+		extra         []string
+	}{
+		{"counting", "naive", []string{"-counter-width", "8", "-overflow", "saturate", "-seed", "7"}},
+		{"counting", "hardened", []string{"-key", key}},
+		{"bloom", "hardened", []string{"-key", key, "-route-key", key}},
+		{"bloom", "naive", []string{"-seed", "9"}},
+	}
+	for _, tc := range good {
+		args := append([]string{"-variant", tc.variant, "-mode", tc.mode}, tc.extra...)
+		if err := checkServeConfig(t, args); err != nil {
+			t.Errorf("coherent combination %v rejected: %v", args, err)
+		}
+	}
+}
+
+// checkServeConfig runs serve's flag parsing and validation without
+// starting the server.
+func checkServeConfig(t *testing.T, args []string) error {
+	t.Helper()
+	fs, values := newServeFlagSet()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := values.config(fs)
+	if err != nil {
+		return err
+	}
+	_, err = service.NewSharded(cfg)
+	return err
 }

@@ -7,59 +7,147 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"evilbloom/internal/core"
 	"evilbloom/internal/service"
 )
 
-// cmdServe runs the sharded filter service (evilbloomd): the paper's §8
-// naive-vs-hardened comparison as a live HTTP endpoint the attack machinery
-// can be pointed at.
-func cmdServe(args []string) error {
+// serveFlags holds the parsed serve flag values; config turns them into the
+// default filter's configuration after validating the combination.
+type serveFlags struct {
+	addr         *string
+	variant      *string
+	shards       *int
+	capacity     *uint64
+	fpr          *float64
+	mode         *string
+	seed         *uint64
+	keyHex       *string
+	routeKeyHex  *string
+	counterWidth *int
+	overflow     *string
+}
+
+// newServeFlagSet declares the serve flag set.
+func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:8379", "listen address")
-	shards := fs.Int("shards", 8, "shard count (power of two)")
-	capacity := fs.Uint64("capacity", 1<<20, "total anticipated insertions")
-	fpr := fs.Float64("fpr", 1.0/1024, "target false-positive probability")
-	mode := fs.String("mode", "naive", "index derivation: naive (attackable Murmur) or hardened (keyed SipHash)")
-	seed := fs.Uint64("seed", 3, "public Murmur seed (naive mode)")
-	keyHex := fs.String("key", "", "hex-encoded 16-byte index secret (hardened mode; random when empty)")
-	routeKeyHex := fs.String("route-key", "", "hex-encoded 16-byte shard-routing secret (random when empty)")
+	v := &serveFlags{
+		addr:         fs.String("addr", "127.0.0.1:8379", "listen address"),
+		variant:      fs.String("variant", "bloom", "default filter backend: bloom or counting (removable)"),
+		shards:       fs.Int("shards", 8, "shard count (power of two)"),
+		capacity:     fs.Uint64("capacity", 1<<20, "total anticipated insertions"),
+		fpr:          fs.Float64("fpr", 1.0/1024, "target false-positive probability"),
+		mode:         fs.String("mode", "naive", "index derivation: naive (attackable Murmur) or hardened (keyed SipHash)"),
+		seed:         fs.Uint64("seed", 3, "public Murmur seed (naive mode only)"),
+		keyHex:       fs.String("key", "", "hex-encoded 16-byte index secret (hardened mode only; random when empty)"),
+		routeKeyHex:  fs.String("route-key", "", "hex-encoded 16-byte shard-routing secret (random when empty)"),
+		counterWidth: fs.Int("counter-width", 4, "counter bits per position (counting variant only)"),
+		overflow:     fs.String("overflow", "wrap", "counter overflow policy: wrap or saturate (counting variant only)"),
+	}
+	return fs, v
+}
+
+// config validates the flag combination up front — contradictory flags are
+// an error, not something to silently ignore — and assembles the Config.
+func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	variant, err := service.ParseVariant(*v.variant)
+	if err != nil {
+		return service.Config{}, err
+	}
+	mode, err := service.ParseMode(*v.mode)
+	if err != nil {
+		return service.Config{}, err
+	}
+
+	// Mode-dependent flags: naive mode has no index secret, hardened mode
+	// has no public seed. Accepting the contradictory flag would quietly
+	// serve something other than what the operator asked for.
+	if mode == service.ModeHardened && set["seed"] {
+		return service.Config{}, fmt.Errorf("-seed is meaningless with -mode hardened: the keyed family has no public seed (use -key to pin the secret)")
+	}
+	if mode == service.ModeNaive && set["key"] {
+		return service.Config{}, fmt.Errorf("-key is meaningless with -mode naive: the Murmur family is unkeyed (use -seed, or -mode hardened)")
+	}
+
+	// Variant-dependent flags: counters exist only on the counting backend.
+	if variant == service.VariantBloom {
+		var rejected []string
+		for _, name := range []string{"counter-width", "overflow"} {
+			if set[name] {
+				rejected = append(rejected, "-"+name)
+			}
+		}
+		if len(rejected) > 0 {
+			return service.Config{}, fmt.Errorf("%s need(s) -variant counting; a bloom filter has no counters", strings.Join(rejected, ", "))
+		}
+	}
+
+	cfg := service.Config{
+		Variant:   variant,
+		Shards:    *v.shards,
+		Capacity:  *v.capacity,
+		TargetFPR: *v.fpr,
+		Mode:      mode,
+		Seed:      *v.seed,
+	}
+	if variant == service.VariantCounting {
+		cfg.CounterWidth = *v.counterWidth
+		if cfg.Overflow, err = core.ParseOverflowPolicy(*v.overflow); err != nil {
+			return service.Config{}, err
+		}
+	}
+	if cfg.Key, err = parseKeyFlag(*v.keyHex); err != nil {
+		return service.Config{}, fmt.Errorf("-key: %w", err)
+	}
+	if cfg.RouteKey, err = parseKeyFlag(*v.routeKeyHex); err != nil {
+		return service.Config{}, fmt.Errorf("-route-key: %w", err)
+	}
+	return cfg, nil
+}
+
+// cmdServe runs the multi-filter service (evilbloomd): a registry of named
+// filters behind the /v2 API, with the flag-configured filter installed as
+// "default" (also served on the /v1 shim) — the paper's §8 naive-vs-hardened
+// comparison and the §4.3 deletion scenario as live HTTP endpoints the
+// attack machinery can be pointed at.
+func cmdServe(args []string) error {
+	fs, values := newServeFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := service.ParseMode(*mode)
+	cfg, err := values.config(fs)
 	if err != nil {
 		return err
-	}
-	cfg := service.Config{
-		Shards:    *shards,
-		Capacity:  *capacity,
-		TargetFPR: *fpr,
-		Mode:      m,
-		Seed:      *seed,
-	}
-	if cfg.Key, err = parseKeyFlag(*keyHex); err != nil {
-		return fmt.Errorf("-key: %w", err)
-	}
-	if cfg.RouteKey, err = parseKeyFlag(*routeKeyHex); err != nil {
-		return fmt.Errorf("-route-key: %w", err)
 	}
 	store, err := service.NewSharded(cfg)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", *addr)
+	reg := service.NewRegistry()
+	if _, err := reg.Adopt(service.DefaultFilterName, store); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *values.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "evilbloom serve: %s mode, %d shards × %d bits, k=%d, listening on http://%s\n",
-		store.Mode(), store.Shards(), store.ShardBits(), store.K(), ln.Addr())
-	if store.Mode() == service.ModeNaive {
-		fmt.Fprintf(os.Stderr, "evilbloom serve: naive index seed %d is PUBLIC (served on /v1/info) — this mode is meant to be attacked\n", store.Seed())
+	fmt.Fprintf(os.Stderr, "evilbloom serve: %s %s-mode default filter, %d shards × %d positions, k=%d, listening on http://%s\n",
+		store.Variant(), store.Mode(), store.Shards(), store.ShardBits(), store.K(), ln.Addr())
+	if store.Variant() == service.VariantCounting {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: %d-bit %s counters; remove endpoints enabled\n",
+			store.CounterWidth(), store.OverflowPolicy())
 	}
+	if store.Mode() == service.ModeNaive {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: naive index seed %d is PUBLIC (served on the info endpoints) — this mode is meant to be attacked\n", store.Seed())
+	}
+	fmt.Fprintf(os.Stderr, "evilbloom serve: manage named filters via PUT/GET/DELETE /v2/filters/{name}; /v1/* serves the default filter\n")
 	srv := &http.Server{
-		Handler: service.NewServer(store),
+		Handler: service.NewRegistryServer(reg),
 		// The filter attacks are the point; transport-level stalls
 		// (slowloris clients holding goroutines open) are not.
 		ReadHeaderTimeout: 10 * time.Second,

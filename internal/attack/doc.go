@@ -21,4 +21,11 @@
 // of the server state from nothing but its public parameters and her own
 // insertions. That last view turns every in-process attack into a
 // client-vs-server scenario.
+//
+// RemoteDeletion extends the wire-level setting to §4.3: against a naive
+// counting filter served with public remove endpoints, it assembles false
+// positives out of the adversary's own legitimate insertions and has the
+// server delete them, draining a targeted honest item's counters into a
+// false negative; a hardened server refuses the same campaign because the
+// crafted items are not false positives under its keyed family.
 package attack

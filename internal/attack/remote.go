@@ -15,31 +15,47 @@ import (
 // RemoteClient speaks the evilbloom serve HTTP/JSON protocol (package
 // service's Server) from the attacker's side of the wire. It deliberately
 // uses nothing but the public endpoints: everything the adversary learns,
-// she learns the way a real client would.
+// she learns the way a real client would. The zero-argument constructor
+// targets the v1 shim (the registry's default filter); ForFilter scopes the
+// same client to a named /v2 filter.
 type RemoteClient struct {
-	base string
-	hc   *http.Client
+	base   string
+	prefix string // "/v1" or "/v2/filters/{name}"
+	hc     *http.Client
 }
 
 // NewRemoteClient targets an evilbloom serve instance at base (e.g.
-// "http://127.0.0.1:8379"). hc may be nil for http.DefaultClient.
+// "http://127.0.0.1:8379") through the /v1 shim. hc may be nil for
+// http.DefaultClient.
 func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &RemoteClient{base: base, hc: hc}
+	return &RemoteClient{base: base, prefix: "/v1", hc: hc}
 }
 
-// RemoteInfo is the server's public self-description (/v1/info): the threat
-// model's "the implementation of the Bloom filter is public and known". In
-// naive mode Seed is published; in hardened mode it is absent.
+// ForFilter returns a client for the named filter's /v2 endpoints, sharing
+// the transport.
+func (c *RemoteClient) ForFilter(name string) *RemoteClient {
+	return &RemoteClient{base: c.base, prefix: "/v2/filters/" + name, hc: c.hc}
+}
+
+// RemoteInfo is a served filter's public self-description (/v1/info or
+// /v2/filters/{name}/info): the threat model's "the implementation of the
+// Bloom filter is public and known". In naive mode Seed is published; in
+// hardened mode it is absent. The v2-only fields (variant, counter width,
+// overflow, capabilities) stay zero against the v1 shim.
 type RemoteInfo struct {
-	Mode      string  `json:"mode"`
-	Shards    int     `json:"shards"`
-	K         int     `json:"k"`
-	ShardBits uint64  `json:"shard_bits"`
-	Algorithm string  `json:"algorithm"`
-	Seed      *uint64 `json:"seed"`
+	Mode         string   `json:"mode"`
+	Variant      string   `json:"variant"`
+	Shards       int      `json:"shards"`
+	K            int      `json:"k"`
+	ShardBits    uint64   `json:"shard_bits"`
+	Algorithm    string   `json:"algorithm"`
+	Seed         *uint64  `json:"seed"`
+	CounterWidth int      `json:"counter_width"`
+	Overflow     string   `json:"overflow"`
+	Capabilities []string `json:"capabilities"`
 }
 
 // RemoteStats is the slice of /v1/stats the attack experiments read back:
@@ -51,19 +67,19 @@ type RemoteStats struct {
 	FPR    float64 `json:"estimated_fpr"`
 }
 
-// Info fetches the server's public parameters.
+// Info fetches the filter's public parameters.
 func (c *RemoteClient) Info() (*RemoteInfo, error) {
 	var info RemoteInfo
-	if err := c.get("/v1/info", &info); err != nil {
+	if err := c.get(c.prefix+"/info", &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
 }
 
-// Stats fetches the server's aggregate filter statistics.
+// Stats fetches the filter's aggregate statistics.
 func (c *RemoteClient) Stats() (*RemoteStats, error) {
 	var st RemoteStats
-	if err := c.get("/v1/stats", &st); err != nil {
+	if err := c.get(c.prefix+"/stats", &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -71,12 +87,12 @@ func (c *RemoteClient) Stats() (*RemoteStats, error) {
 
 // Add inserts one item through the public add endpoint.
 func (c *RemoteClient) Add(item []byte) error {
-	return c.post("/v1/add", map[string]string{"item": string(item)}, nil)
+	return c.post(c.prefix+"/add", map[string]string{"item": string(item)}, nil)
 }
 
 // AddBatch inserts items through the batch endpoint.
 func (c *RemoteClient) AddBatch(items [][]byte) error {
-	return c.post("/v1/add-batch", map[string][]string{"items": toStrings(items)}, nil)
+	return c.post(c.prefix+"/add-batch", map[string][]string{"items": toStrings(items)}, nil)
 }
 
 // Test queries one item's membership.
@@ -84,7 +100,7 @@ func (c *RemoteClient) Test(item []byte) (bool, error) {
 	var resp struct {
 		Present bool `json:"present"`
 	}
-	if err := c.post("/v1/test", map[string]string{"item": string(item)}, &resp); err != nil {
+	if err := c.post(c.prefix+"/test", map[string]string{"item": string(item)}, &resp); err != nil {
 		return false, err
 	}
 	return resp.Present, nil
@@ -95,13 +111,50 @@ func (c *RemoteClient) TestBatch(items [][]byte) ([]bool, error) {
 	var resp struct {
 		Present []bool `json:"present"`
 	}
-	if err := c.post("/v1/test-batch", map[string][]string{"items": toStrings(items)}, &resp); err != nil {
+	if err := c.post(c.prefix+"/test-batch", map[string][]string{"items": toStrings(items)}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Present) != len(items) {
 		return nil, fmt.Errorf("attack: server answered %d results for %d items", len(resp.Present), len(items))
 	}
 	return resp.Present, nil
+}
+
+// Remove asks the server to delete one item (a /v2 counting-filter
+// endpoint). It reports whether the server accepted: refusals — the filter
+// believes the item absent (409) — return (false, nil), because a refusal
+// is a normal, informative outcome for the §4.3 adversary probing what the
+// server believes. Capability rejections and transport failures error.
+func (c *RemoteClient) Remove(item []byte) (bool, error) {
+	path := c.prefix + "/remove"
+	buf, err := json.Marshal(map[string]string{"item": string(item)})
+	if err != nil {
+		return false, fmt.Errorf("attack: encoding %s request: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false, fmt.Errorf("attack: POST %s: %w", path, err)
+	}
+	if resp.StatusCode == http.StatusConflict {
+		resp.Body.Close()
+		return false, nil
+	}
+	return true, decodeRemote(resp, path, nil)
+}
+
+// RemoveBatch asks the server to delete a batch, returning per-item
+// acceptance in input order (refused items are false).
+func (c *RemoteClient) RemoveBatch(items [][]byte) ([]bool, error) {
+	var resp struct {
+		Removed []bool `json:"removed"`
+	}
+	if err := c.post(c.prefix+"/remove-batch", map[string][]string{"items": toStrings(items)}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Removed) != len(items) {
+		return nil, fmt.Errorf("attack: server answered %d results for %d items", len(resp.Removed), len(items))
+	}
+	return resp.Removed, nil
 }
 
 func toStrings(items [][]byte) []string {
@@ -182,7 +235,8 @@ var (
 
 // NewRemoteView builds the adversary's shadow view of the server behind
 // client, deriving indexes from fam — normally the family reconstructed
-// from the server's published /v1/info parameters (see NewRemoteViewFromInfo).
+// from the published /v1/info or /v2/filters/{name}/info parameters (see
+// NewRemoteViewFromInfo).
 func NewRemoteView(client *RemoteClient, fam hashes.IndexFamily) *RemoteView {
 	return &RemoteView{client: client, fam: fam, shadow: bitset.New(fam.M())}
 }

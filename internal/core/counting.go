@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"evilbloom/internal/hashes"
@@ -29,6 +30,21 @@ func (p OverflowPolicy) String() string {
 		return "saturate"
 	default:
 		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy resolves "wrap" or "saturate"; the empty string parses
+// to the zero policy so callers can treat it as "use the default".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "wrap":
+		return Wrap, nil
+	case "saturate":
+		return Saturate, nil
+	default:
+		return 0, fmt.Errorf("core: unknown overflow policy %q (want wrap or saturate)", s)
 	}
 }
 
@@ -99,11 +115,43 @@ func (c *Counting) AddIndexes(idx []uint64) (fresh, overflowed int) {
 // deletion. Saturated counters under the Saturate policy are left pinned.
 func (c *Counting) Remove(item []byte) error {
 	c.scratch = c.fam.Indexes(c.scratch[:0], item)
-	return c.RemoveIndexes(c.scratch)
+	_, err := c.RemoveIndexes(c.scratch)
+	return err
 }
 
-// RemoveIndexes decrements a pre-computed index set.
-func (c *Counting) RemoveIndexes(idx []uint64) error {
+// CanRemoveIndexes reports whether RemoveIndexes(idx) would complete
+// without hitting a zero counter: every position's counter covers its
+// multiplicity in idx (an index set may repeat a position, and each
+// occurrence decrements once). Pinned counters under the Saturate policy
+// always pass — they are never decremented. A caller that guards removals
+// with this check (under the same lock) can never be driven into the
+// partial-removal footprint.
+func (c *Counting) CanRemoveIndexes(idx []uint64) bool {
+	for i, p := range idx {
+		v := c.counters.get(p)
+		if v == c.counters.max() && c.policy == Saturate {
+			continue
+		}
+		mult := uint64(1)
+		for _, q := range idx[:i] {
+			if q == p {
+				mult++
+			}
+		}
+		if mult > v {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveIndexes decrements a pre-computed index set. It returns how many
+// counters this removal drove to zero — the mirror of AddIndexes' fresh
+// count, which lets a wrapper track the non-zero weight incrementally. The
+// zeroed count stays valid on error: counters decremented before the failing
+// position remain decremented, exactly like the partial-removal footprint
+// real implementations leave behind.
+func (c *Counting) RemoveIndexes(idx []uint64) (zeroed int, err error) {
 	if c.n > 0 {
 		c.n--
 	}
@@ -111,14 +159,17 @@ func (c *Counting) RemoveIndexes(idx []uint64) error {
 		v := c.counters.get(i)
 		switch {
 		case v == 0:
-			return fmt.Errorf("core: removing item whose counter %d (position %d) is already zero", i, pos)
+			return zeroed, fmt.Errorf("core: removing item whose counter %d (position %d) is already zero", i, pos)
 		case v == c.counters.max() && c.policy == Saturate:
 			// Pinned: cannot safely decrement.
 		default:
 			c.counters.set(i, v-1)
+			if v == 1 {
+				zeroed++
+			}
 		}
 	}
-	return nil
+	return zeroed, nil
 }
 
 // Test implements Filter.
@@ -186,6 +237,57 @@ func (c *Counting) EstimatedFPR() float64 {
 
 // Family returns the index family.
 func (c *Counting) Family() hashes.IndexFamily { return c.fam }
+
+// Policy returns the overflow policy.
+func (c *Counting) Policy() OverflowPolicy { return c.policy }
+
+// countingSnapshotHeader is the fixed prefix of a Counting snapshot: width,
+// policy, m, n and the overflow count, followed by the packed counter words.
+const countingSnapshotHeader = 1 + 1 + 8 + 8 + 8
+
+// MarshalBinary encodes the counter state (width, policy, insertion and
+// overflow counts, packed counters). The index family is NOT serialized —
+// like a cache digest, a snapshot is only meaningful to a party that already
+// knows the filter's public geometry (and, for keyed families, its secret).
+func (c *Counting) MarshalBinary() ([]byte, error) {
+	out := make([]byte, countingSnapshotHeader+8*len(c.counters.words))
+	out[0] = byte(c.counters.width)
+	out[1] = byte(c.policy)
+	binary.LittleEndian.PutUint64(out[2:], c.counters.m)
+	binary.LittleEndian.PutUint64(out[10:], c.n)
+	binary.LittleEndian.PutUint64(out[18:], c.overflow)
+	for i, w := range c.counters.words {
+		binary.LittleEndian.PutUint64(out[countingSnapshotHeader+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores state written by MarshalBinary into a filter that
+// must already have the same geometry (m and counter width).
+func (c *Counting) UnmarshalBinary(data []byte) error {
+	if len(data) < countingSnapshotHeader {
+		return fmt.Errorf("core: truncated counting snapshot: %d bytes", len(data))
+	}
+	width, policy := int(data[0]), OverflowPolicy(data[1])
+	m := binary.LittleEndian.Uint64(data[2:])
+	if width != c.counters.width || m != c.counters.m {
+		return fmt.Errorf("core: snapshot geometry (m=%d, width=%d) does not match filter (m=%d, width=%d)",
+			m, width, c.counters.m, c.counters.width)
+	}
+	if policy != Wrap && policy != Saturate {
+		return fmt.Errorf("core: snapshot carries invalid overflow policy %d", int(policy))
+	}
+	if want := countingSnapshotHeader + 8*len(c.counters.words); len(data) != want {
+		return fmt.Errorf("core: counting snapshot needs %d bytes, have %d", want, len(data))
+	}
+	c.policy = policy
+	c.n = binary.LittleEndian.Uint64(data[10:])
+	c.overflow = binary.LittleEndian.Uint64(data[18:])
+	for i := range c.counters.words {
+		c.counters.words[i] = binary.LittleEndian.Uint64(data[countingSnapshotHeader+8*i:])
+	}
+	return nil
+}
 
 // packedCounters stores m counters of `width` bits each, packed into words.
 type packedCounters struct {

@@ -125,11 +125,49 @@ func TestCountingDeletionCreatesFalseNegative(t *testing.T) {
 	victimIdx := c.Family().Clone().Indexes(nil, victim)
 	// The adversary "removes" an item with the same index set (a Bloom
 	// second pre-image) without it ever being inserted.
-	if err := c.RemoveIndexes(victimIdx); err != nil {
+	zeroed, err := c.RemoveIndexes(victimIdx)
+	if err != nil {
 		t.Fatalf("RemoveIndexes: %v", err)
+	}
+	if zeroed != len(victimIdx) {
+		t.Errorf("zeroed %d counters, want %d (victim stood alone)", zeroed, len(victimIdx))
 	}
 	if c.Test(victim) {
 		t.Error("victim still present after adversarial deletion")
+	}
+}
+
+// A snapshot must round-trip counters, counts and the overflow tally into a
+// same-geometry filter, and refuse a mismatched one.
+func TestCountingSnapshotRoundTrip(t *testing.T) {
+	c := newTestCounting(t, 4, 512, 4, Saturate)
+	gen := func(i int) []byte { return []byte(fmt.Sprintf("http://a.example/%d", i)) }
+	for i := 0; i < 300; i++ {
+		c.Add(gen(i))
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newTestCounting(t, 4, 512, 4, Wrap) // policy comes from the snapshot
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != c.Count() || restored.Weight() != c.Weight() || restored.Overflows() != c.Overflows() {
+		t.Errorf("restored (n=%d w=%d o=%d) != original (n=%d w=%d o=%d)",
+			restored.Count(), restored.Weight(), restored.Overflows(), c.Count(), c.Weight(), c.Overflows())
+	}
+	for i := 0; i < 300; i++ {
+		if !restored.Test(gen(i)) {
+			t.Fatalf("item %d lost through the snapshot", i)
+		}
+	}
+	wrongGeometry := newTestCounting(t, 4, 512, 8, Wrap)
+	if err := wrongGeometry.UnmarshalBinary(blob); err == nil {
+		t.Error("snapshot accepted into a filter with a different counter width")
+	}
+	if err := restored.UnmarshalBinary(blob[:10]); err == nil {
+		t.Error("truncated snapshot accepted")
 	}
 }
 

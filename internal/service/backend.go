@@ -1,0 +1,163 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/hashes"
+)
+
+// Backend is the filter one shard serves. The Sharded layer owns index
+// derivation (on pooled per-goroutine family clones, outside the shard lock)
+// and hands each backend pre-computed index sets, so any index-addressable
+// filter variant — plain bit vectors, counting arrays, or a future hardened
+// construction — plugs in without touching the locking, routing, or stats
+// machinery. Implementations need not be concurrency-safe; the shard lock
+// serializes every call.
+type Backend interface {
+	// AddIndexes inserts a pre-derived index set and returns the net change
+	// in occupied positions, which keeps the shard's incremental weight
+	// (and therefore O(shards) stats) exact. The change is negative when an
+	// insertion erases occupancy — a wrap-policy counter rolling over to
+	// zero, the §6.2 overflow attack's effect.
+	AddIndexes(idx []uint64) int
+	// TestIndexes reports whether every position in idx is occupied.
+	TestIndexes(idx []uint64) bool
+	// Count returns the net number of insertions.
+	Count() uint64
+	// Weight returns the number of occupied positions (O(m); the shard layer
+	// tracks weight incrementally and uses this only for verification).
+	Weight() uint64
+	// M returns the number of positions.
+	M() uint64
+	// K returns the per-item index count.
+	K() int
+}
+
+// Remover is the optional deletion capability: backends built on counters
+// (§4.3) implement it, plain bit vectors cannot. The service answers remove
+// requests against a non-Remover backend with a capability error.
+type Remover interface {
+	// CanRemoveIndexes reports whether RemoveIndexes(idx) would complete
+	// without underflowing any position. TestIndexes is not a sufficient
+	// guard: an index set repeating a position decrements it once per
+	// occurrence, so a crafted duplicate can pass the membership check and
+	// still underflow mid-removal.
+	CanRemoveIndexes(idx []uint64) bool
+	// RemoveIndexes decrements a pre-derived index set and returns how many
+	// positions went unoccupied. A non-nil error means a position was
+	// already unoccupied; decrements applied before the failure stick, and
+	// zeroed stays accurate for them.
+	RemoveIndexes(idx []uint64) (zeroed int, err error)
+}
+
+// Snapshotter is the optional persistence capability: a backend that can
+// serialize its occupancy state. The index family is never part of a
+// snapshot — geometry and secrets travel out of band.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+}
+
+// overflowReporter is the stats-only capability of counter-based backends:
+// how many counter-overflow events (the §6.2 attack signature) occurred.
+type overflowReporter interface {
+	Overflows() uint64
+}
+
+// ErrNotRemovable answers removal requests against a backend without the
+// Remover capability.
+var ErrNotRemovable = errors.New("service: filter backend does not support removal (create it with variant=counting)")
+
+// Variant selects the per-shard backend a store is built from.
+type Variant int
+
+const (
+	// VariantBloom is the classic §3 bit-vector filter: no deletion.
+	VariantBloom Variant = iota
+	// VariantCounting is the §4.3/§6 counting filter: small counters per
+	// position, deletion supported, overflow policy configurable.
+	VariantCounting
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantBloom:
+		return "bloom"
+	case VariantCounting:
+		return "counting"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant resolves "bloom" or "counting"; the empty string is the bloom
+// default so wire specs may omit it.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "", "bloom":
+		return VariantBloom, nil
+	case "counting":
+		return VariantCounting, nil
+	default:
+		return 0, fmt.Errorf("service: unknown variant %q (want bloom or counting)", s)
+	}
+}
+
+// bloomBackend adapts *core.Bloom to Backend + Snapshotter. AddIndexes,
+// TestIndexes, Count, Weight, M and K promote straight through.
+type bloomBackend struct {
+	*core.Bloom
+}
+
+func (b bloomBackend) Snapshot() ([]byte, error) {
+	return b.Bits().MarshalBinary()
+}
+
+// countingBackend adapts *core.Counting to Backend + Remover + Snapshotter;
+// only AddIndexes needs an adapter (core reports fresh and overflowed
+// counters separately, the Backend contract wants the net occupancy change).
+type countingBackend struct {
+	*core.Counting
+}
+
+func (c countingBackend) AddIndexes(idx []uint64) int {
+	fresh, overflowed := c.Counting.AddIndexes(idx)
+	if c.Policy() == core.Wrap {
+		// Every wrap event rolls an occupied (max-valued) counter over to
+		// zero, erasing one occupied position.
+		return fresh - overflowed
+	}
+	return fresh // saturated counters stay occupied
+}
+
+func (c countingBackend) Snapshot() ([]byte, error) {
+	return c.MarshalBinary()
+}
+
+var (
+	_ Backend     = bloomBackend{}
+	_ Snapshotter = bloomBackend{}
+	_ Backend     = countingBackend{}
+	_ Remover     = countingBackend{}
+	_ Snapshotter = countingBackend{}
+	_             = overflowReporter(countingBackend{})
+)
+
+// newBackend builds one shard's backend for cfg (already defaulted) over the
+// shard's index family.
+func newBackend(cfg Config, fam hashes.IndexFamily) (Backend, error) {
+	switch cfg.Variant {
+	case VariantBloom:
+		return bloomBackend{core.NewBloom(fam)}, nil
+	case VariantCounting:
+		c, err := core.NewCounting(fam, cfg.CounterWidth, cfg.Overflow)
+		if err != nil {
+			return nil, err
+		}
+		return countingBackend{c}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown variant %v", cfg.Variant)
+	}
+}

@@ -218,3 +218,69 @@ func BenchmarkHardenedOverhead(b *testing.B) {
 		})
 	}
 }
+
+// newCountingBench builds a counting-variant store with the same geometry
+// conventions as newShardedBench.
+func newCountingBench(b *testing.B, shards int, totalBits uint64, k int, policy core.OverflowPolicy) *Sharded {
+	b.Helper()
+	s, err := NewSharded(Config{
+		Variant:   VariantCounting,
+		Shards:    shards,
+		ShardBits: totalBits / uint64(shards),
+		HashCount: k,
+		Mode:      ModeNaive,
+		Seed:      3,
+		RouteKey:  []byte("fedcba9876543210"),
+		Overflow:  policy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkVariantMixed prices the backend abstraction across variants:
+// the identical parallel mixed load through bloom shards (one bit per
+// position) and counting shards (4-bit packed counters). The delta is the
+// packed-counter arithmetic, not the service layer — routing, locking and
+// index derivation are shared code.
+func BenchmarkVariantMixed(b *testing.B) {
+	const totalBits, k = 1 << 22, 5
+	items := benchItems(1 << 16)
+	b.Run("bloom", func(b *testing.B) {
+		s := newShardedBench(b, 16, totalBits, k, ModeNaive)
+		runMixed(b, s.Add, s.Test, nil, 0, items)
+	})
+	for _, policy := range []core.OverflowPolicy{core.Wrap, core.Saturate} {
+		b.Run("counting-"+policy.String(), func(b *testing.B) {
+			s := newCountingBench(b, 16, totalBits, k, policy)
+			runMixed(b, s.Add, s.Test, nil, 0, items)
+		})
+	}
+}
+
+// BenchmarkRemove measures the test-and-remove path (one shard lock per
+// item, add first so removals mostly succeed) against plain adds on the
+// same counting store.
+func BenchmarkRemove(b *testing.B) {
+	const totalBits, k = 1 << 22, 5
+	items := benchItems(1 << 14)
+	b.Run("add", func(b *testing.B) {
+		s := newCountingBench(b, 16, totalBits, k, core.Saturate)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Add(items[i&(len(items)-1)])
+		}
+	})
+	b.Run("add-remove", func(b *testing.B) {
+		s := newCountingBench(b, 16, totalBits, k, core.Saturate)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := items[i&(len(items)-1)]
+			s.Add(it)
+			if _, err := s.Remove(it); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Package service turns the paper's offline filter experiments into an
+// online, serving system: a registry of named, independently configured
+// filter instances (Registry), each a sharded striped-lock store (Sharded)
+// over a pluggable per-shard backend (Backend), behind a versioned HTTP/JSON
+// API (Server), started by `evilbloom serve`.
+//
+// # Store architecture
+//
+// A store splits one logical filter into N power-of-two shards, each an
+// independent backend with its own index family and its own read-write
+// lock, so adds, membership tests and removals on different shards never
+// contend. Shard selection uses a separate keyed SipHash over the item, so
+// an adversary who can predict the per-shard index families still cannot
+// aim her insertions at a single shard and saturate it ahead of the others.
+//
+// The shards are variant-generic: the Backend interface carries the
+// index-level operations (AddIndexes/TestIndexes/Count/Weight/M/K), and the
+// optional Remover and Snapshotter capability interfaces mark what a
+// particular backend can additionally do. Two variants ship today:
+//
+//   - VariantBloom: the classic §3 bit vector. No deletion; requests for it
+//     are answered with a capability error.
+//   - VariantCounting: the §4.3/§6 counting filter — small counters per
+//     position, deletion supported, overflow policy selectable (wrap, the
+//     dablooms behaviour the §6.2 attack exploits, or saturate, the
+//     countermeasure).
+//
+// Index derivation runs outside the shard locks on pooled per-goroutine
+// family clones, and every backend reports occupancy deltas so statistics
+// are O(shards) instead of O(m) — no shard ever holds its lock for a scan.
+//
+// Two index-derivation modes mirror §8 of the paper:
+//
+//   - ModeNaive: unkeyed MurmurHash3 double hashing with a public seed, the
+//     dablooms configuration of §6. A chosen-insertion adversary who clones
+//     the family can pollute the filter through the public add endpoint,
+//     and against a naive counting filter the §4.3 deletion adversary can
+//     evict targeted honest items — package attack's RemoteView and
+//     RemoteDeletion do exactly that.
+//   - ModeHardened: keyed SipHash-2-4 with digest recycling (§8.2), one key
+//     per shard derived from a server secret. The same campaigns degrade
+//     into random insertions and refused removals.
+//
+// # Filter lifecycle
+//
+// Filters are created under a name (PUT /v2/filters/{name}), are immutable
+// once created, and are deleted by name; to change a filter's
+// configuration, delete and re-create it. The registry entry named
+// "default" backs the unversioned-era /v1/* shim, byte-identical to the
+// original single-filter wire format.
+//
+// # HTTP surface
+//
+//	PUT    /v2/filters/{name}              create (FilterSpec -> FilterInfo, 201; 409 if taken)
+//	GET    /v2/filters/{name}              public parameters + capabilities
+//	DELETE /v2/filters/{name}              delete (204; 404 if unknown)
+//	GET    /v2/filters                     list all filters
+//	POST   /v2/filters/{name}/add          insert one item
+//	POST   /v2/filters/{name}/test         membership query
+//	POST   /v2/filters/{name}/add-batch    insert up to MaxBatch items
+//	POST   /v2/filters/{name}/test-batch   query up to MaxBatch items
+//	POST   /v2/filters/{name}/remove       delete one item (counting only; 405 capability error otherwise, 409 when the filter believes the item absent)
+//	POST   /v2/filters/{name}/remove-batch delete a batch, per-item outcomes
+//	GET    /v2/filters/{name}/stats        fill, weight, FPR, overflow events, per shard
+//	GET    /v2/filters/{name}/info         same document as GET /v2/filters/{name}
+//	GET    /v2/filters/{name}/snapshot     binary occupancy snapshot of every shard
+//	POST   /v1/{add,test,add-batch,test-batch}  shim over the "default" filter
+//	GET    /v1/{stats,info}                     shim over the "default" filter
+//
+// See Server for the exact wire formats.
+package service

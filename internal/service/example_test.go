@@ -40,3 +40,42 @@ func ExampleSharded() {
 	// [true false]
 	// mode=hardened shards=4 count=3 weight=30
 }
+
+// ExampleRegistry manages named filters of different variants side by side:
+// a deletable counting blocklist next to a plain bloom dedup set, the
+// multi-tenant layout `evilbloom serve` exposes over /v2.
+func ExampleRegistry() {
+	reg := service.NewRegistry()
+	_, err := reg.Create("blocklist", service.Config{
+		Variant:   service.VariantCounting,
+		Shards:    1,
+		ShardBits: 3200,
+		HashCount: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.Create("seen-urls", service.Config{Shards: 4, Capacity: 10000}); err != nil {
+		log.Fatal(err)
+	}
+
+	blocklist, err := reg.Get("blocklist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := blocklist.Store()
+	store.Add([]byte("http://evil.example/malware"))
+	removed, err := store.Remove([]byte("http://evil.example/malware"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("removed:", removed, "still present:", store.Test([]byte("http://evil.example/malware")))
+
+	for _, f := range reg.List() {
+		fmt.Printf("%s: variant=%s removable=%v\n", f.Name(), f.Store().Variant(), f.Store().Removable())
+	}
+	// Output:
+	// removed: true still present: false
+	// blocklist: variant=counting removable=true
+	// seen-urls: variant=bloom removable=false
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// DefaultFilterName is the registry entry the /v1/* back-compat shim routes
+// to; `evilbloom serve` creates it from its command-line flags.
+const DefaultFilterName = "default"
+
+// Control-plane limits. The data plane bounds every request (MaxBatch,
+// MaxItemLen, MaxBodyBytes); these bound what filter creation may allocate,
+// so the unauthenticated control plane cannot be driven into memory
+// exhaustion either.
+const (
+	// MaxFilters caps how many filters one registry holds.
+	MaxFilters = 64
+	// MaxFilterBits caps one filter's total storage in bits
+	// (shards × shard_bits × counter width): 2^33 is a 1 GiB bloom filter
+	// or a 4 GiB counting filter at the default 4-bit width.
+	MaxFilterBits = uint64(1) << 33
+)
+
+// Registry errors, matched by the HTTP layer to pick status codes.
+var (
+	// ErrFilterExists answers creation of a name already in use.
+	ErrFilterExists = errors.New("service: filter already exists")
+	// ErrFilterNotFound answers operations on an unknown name.
+	ErrFilterNotFound = errors.New("service: no such filter")
+	// ErrRegistryFull answers creation beyond MaxFilters.
+	ErrRegistryFull = errors.New("service: registry is full; delete a filter first")
+)
+
+// filterName validates registry names: URL-path-safe, bounded, and unable to
+// collide with the fixed /v2 route segments.
+var filterName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidFilterName reports whether name is acceptable to Create.
+func ValidFilterName(name string) bool { return filterName.MatchString(name) }
+
+// Filter is one named entry in a Registry: a Sharded store plus its name.
+// The store carries its own (normalized) configuration; secrets stay inside
+// it and are never exposed through the registry.
+type Filter struct {
+	name  string
+	store *Sharded
+}
+
+// Name returns the registry name.
+func (f *Filter) Name() string { return f.name }
+
+// Store returns the underlying sharded store.
+func (f *Filter) Store() *Sharded { return f.store }
+
+// Registry is a concurrency-safe collection of named filter instances, each
+// with its own variant, mode, geometry and keys. All mutation is
+// coarse-grained (create/delete are rare control-plane operations); item
+// traffic takes only the read lock on the way to a filter's own striped
+// locks.
+type Registry struct {
+	mu      sync.RWMutex
+	filters map[string]*Filter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{filters: make(map[string]*Filter)}
+}
+
+// Create builds a filter from cfg and registers it under name. It fails
+// with ErrFilterExists when the name is taken — filters are immutable once
+// created; delete and re-create to change configuration — and enforces the
+// MaxFilters and MaxFilterBits limits before allocating anything.
+func (r *Registry) Create(name string, cfg Config) (*Filter, error) {
+	if !ValidFilterName(name) {
+		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
+	}
+	// Resolve the geometry first so the size check precedes allocation: a
+	// crafted shard_bits or capacity must be rejected, not OOM the server.
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	width := uint64(1)
+	if cfg.Variant == VariantCounting {
+		width = uint64(cfg.CounterWidth)
+	}
+	if bits := uint64(cfg.Shards) * cfg.ShardBits * width; bits > MaxFilterBits {
+		return nil, fmt.Errorf("service: filter would need %d bits of storage, limit %d (shards × shard_bits × counter width)",
+			bits, MaxFilterBits)
+	}
+	// Cheap early capacity check (best effort; authoritative re-check at
+	// insertion below), then build outside the lock: sizing allocates.
+	if r.Len() >= MaxFilters {
+		return nil, fmt.Errorf("%w (%d registered)", ErrRegistryFull, r.Len())
+	}
+	store, err := NewSharded(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{name: name, store: store}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.filters[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
+	}
+	if len(r.filters) >= MaxFilters {
+		return nil, fmt.Errorf("%w (%d registered)", ErrRegistryFull, len(r.filters))
+	}
+	r.filters[name] = f
+	return f, nil
+}
+
+// Adopt registers an already-built store under name — the path `evilbloom
+// serve` uses to install its flag-configured default filter.
+func (r *Registry) Adopt(name string, store *Sharded) (*Filter, error) {
+	if !ValidFilterName(name) {
+		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
+	}
+	f := &Filter{name: name, store: store}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.filters[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
+	}
+	r.filters[name] = f
+	return f, nil
+}
+
+// Get returns the filter registered under name.
+func (r *Registry) Get(name string) (*Filter, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.filters[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrFilterNotFound, name)
+	}
+	return f, nil
+}
+
+// Delete removes the filter registered under name. In-flight operations on
+// the filter finish against the orphaned store; its memory is reclaimed
+// when they drain.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.filters[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrFilterNotFound, name)
+	}
+	delete(r.filters, name)
+	return nil
+}
+
+// List returns every registered filter, sorted by name.
+func (r *Registry) List() []*Filter {
+	r.mu.RLock()
+	out := make([]*Filter, 0, len(r.filters))
+	for _, f := range r.filters {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of registered filters.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.filters)
+}

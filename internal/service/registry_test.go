@@ -1,0 +1,153 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Len() != 0 {
+		t.Fatalf("fresh registry holds %d filters", reg.Len())
+	}
+	f, err := reg.Create("blocklist", Config{Variant: VariantCounting, Shards: 1, ShardBits: 3200, HashCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "blocklist" || f.Store() == nil {
+		t.Errorf("created filter %q with store %v", f.Name(), f.Store())
+	}
+	if _, err := reg.Create("blocklist", Config{}); !errors.Is(err, ErrFilterExists) {
+		t.Errorf("duplicate create: %v, want ErrFilterExists", err)
+	}
+	got, err := reg.Get("blocklist")
+	if err != nil || got != f {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrFilterNotFound) {
+		t.Errorf("Get(unknown): %v, want ErrFilterNotFound", err)
+	}
+	if _, err := reg.Create("seen-urls", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, f := range reg.List() {
+		names = append(names, f.Name())
+	}
+	if strings.Join(names, ",") != "blocklist,seen-urls" {
+		t.Errorf("List = %v, want sorted [blocklist seen-urls]", names)
+	}
+	if err := reg.Delete("blocklist"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Delete("blocklist"); !errors.Is(err, ErrFilterNotFound) {
+		t.Errorf("double delete: %v, want ErrFilterNotFound", err)
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d after delete, want 1", reg.Len())
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"", ".hidden", "-dash", "a/b", "a b", "ü", strings.Repeat("x", 65)} {
+		if _, err := reg.Create(name, Config{}); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+	for _, name := range []string{"a", "A-b_c.9", strings.Repeat("x", 64), "default"} {
+		if !ValidFilterName(name) {
+			t.Errorf("name %q rejected", name)
+		}
+	}
+}
+
+func TestRegistryRejectsBadConfig(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Create("x", Config{Shards: 3}); err == nil {
+		t.Error("bad shard count accepted")
+	}
+	if _, err := reg.Create("x", Config{CounterWidth: 4}); err == nil {
+		t.Error("counter width on bloom variant accepted")
+	}
+	if reg.Len() != 0 {
+		t.Errorf("failed creates left %d filters behind", reg.Len())
+	}
+}
+
+// The unauthenticated control plane must not be drivable into memory
+// exhaustion: oversized geometries are rejected before allocation and the
+// filter count is capped.
+func TestRegistryResourceLimits(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Create("huge", Config{Shards: 1, ShardBits: MaxFilterBits + 1, HashCount: 4}); err == nil {
+		t.Error("oversized bloom filter accepted")
+	}
+	// Counter width multiplies storage: a quarter of the bit budget in
+	// positions already exceeds it at 4 bits each.
+	if _, err := reg.Create("huge", Config{Variant: VariantCounting, Shards: 1, ShardBits: MaxFilterBits/4 + 1, HashCount: 4}); err == nil {
+		t.Error("oversized counting filter accepted")
+	}
+	// Capacity-derived sizing is capped too, not just explicit shard_bits.
+	if _, err := reg.Create("huge", Config{Capacity: 1 << 40}); err == nil {
+		t.Error("oversized capacity-derived filter accepted")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("rejected creates left %d filters", reg.Len())
+	}
+	small := Config{Shards: 1, ShardBits: 64, HashCount: 2}
+	for i := 0; i < MaxFilters; i++ {
+		if _, err := reg.Create(fmt.Sprintf("f%d", i), small); err != nil {
+			t.Fatalf("filter %d: %v", i, err)
+		}
+	}
+	if _, err := reg.Create("one-too-many", small); !errors.Is(err, ErrRegistryFull) {
+		t.Errorf("create beyond MaxFilters: %v, want ErrRegistryFull", err)
+	}
+	if err := reg.Delete("f0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("one-too-many", small); err != nil {
+		t.Errorf("create after delete: %v", err)
+	}
+}
+
+// Concurrent create/get/delete/list churn must be race-clean (run under
+// -race) and never observe a half-registered filter.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("filter-%d", w)
+			for i := 0; i < 30; i++ {
+				f, err := reg.Create(name, Config{Shards: 1, ShardBits: 256, HashCount: 2})
+				if err != nil {
+					t.Errorf("worker %d: create: %v", w, err)
+					return
+				}
+				f.Store().Add([]byte("x"))
+				got, err := reg.Get(name)
+				if err != nil || got.Store() == nil {
+					t.Errorf("worker %d: get after create: %v", w, err)
+					return
+				}
+				reg.List()
+				if err := reg.Delete(name); err != nil {
+					t.Errorf("worker %d: delete: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reg.Len() != 0 {
+		t.Errorf("churn left %d filters registered", reg.Len())
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"evilbloom/internal/core"
 )
 
 // Wire format limits, all enforced independently: a request must satisfy
@@ -23,37 +25,56 @@ const (
 	MaxBodyBytes = 8 << 20
 )
 
-// itemRequest is the body of /v1/add and /v1/test.
+// ---------------------------------------------------------------------------
+// Wire structs. The v1 shapes are frozen — /v1/* promises byte-identical
+// responses to the original single-filter API, so these structs must not
+// grow fields. /v2 has its own shapes below.
+
+// itemRequest is the body of the add, test and remove item endpoints.
 type itemRequest struct {
 	Item string `json:"item"`
 }
 
-// batchRequest is the body of /v1/add-batch and /v1/test-batch.
+// batchRequest is the body of the batch endpoints.
 type batchRequest struct {
 	Items []string `json:"items"`
 }
 
-// addResponse answers /v1/add and /v1/add-batch.
+// addResponse answers add and add-batch.
 type addResponse struct {
 	Added int    `json:"added"`
 	Count uint64 `json:"count"`
 }
 
-// testResponse answers /v1/test.
+// testResponse answers test.
 type testResponse struct {
 	Present bool `json:"present"`
 }
 
-// testBatchResponse answers /v1/test-batch, Present in input order.
+// testBatchResponse answers test-batch, Present in input order.
 type testBatchResponse struct {
 	Present []bool `json:"present"`
+}
+
+// removeResponse answers /v2/.../remove (no v1 equivalent).
+type removeResponse struct {
+	Removed int    `json:"removed"`
+	Count   uint64 `json:"count"`
+}
+
+// removeBatchResponse answers /v2/.../remove-batch, Removed in input order
+// (false marks items the filter believed absent and refused to remove).
+type removeBatchResponse struct {
+	Removed []bool `json:"removed"`
+	Count   uint64 `json:"count"`
 }
 
 // InfoResponse answers /v1/info: the public parameters of the serving
 // filter. In naive mode that includes the index seed — the paper's threat
 // model ("the implementation of the Bloom filter is public and known") made
 // concrete. In hardened mode Seed is omitted and Algorithm names the keyed
-// scheme; the keys themselves never leave the server.
+// scheme; the keys themselves never leave the server. Frozen v1 shape; the
+// v2 equivalent is FilterInfo.
 type InfoResponse struct {
 	Mode      string  `json:"mode"`
 	Shards    int     `json:"shards"`
@@ -63,122 +84,528 @@ type InfoResponse struct {
 	Seed      *uint64 `json:"seed,omitempty"`
 }
 
+// statsV1 and shardStatsV1 freeze the /v1/stats wire shape (no variant or
+// overflow fields, which post-date v1).
+type statsV1 struct {
+	Mode      string         `json:"mode"`
+	Shards    int            `json:"shards"`
+	K         int            `json:"k"`
+	ShardBits uint64         `json:"shard_bits"`
+	Count     uint64         `json:"count"`
+	Weight    uint64         `json:"weight"`
+	Fill      float64        `json:"fill"`
+	FPR       float64        `json:"estimated_fpr"`
+	PerShard  []shardStatsV1 `json:"per_shard"`
+}
+
+type shardStatsV1 struct {
+	Shard  int     `json:"shard"`
+	Count  uint64  `json:"count"`
+	Weight uint64  `json:"weight"`
+	Fill   float64 `json:"fill"`
+	FPR    float64 `json:"estimated_fpr"`
+}
+
+// statsToV1 projects a Stats snapshot onto the frozen v1 shape.
+func statsToV1(st Stats) statsV1 {
+	out := statsV1{
+		Mode:      st.Mode,
+		Shards:    st.Shards,
+		K:         st.K,
+		ShardBits: st.ShardBits,
+		Count:     st.Count,
+		Weight:    st.Weight,
+		Fill:      st.Fill,
+		FPR:       st.FPR,
+		PerShard:  make([]shardStatsV1, len(st.PerShard)),
+	}
+	for i, ss := range st.PerShard {
+		out.PerShard[i] = shardStatsV1{
+			Shard: ss.Shard, Count: ss.Count, Weight: ss.Weight, Fill: ss.Fill, FPR: ss.FPR,
+		}
+	}
+	return out
+}
+
+// FilterSpec is the body of PUT /v2/filters/{name}: the per-filter
+// configuration, all fields optional (zero values take the Config defaults).
+// Index and routing keys are deliberately absent — secrets never cross the
+// wire; hardened filters draw fresh random keys server-side.
+type FilterSpec struct {
+	Variant      string  `json:"variant,omitempty"`
+	Mode         string  `json:"mode,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+	Capacity     uint64  `json:"capacity,omitempty"`
+	TargetFPR    float64 `json:"target_fpr,omitempty"`
+	ShardBits    uint64  `json:"shard_bits,omitempty"`
+	HashCount    int     `json:"hash_count,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+	CounterWidth int     `json:"counter_width,omitempty"`
+	Overflow     string  `json:"overflow,omitempty"`
+}
+
+// Config resolves the wire spec into a service Config.
+func (sp FilterSpec) Config() (Config, error) {
+	variant, err := ParseVariant(sp.Variant)
+	if err != nil {
+		return Config{}, err
+	}
+	mode, err := ParseMode(sp.Mode)
+	if err != nil {
+		return Config{}, err
+	}
+	overflow, err := core.ParseOverflowPolicy(sp.Overflow)
+	if err != nil {
+		return Config{}, err
+	}
+	// Like the serve flags, contradictory fields are an error, not
+	// something to silently ignore: a client pinning a seed on a hardened
+	// filter would otherwise get random server-side keys and no hint that
+	// its seed was discarded. (Counting fields on a bloom variant are
+	// rejected by the Config validation itself.)
+	if mode == ModeHardened && sp.Seed != 0 {
+		return Config{}, fmt.Errorf("service: seed is meaningless for a hardened filter: the keyed family has no public seed")
+	}
+	return Config{
+		Variant:      variant,
+		Shards:       sp.Shards,
+		Capacity:     sp.Capacity,
+		TargetFPR:    sp.TargetFPR,
+		ShardBits:    sp.ShardBits,
+		HashCount:    sp.HashCount,
+		Mode:         mode,
+		Seed:         sp.Seed,
+		CounterWidth: sp.CounterWidth,
+		Overflow:     overflow,
+	}, nil
+}
+
+// FilterInfo answers GET /v2/filters/{name} (and .../info): one filter's
+// public parameters plus its capability set, so a client can discover
+// whether remove or snapshot will be accepted before trying. Naive filters
+// publish their seed (the threat model's public implementation); hardened
+// filters do not.
+type FilterInfo struct {
+	Name         string   `json:"name"`
+	Variant      string   `json:"variant"`
+	Mode         string   `json:"mode"`
+	Shards       int      `json:"shards"`
+	K            int      `json:"k"`
+	ShardBits    uint64   `json:"shard_bits"`
+	Algorithm    string   `json:"algorithm"`
+	Seed         *uint64  `json:"seed,omitempty"`
+	CounterWidth int      `json:"counter_width,omitempty"`
+	Overflow     string   `json:"overflow,omitempty"`
+	Capabilities []string `json:"capabilities"`
+}
+
+// listResponse answers GET /v2/filters.
+type listResponse struct {
+	Filters []FilterInfo `json:"filters"`
+}
+
 // errorResponse is the body of every non-2xx answer.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Server exposes a Sharded store over HTTP/JSON:
+// filterInfo assembles a filter's public self-description.
+func filterInfo(f *Filter) FilterInfo {
+	st := f.Store()
+	info := FilterInfo{
+		Name:         f.Name(),
+		Variant:      st.Variant().String(),
+		Mode:         st.Mode().String(),
+		Shards:       st.Shards(),
+		K:            st.K(),
+		ShardBits:    st.ShardBits(),
+		Capabilities: []string{"add", "test"},
+	}
+	switch st.Mode() {
+	case ModeNaive:
+		info.Algorithm = "murmur3-double-hashing"
+		seed := st.Seed()
+		info.Seed = &seed
+	case ModeHardened:
+		info.Algorithm = "siphash-2-4-recycling"
+	}
+	if st.Variant() == VariantCounting {
+		info.CounterWidth = st.CounterWidth()
+		info.Overflow = st.OverflowPolicy().String()
+	}
+	if st.Snapshotable() {
+		info.Capabilities = append(info.Capabilities, "snapshot")
+	}
+	if st.Removable() {
+		info.Capabilities = append(info.Capabilities, "remove")
+	}
+	return info
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+
+// Server exposes a filter Registry over HTTP/JSON.
+//
+// The versioned v2 surface manages named filters and routes item traffic to
+// them:
+//
+//	PUT    /v2/filters/{name}              FilterSpec -> FilterInfo (201)
+//	GET    /v2/filters/{name}              -> FilterInfo
+//	DELETE /v2/filters/{name}              -> 204
+//	GET    /v2/filters                     -> {"filters": [FilterInfo...]}
+//	POST   /v2/filters/{name}/add          {"item": s}       -> {"added": 1, "count": n}
+//	POST   /v2/filters/{name}/test         {"item": s}       -> {"present": bool}
+//	POST   /v2/filters/{name}/add-batch    {"items": [s...]} -> {"added": len, "count": n}
+//	POST   /v2/filters/{name}/test-batch   {"items": [s...]} -> {"present": [bool...]}
+//	POST   /v2/filters/{name}/remove       {"item": s}       -> {"removed": 1, "count": n}
+//	POST   /v2/filters/{name}/remove-batch {"items": [s...]} -> {"removed": [bool...], "count": n}
+//	GET    /v2/filters/{name}/stats        -> Stats
+//	GET    /v2/filters/{name}/info         -> FilterInfo
+//	GET    /v2/filters/{name}/snapshot     -> binary shard snapshots
+//
+// remove/remove-batch need the Remover capability (variant=counting) and
+// answer 405 with a capability error otherwise; a single remove of an item
+// the filter believes absent answers 409.
+//
+// The unversioned-era v1 surface survives as a shim over the registry's
+// "default" filter, byte-identical to the original single-filter server:
 //
 //	POST /v1/add         {"item": s}            -> {"added": 1, "count": n}
 //	POST /v1/test        {"item": s}            -> {"present": bool}
 //	POST /v1/add-batch   {"items": [s...]}      -> {"added": len, "count": n}
 //	POST /v1/test-batch  {"items": [s...]}      -> {"present": [bool...]}
-//	GET  /v1/stats                              -> Stats
+//	GET  /v1/stats                              -> statsV1
 //	GET  /v1/info                               -> InfoResponse
 type Server struct {
-	store *Sharded
-	mux   *http.ServeMux
+	reg *Registry
+	mux *http.ServeMux
 }
 
-// NewServer wraps store in an HTTP API.
-func NewServer(store *Sharded) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/add", s.handleAdd)
-	s.mux.HandleFunc("/v1/test", s.handleTest)
-	s.mux.HandleFunc("/v1/add-batch", s.handleAddBatch)
-	s.mux.HandleFunc("/v1/test-batch", s.handleTestBatch)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/info", s.handleInfo)
+// NewRegistryServer wraps a filter registry in the full v1+v2 HTTP API.
+func NewRegistryServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/add", s.v1(handleAdd))
+	s.mux.HandleFunc("/v1/test", s.v1(handleTest))
+	s.mux.HandleFunc("/v1/add-batch", s.v1(handleAddBatch))
+	s.mux.HandleFunc("/v1/test-batch", s.v1(handleTestBatch))
+	s.mux.HandleFunc("/v1/stats", s.handleStatsV1)
+	s.mux.HandleFunc("/v1/info", s.handleInfoV1)
+	s.mux.HandleFunc("/v2/filters", s.handleFilters)
+	s.mux.HandleFunc("/v2/filters/{name}", s.handleFilter)
+	s.mux.HandleFunc("/v2/filters/{name}/{op}", s.handleFilterOp)
 	return s
 }
 
-// Store returns the underlying Sharded filter.
-func (s *Server) Store() *Sharded { return s.store }
+// NewServer wraps a single store in the HTTP API, registered as the
+// registry's default filter — the original single-filter constructor, kept
+// so embedders (tests, examples) need no registry ceremony.
+func NewServer(store *Sharded) *Server {
+	reg := NewRegistry()
+	if _, err := reg.Adopt(DefaultFilterName, store); err != nil {
+		panic(err) // fresh registry, constant valid name: unreachable
+	}
+	return NewRegistryServer(reg)
+}
+
+// Registry returns the underlying filter registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Store returns the default filter's store, or nil when none is registered.
+func (s *Server) Store() *Sharded {
+	f, err := s.reg.Get(DefaultFilterName)
+	if err != nil {
+		return nil
+	}
+	return f.Store()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	var req itemRequest
-	if !decode(w, r, &req) {
-		return
+// defaultStore resolves the v1 shim's target, answering the error itself.
+func (s *Server) defaultStore(w http.ResponseWriter) (*Sharded, bool) {
+	f, err := s.reg.Get(DefaultFilterName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no default filter registered; use /v2/filters")
+		return nil, false
 	}
-	if !checkItem(w, req.Item) {
-		return
-	}
-	s.store.Add([]byte(req.Item))
-	writeJSON(w, http.StatusOK, addResponse{Added: 1, Count: s.store.Count()})
+	return f.Store(), true
 }
 
-func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
-	var req itemRequest
-	if !decode(w, r, &req) {
-		return
+// v1 adapts a store-level item handler to the /v1 shim.
+func (s *Server) v1(h func(http.ResponseWriter, *http.Request, *Sharded)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.defaultStore(w)
+		if !ok {
+			return
+		}
+		h(w, r, st)
 	}
-	if !checkItem(w, req.Item) {
-		return
-	}
-	writeJSON(w, http.StatusOK, testResponse{Present: s.store.Test([]byte(req.Item))})
 }
 
-func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	items, ok := checkBatch(w, req.Items)
-	if !ok {
-		return
-	}
-	s.store.AddBatch(items)
-	writeJSON(w, http.StatusOK, addResponse{Added: len(items), Count: s.store.Count()})
-}
-
-func (s *Server) handleTestBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	items, ok := checkBatch(w, req.Items)
-	if !ok {
-		return
-	}
-	present := s.store.TestBatch(make([]bool, 0, len(items)), items)
-	writeJSON(w, http.StatusOK, testBatchResponse{Present: present})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	st, ok := s.defaultStore(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statsToV1(st.Stats()))
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInfoV1(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st, ok := s.defaultStore(w)
+	if !ok {
 		return
 	}
 	info := InfoResponse{
-		Mode:      s.store.Mode().String(),
-		Shards:    s.store.Shards(),
-		K:         s.store.K(),
-		ShardBits: s.store.ShardBits(),
+		Mode:      st.Mode().String(),
+		Shards:    st.Shards(),
+		K:         st.K(),
+		ShardBits: st.ShardBits(),
 	}
-	switch s.store.Mode() {
+	switch st.Mode() {
 	case ModeNaive:
 		info.Algorithm = "murmur3-double-hashing"
-		seed := s.store.Seed()
+		seed := st.Seed()
 		info.Seed = &seed
 	case ModeHardened:
 		info.Algorithm = "siphash-2-4-recycling"
 	}
 	writeJSON(w, http.StatusOK, info)
 }
+
+// ---------------------------------------------------------------------------
+// v2: filter lifecycle.
+
+func (s *Server) handleFilters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only; create filters with PUT /v2/filters/{name}")
+		return
+	}
+	filters := s.reg.List()
+	resp := listResponse{Filters: make([]FilterInfo, len(filters))}
+	for i, f := range filters {
+		resp.Filters[i] = filterInfo(f)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodPut:
+		s.handleCreate(w, r, name)
+	case http.MethodGet:
+		f, err := s.reg.Get(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, filterInfo(f))
+	case http.MethodDelete:
+		if err := s.reg.Delete(name); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "PUT, GET or DELETE only")
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name string) {
+	var spec FilterSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad filter spec: %v", err))
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f, err := s.reg.Create(name, cfg)
+	switch {
+	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull):
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, filterInfo(f))
+}
+
+// ---------------------------------------------------------------------------
+// v2: item operations on a named filter.
+
+func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	st := f.Store()
+	switch op := r.PathValue("op"); op {
+	case "add":
+		handleAdd(w, r, st)
+	case "test":
+		handleTest(w, r, st)
+	case "add-batch":
+		handleAddBatch(w, r, st)
+	case "test-batch":
+		handleTestBatch(w, r, st)
+	case "remove":
+		handleRemove(w, r, st)
+	case "remove-batch":
+		handleRemoveBatch(w, r, st)
+	case "stats":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Stats())
+	case "info":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, filterInfo(f))
+	case "snapshot":
+		handleSnapshot(w, r, st)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown filter operation %q", op))
+	}
+}
+
+func handleAdd(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	st.Add([]byte(req.Item))
+	writeJSON(w, http.StatusOK, addResponse{Added: 1, Count: st.Count()})
+}
+
+func handleTest(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	writeJSON(w, http.StatusOK, testResponse{Present: st.Test([]byte(req.Item))})
+}
+
+func handleAddBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	items, ok := checkBatch(w, req.Items)
+	if !ok {
+		return
+	}
+	st.AddBatch(items)
+	writeJSON(w, http.StatusOK, addResponse{Added: len(items), Count: st.Count()})
+}
+
+func handleTestBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	items, ok := checkBatch(w, req.Items)
+	if !ok {
+		return
+	}
+	present := st.TestBatch(make([]bool, 0, len(items)), items)
+	writeJSON(w, http.StatusOK, testBatchResponse{Present: present})
+}
+
+func handleRemove(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	removed, err := st.Remove([]byte(req.Item))
+	if !checkRemoveErr(w, err) {
+		return
+	}
+	if !removed {
+		writeError(w, http.StatusConflict, "item not in filter; removal refused")
+		return
+	}
+	writeJSON(w, http.StatusOK, removeResponse{Removed: 1, Count: st.Count()})
+}
+
+func handleRemoveBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	items, ok := checkBatch(w, req.Items)
+	if !ok {
+		return
+	}
+	removed, err := st.RemoveBatch(items)
+	if !checkRemoveErr(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, removeBatchResponse{Removed: removed, Count: st.Count()})
+}
+
+// checkRemoveErr maps removal errors to statuses: 405 for the missing
+// capability (the filter exists but its backend cannot delete), 500 for
+// anything else.
+func checkRemoveErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrNotRemovable):
+		writeError(w, http.StatusMethodNotAllowed, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return false
+}
+
+func handleSnapshot(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	blob, err := st.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob) //nolint:errcheck // client gone; nothing to do
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing.
 
 // decode parses a POST JSON body into dst, answering the error itself when
 // the request is malformed.

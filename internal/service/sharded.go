@@ -1,33 +1,9 @@
-// Package service turns the paper's offline filter experiments into an
-// online, serving system: a sharded, striped-lock filter store (Sharded)
-// behind an HTTP/JSON API (Server), started by `evilbloom serve`.
-//
-// The store splits one logical Bloom filter into N power-of-two shards,
-// each an independent core.Bloom with its own index family and its own
-// read-write lock, so adds and membership tests on different shards never
-// contend. Shard selection uses a separate keyed SipHash over the item, so
-// an adversary who can predict the per-shard index families still cannot
-// aim her insertions at a single shard and saturate it ahead of the others.
-//
-// Two modes mirror §8 of the paper:
-//
-//   - ModeNaive: unkeyed MurmurHash3 double hashing with a public seed, the
-//     dablooms configuration of §6. A chosen-insertion adversary who clones
-//     the family can pollute the filter through the public add endpoint —
-//     package attack's RemoteView does exactly that.
-//   - ModeHardened: keyed SipHash-2-4 with digest recycling (§8.2), one key
-//     per shard derived from a server secret. The same adversary's crafted
-//     items land on unpredictable positions and degrade into random
-//     insertions.
-//
-// The HTTP server exposes add, test, batch add/test, stats (fill ratio,
-// estimated false-positive rate, per-shard weights) and info endpoints; see
-// Server for the wire format.
 package service
 
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -60,10 +36,11 @@ func (m Mode) String() string {
 	}
 }
 
-// ParseMode resolves "naive" or "hardened".
+// ParseMode resolves "naive" or "hardened"; the empty string is the naive
+// default so wire specs may omit it.
 func ParseMode(s string) (Mode, error) {
 	switch s {
-	case "naive":
+	case "", "naive":
 		return ModeNaive, nil
 	case "hardened":
 		return ModeHardened, nil
@@ -74,6 +51,9 @@ func ParseMode(s string) (Mode, error) {
 
 // Config sizes and keys a Sharded store.
 type Config struct {
+	// Variant selects the per-shard backend: VariantBloom (default, no
+	// deletion) or VariantCounting (§4.3 deletion, configurable overflow).
+	Variant Variant
 	// Shards is the shard count; it must be a power of two. Default 8.
 	Shards int
 	// Capacity is the total anticipated insertions across all shards.
@@ -99,6 +79,13 @@ type Config struct {
 	// crypto/rand when nil. Kept separate from Key so that even a leaked
 	// index key does not let an adversary target one shard.
 	RouteKey []byte
+	// CounterWidth is the counter size in bits for VariantCounting (default
+	// 4, the dablooms width). It must be zero for VariantBloom.
+	CounterWidth int
+	// Overflow selects what a counting shard does when a counter saturates
+	// (default core.Wrap, faithful to dablooms and what the §6.2 attack
+	// exploits; core.Saturate is the countermeasure). Zero for VariantBloom.
+	Overflow core.OverflowPolicy
 }
 
 // withDefaults fills zero fields and validates the result.
@@ -131,6 +118,24 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HashCount < 1 {
 		return c, fmt.Errorf("service: hash count %d must be positive", c.HashCount)
 	}
+	switch c.Variant {
+	case VariantBloom:
+		if c.CounterWidth != 0 {
+			return c, fmt.Errorf("service: counter width %d set on a bloom filter (counters need variant=counting)", c.CounterWidth)
+		}
+		if c.Overflow != 0 {
+			return c, fmt.Errorf("service: overflow policy %v set on a bloom filter (counters need variant=counting)", c.Overflow)
+		}
+	case VariantCounting:
+		if c.CounterWidth == 0 {
+			c.CounterWidth = 4
+		}
+		if c.Overflow == 0 {
+			c.Overflow = core.Wrap
+		}
+	default:
+		return c, fmt.Errorf("service: unknown variant %v", c.Variant)
+	}
 	var err error
 	if c.RouteKey, err = ensureKey(c.RouteKey); err != nil {
 		return c, err
@@ -159,15 +164,18 @@ func ensureKey(key []byte) ([]byte, error) {
 	return key, nil
 }
 
-// shard pairs one filter with its lock and a pool of per-goroutine index
+// shard pairs one backend with its lock and a pool of per-goroutine index
 // families (IndexFamily instances reuse digest state and must not be shared;
 // pooling clones keeps index derivation out of the critical section).
 type shard struct {
-	mu     sync.RWMutex
-	filter *core.Bloom
-	// weight tracks the filter's Hamming weight incrementally from the
-	// fresh-bit counts AddIndexes reports, so Stats is O(shards) instead of
-	// an O(m) popcount scan under the lock.
+	mu      sync.RWMutex
+	backend Backend
+	// remover caches the backend's Remover capability (nil when absent) so
+	// the remove hot path skips a per-call type assertion.
+	remover Remover
+	// weight tracks the backend's occupied-position count incrementally
+	// from the fresh/zeroed deltas AddIndexes and RemoveIndexes report, so
+	// Stats is O(shards) instead of an O(m) scan under the lock.
 	weight uint64
 	pool   sync.Pool // of *scratch
 }
@@ -178,19 +186,24 @@ type scratch struct {
 	idx []uint64
 }
 
-// Sharded is a striped-lock filter store: N independent core.Bloom shards,
+// Sharded is a striped-lock filter store: N independent backend shards,
 // shard selection by a keyed hash. It implements core.Filter; unlike
 // core.Synced it scales with parallel load because operations on different
 // shards proceed concurrently and membership tests on the same shard share a
-// read lock.
+// read lock. The shards are variant-generic: any Backend (plain bloom,
+// counting under either overflow policy, or a future hardened construction)
+// reuses the same routing, locking, batching and incremental-stats code.
 type Sharded struct {
-	shards []shard
-	mask   uint64
-	route  hashes.SipKey
-	mode   Mode
-	seed   uint64
-	k      int
-	mShard uint64
+	shards  []shard
+	mask    uint64
+	route   hashes.SipKey
+	variant Variant
+	mode    Mode
+	seed    uint64
+	k       int
+	mShard  uint64
+	width   int
+	policy  core.OverflowPolicy
 }
 
 var _ core.Filter = (*Sharded)(nil)
@@ -204,13 +217,16 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	var rk [16]byte
 	copy(rk[:], cfg.RouteKey)
 	s := &Sharded{
-		shards: make([]shard, cfg.Shards),
-		mask:   uint64(cfg.Shards - 1),
-		route:  hashes.SipKeyFromBytes(rk),
-		mode:   cfg.Mode,
-		seed:   cfg.Seed,
-		k:      cfg.HashCount,
-		mShard: cfg.ShardBits,
+		shards:  make([]shard, cfg.Shards),
+		mask:    uint64(cfg.Shards - 1),
+		route:   hashes.SipKeyFromBytes(rk),
+		variant: cfg.Variant,
+		mode:    cfg.Mode,
+		seed:    cfg.Seed,
+		k:       cfg.HashCount,
+		mShard:  cfg.ShardBits,
+		width:   cfg.CounterWidth,
+		policy:  cfg.Overflow,
 	}
 	for i := range s.shards {
 		fam, err := newShardFamily(cfg, i)
@@ -218,7 +234,10 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			return nil, err
 		}
 		sh := &s.shards[i]
-		sh.filter = core.NewBloom(fam)
+		if sh.backend, err = newBackend(cfg, fam); err != nil {
+			return nil, err
+		}
+		sh.remover, _ = sh.backend.(Remover)
 		proto := fam // each clone source is the shard's own family
 		k := cfg.HashCount
 		sh.pool.New = func() any {
@@ -263,16 +282,20 @@ func (s *Sharded) shardFor(item []byte) int {
 }
 
 // Add implements core.Filter. Index derivation happens outside the shard
-// lock on a pooled family clone; only the bit writes are serialized.
+// lock on a pooled family clone; only the position writes are serialized.
 func (s *Sharded) Add(item []byte) {
 	sh := &s.shards[s.shardFor(item)]
 	sc := sh.pool.Get().(*scratch)
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.Lock()
-	sh.weight += uint64(sh.filter.AddIndexes(sc.idx))
+	sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx))
 	sh.mu.Unlock()
 	sh.pool.Put(sc)
 }
+
+// applyDelta shifts an unsigned weight by a signed occupancy change (wrap
+// overflows make add deltas negative).
+func applyDelta(w uint64, d int) uint64 { return uint64(int64(w) + int64(d)) }
 
 // Test implements core.Filter. Concurrent tests on one shard share its read
 // lock.
@@ -281,10 +304,101 @@ func (s *Sharded) Test(item []byte) bool {
 	sc := sh.pool.Get().(*scratch)
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.RLock()
-	ok := sh.filter.TestIndexes(sc.idx)
+	ok := sh.backend.TestIndexes(sc.idx)
 	sh.mu.RUnlock()
 	sh.pool.Put(sc)
 	return ok
+}
+
+// Removable reports whether the store's backends support deletion.
+func (s *Sharded) Removable() bool { return s.shards[0].remover != nil }
+
+// Snapshotable reports whether the store's backends support snapshots.
+func (s *Sharded) Snapshotable() bool {
+	_, ok := s.shards[0].backend.(Snapshotter)
+	return ok
+}
+
+// Remove deletes item if the filter currently believes it present,
+// reporting whether a removal happened. The membership check and the
+// decrements run under one shard lock, so a concurrent storm of removals
+// can never drive a counter below zero — each removal only decrements
+// counters the check just saw non-zero. It returns ErrNotRemovable when the
+// backend has no Remover capability (plain bloom shards).
+//
+// The check guards the *filter's belief*, not the truth: a crafted item the
+// filter wrongly believes present (a §4.3 Bloom second pre-image) passes it
+// and its removal silently damages every honest item sharing its counters.
+// That asymmetry is the paper's deletion attack, and the reason hardened
+// mode keeps index positions unpredictable.
+func (s *Sharded) Remove(item []byte) (bool, error) {
+	if !s.Removable() {
+		return false, ErrNotRemovable
+	}
+	sh := &s.shards[s.shardFor(item)]
+	sc := sh.pool.Get().(*scratch)
+	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
+	sh.mu.Lock()
+	removed, err := sh.removeLocked(sc.idx)
+	sh.mu.Unlock()
+	sh.pool.Put(sc)
+	return removed, err
+}
+
+// removeLocked test-and-removes one index set; the caller holds the shard's
+// write lock. The membership check refuses items the filter believes
+// absent; the CanRemoveIndexes check additionally refuses crafted
+// duplicate-position items that would underflow mid-removal, so the
+// partial-removal footprint is unreachable through the service.
+func (sh *shard) removeLocked(idx []uint64) (bool, error) {
+	if !sh.backend.TestIndexes(idx) || !sh.remover.CanRemoveIndexes(idx) {
+		return false, nil
+	}
+	zeroed, err := sh.remover.RemoveIndexes(idx)
+	sh.weight -= uint64(zeroed)
+	if err != nil {
+		// Unreachable while the lock pairs both checks with the decrements,
+		// but a future backend could fail differently; surface it.
+		return true, fmt.Errorf("service: removal failed mid-way: %w", err)
+	}
+	return true, nil
+}
+
+// RemoveBatch deletes every item the filter believes present, reporting
+// per-item outcomes in input order. Like AddBatch it groups by shard and
+// takes each shard's lock once. It returns ErrNotRemovable for backends
+// without the capability.
+func (s *Sharded) RemoveBatch(items [][]byte) ([]bool, error) {
+	if !s.Removable() {
+		return nil, ErrNotRemovable
+	}
+	removed := make([]bool, len(items))
+	groups := s.group(items)
+	for si := range s.shards {
+		g := groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sc := sh.pool.Get().(*scratch)
+		sc.idx = sc.idx[:0]
+		for _, ii := range g {
+			sc.idx = sc.fam.Indexes(sc.idx, items[ii])
+		}
+		sh.mu.Lock()
+		for j, ii := range g {
+			ok, err := sh.removeLocked(sc.idx[j*s.k : (j+1)*s.k])
+			if err != nil {
+				sh.mu.Unlock()
+				sh.pool.Put(sc)
+				return removed, err
+			}
+			removed[ii] = ok
+		}
+		sh.mu.Unlock()
+		sh.pool.Put(sc)
+	}
+	return removed, nil
 }
 
 // AddBatch inserts every item, grouping by shard so each shard's lock is
@@ -304,7 +418,7 @@ func (s *Sharded) AddBatch(items [][]byte) {
 		}
 		sh.mu.Lock()
 		for j := 0; j < len(g); j++ {
-			sh.weight += uint64(sh.filter.AddIndexes(sc.idx[j*s.k : (j+1)*s.k]))
+			sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx[j*s.k:(j+1)*s.k]))
 		}
 		sh.mu.Unlock()
 		sh.pool.Put(sc)
@@ -330,7 +444,7 @@ func (s *Sharded) TestBatch(dst []bool, items [][]byte) []bool {
 		}
 		sh.mu.RLock()
 		for j, ii := range g {
-			dst[base+ii] = sh.filter.TestIndexes(sc.idx[j*s.k : (j+1)*s.k])
+			dst[base+ii] = sh.backend.TestIndexes(sc.idx[j*s.k : (j+1)*s.k])
 		}
 		sh.mu.RUnlock()
 		sh.pool.Put(sc)
@@ -348,17 +462,52 @@ func (s *Sharded) group(items [][]byte) [][]int {
 	return groups
 }
 
-// Count implements core.Filter: total insertions across shards.
+// Count implements core.Filter: net insertions across shards.
 func (s *Sharded) Count() uint64 {
 	var n uint64
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		n += sh.filter.Count()
+		n += sh.backend.Count()
 		sh.mu.RUnlock()
 	}
 	return n
 }
+
+// Snapshot serializes every shard's backend state (length-prefixed, in shard
+// order, after a small header pinning the geometry). Shards are locked one
+// at a time, so like Stats the snapshot is per-shard consistent rather than
+// a global atomic cut. It fails if a backend lacks the Snapshotter
+// capability.
+func (s *Sharded) Snapshot() ([]byte, error) {
+	out := make([]byte, 0, 64)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(s.shards)))
+	binary.LittleEndian.PutUint64(hdr[8:], s.mShard)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.k))
+	out = append(out, hdr[:]...)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		snap, ok := sh.backend.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("service: %v backend of shard %d cannot snapshot", s.variant, i)
+		}
+		sh.mu.RLock()
+		blob, err := snap.Snapshot()
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("service: snapshotting shard %d: %w", i, err)
+		}
+		var sz [8]byte
+		binary.LittleEndian.PutUint64(sz[:], uint64(len(blob)))
+		out = append(out, sz[:]...)
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// Variant returns the backend variant.
+func (s *Sharded) Variant() Variant { return s.variant }
 
 // Mode returns the serving mode.
 func (s *Sharded) Mode() Mode { return s.mode }
@@ -372,8 +521,14 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 // K returns the per-item index count.
 func (s *Sharded) K() int { return s.k }
 
-// ShardBits returns each shard's size in bits.
+// ShardBits returns each shard's size in positions (bits or counters).
 func (s *Sharded) ShardBits() uint64 { return s.mShard }
+
+// CounterWidth returns the counter width in bits (0 for bloom shards).
+func (s *Sharded) CounterWidth() int { return s.width }
+
+// OverflowPolicy returns the counting overflow policy (0 for bloom shards).
+func (s *Sharded) OverflowPolicy() core.OverflowPolicy { return s.policy }
 
 // ShardStats is one shard's snapshot inside Stats.
 type ShardStats struct {
@@ -382,12 +537,15 @@ type ShardStats struct {
 	Weight uint64  `json:"weight"`
 	Fill   float64 `json:"fill"`
 	FPR    float64 `json:"estimated_fpr"`
+	// Overflows counts counter-overflow events (counting shards only).
+	Overflows uint64 `json:"overflows,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole store. FPR is the mean of
 // the per-shard estimates: the keyed router spreads uniform queries evenly,
 // so a random query's false-positive probability is the shard average.
 type Stats struct {
+	Variant   string       `json:"variant"`
 	Mode      string       `json:"mode"`
 	Shards    int          `json:"shards"`
 	K         int          `json:"k"`
@@ -396,16 +554,18 @@ type Stats struct {
 	Weight    uint64       `json:"weight"`
 	Fill      float64      `json:"fill"`
 	FPR       float64      `json:"estimated_fpr"`
+	Overflows uint64       `json:"overflows,omitempty"`
 	PerShard  []ShardStats `json:"per_shard"`
 }
 
 // Stats snapshots every shard in O(shards): weights are tracked
-// incrementally at insertion time, so no shard holds its lock for an O(m)
-// bit-vector scan. Shards are locked one at a time, so the snapshot is
-// per-shard consistent but not a global atomic cut — fine for monitoring,
-// which is its purpose.
+// incrementally at insertion/removal time, so no shard holds its lock for an
+// O(m) scan. Shards are locked one at a time, so the snapshot is per-shard
+// consistent but not a global atomic cut — fine for monitoring, which is its
+// purpose.
 func (s *Sharded) Stats() Stats {
 	st := Stats{
+		Variant:   s.variant.String(),
 		Mode:      s.mode.String(),
 		Shards:    len(s.shards),
 		K:         s.k,
@@ -415,22 +575,30 @@ func (s *Sharded) Stats() Stats {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		count, weight := sh.filter.Count(), sh.weight
+		count, weight := sh.backend.Count(), sh.weight
+		var overflows uint64
+		if or, ok := sh.backend.(overflowReporter); ok {
+			overflows = or.Overflows()
+		}
 		sh.mu.RUnlock()
 		ss := ShardStats{
-			Shard:  i,
-			Count:  count,
-			Weight: weight,
-			Fill:   float64(weight) / float64(s.mShard),
-			FPR:    core.FPForgeryProbability(s.mShard, s.k, weight),
+			Shard:     i,
+			Count:     count,
+			Weight:    weight,
+			Fill:      float64(weight) / float64(s.mShard),
+			FPR:       core.FPForgeryProbability(s.mShard, s.k, weight),
+			Overflows: overflows,
 		}
 		st.PerShard[i] = ss
 		st.Count += ss.Count
 		st.Weight += ss.Weight
-		st.FPR += ss.FPR
+		st.Overflows += ss.Overflows
 	}
 	total := float64(s.mShard) * float64(len(s.shards))
 	st.Fill = float64(st.Weight) / total
+	for _, ss := range st.PerShard {
+		st.FPR += ss.FPR
+	}
 	st.FPR /= float64(len(s.shards))
 	return st
 }

@@ -237,7 +237,7 @@ func TestStats(t *testing.T) {
 		}
 		// The incrementally-tracked weight must equal the ground-truth
 		// popcount of the shard's bit vector.
-		if actual := s.shards[ss.Shard].filter.Weight(); ss.Weight != actual {
+		if actual := s.shards[ss.Shard].backend.Weight(); ss.Weight != actual {
 			t.Errorf("shard %d tracked weight %d != popcount %d", ss.Shard, ss.Weight, actual)
 		}
 	}
@@ -272,7 +272,7 @@ func TestHardenedShardKeysDiffer(t *testing.T) {
 	item := []byte("http://example.com/same-item")
 	seen := make(map[string]bool)
 	for i := range s.shards {
-		idx := s.shards[i].filter.Family().Clone().Indexes(nil, item)
+		idx := s.shards[i].pool.Get().(*scratch).fam.Indexes(nil, item)
 		key := fmt.Sprint(idx)
 		if seen[key] {
 			t.Fatalf("two shards derived identical index sets %v", idx)

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke test for the live multi-filter service: build the real binary, start
+# it, create a counting filter over HTTP, drive adds and adversarial
+# removals with curl, and verify the §4.3 signature — an honest item turned
+# false negative by removing crafted "ghost" items the filter wrongly
+# believes present.
+#
+# Deterministic: the filter is tiny (m=64, k=4) with a fixed public seed, so
+# every counter position, false positive and induced false negative is the
+# same on every run.
+set -euo pipefail
+
+ADDR="127.0.0.1:${SMOKE_PORT:-18379}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/evilbloom"
+LOG="$(dirname "$BIN")/serve.log"
+
+cleanup() {
+  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+say()  { printf 'smoke: %s\n' "$*"; }
+fail() { say "FAIL: $*"; [[ -f "$LOG" ]] && sed 's/^/smoke:   server: /' "$LOG"; exit 1; }
+
+say "building evilbloom"
+go build -o "$BIN" ./cmd/evilbloom
+
+say "starting evilbloom serve on $ADDR"
+"$BIN" serve -addr "$ADDR" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/v1/info" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+curl -sf "$BASE/v1/info" >/dev/null || fail "server never came up"
+
+say "creating a counting filter (m=64, k=4, naive seed 3) via PUT /v2/filters/smoke"
+CREATE=$(curl -sf -X PUT "$BASE/v2/filters/smoke" \
+  -d '{"variant":"counting","mode":"naive","shards":1,"shard_bits":64,"hash_count":4,"seed":3}')
+echo "$CREATE" | grep -q '"variant":"counting"' || fail "unexpected create response: $CREATE"
+echo "$CREATE" | grep -q '"remove"' || fail "counting filter does not advertise remove: $CREATE"
+
+say "adding 100 honest items"
+ITEMS=$(printf '"http://honest.example/%s",' $(seq 1 100))
+curl -sf -X POST "$BASE/v2/filters/smoke/add-batch" -d "{\"items\":[${ITEMS%,}]}" \
+  | grep -q '"added":100' || fail "batch add failed"
+
+say "checking a never-inserted ghost item reads as present (false positive at high fill)"
+GHOST_PRESENT=$(curl -sf -X POST "$BASE/v2/filters/smoke/test" -d '{"item":"ghost-0"}')
+echo "$GHOST_PRESENT" | grep -q '"present":true' || fail "ghost not a false positive: $GHOST_PRESENT"
+
+say "removing ghost items the filter wrongly believes present"
+ACCEPTED=0
+for i in $(seq 0 39); do
+  RESP=$(curl -s -X POST "$BASE/v2/filters/smoke/remove" -d "{\"item\":\"ghost-$i\"}")
+  echo "$RESP" | grep -q '"removed":1' && ACCEPTED=$((ACCEPTED + 1))
+done
+say "server accepted $ACCEPTED ghost removals"
+[[ "$ACCEPTED" -gt 0 ]] || fail "no ghost removal accepted"
+
+say "checking for induced false negatives among the honest items"
+FN=0
+for i in $(seq 1 100); do
+  RESP=$(curl -sf -X POST "$BASE/v2/filters/smoke/test" -d "{\"item\":\"http://honest.example/$i\"}")
+  echo "$RESP" | grep -q '"present":false' && FN=$((FN + 1))
+done
+say "$FN/100 honest items driven to false negatives"
+[[ "$FN" -gt 0 ]] || fail "removals induced no false negative"
+
+say "verifying stats and the v1 shim still answer"
+curl -sf "$BASE/v2/filters/smoke/stats" | grep -q '"variant":"counting"' || fail "stats missing variant"
+curl -sf -X POST "$BASE/v1/add" -d '{"item":"x"}' | grep -q '"added":1' || fail "v1 shim broken"
+
+say "OK"
