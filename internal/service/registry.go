@@ -20,9 +20,13 @@ const (
 	// MaxFilters caps how many filters one registry holds.
 	MaxFilters = 64
 	// MaxFilterBits caps one filter's total storage in bits
-	// (shards × shard_bits × counter width): 2^33 is a 1 GiB bloom filter
-	// or a 4 GiB counting filter at the default 4-bit width.
+	// (shards × shard_bits × counter width): 2^33 bits is 1 GiB resident.
 	MaxFilterBits = uint64(1) << 33
+	// MaxTotalBits caps the aggregate storage across every filter in the
+	// registry, reserved and live, so the per-filter limits cannot compose
+	// to more memory than a host has (MaxFilters × MaxFilterBits would be
+	// 64 GiB): 2^35 bits is 4 GiB resident.
+	MaxTotalBits = uint64(1) << 35
 )
 
 // Registry errors, matched by the HTTP layer to pick status codes.
@@ -33,6 +37,8 @@ var (
 	ErrFilterNotFound = errors.New("service: no such filter")
 	// ErrRegistryFull answers creation beyond MaxFilters.
 	ErrRegistryFull = errors.New("service: registry is full; delete a filter first")
+	// ErrBudgetExhausted answers creation beyond MaxTotalBits.
+	ErrBudgetExhausted = errors.New("service: registry storage budget exhausted; delete a filter first")
 )
 
 // filterName validates registry names: URL-path-safe, bounded, and unable to
@@ -48,6 +54,9 @@ func ValidFilterName(name string) bool { return filterName.MatchString(name) }
 type Filter struct {
 	name  string
 	store *Sharded
+	// bits is the storage charged against the registry budget at creation,
+	// refunded on Delete.
+	bits uint64
 }
 
 // Name returns the registry name.
@@ -64,17 +73,51 @@ func (f *Filter) Store() *Sharded { return f.store }
 type Registry struct {
 	mu      sync.RWMutex
 	filters map[string]*Filter
+	// reserved holds names whose stores are still being built outside the
+	// lock: name → the storage bits charged for the reservation. Reserving
+	// before building means a request that would lose the name race or
+	// breach a limit never reaches allocation, so concurrent PUTs cannot
+	// multiply peak memory beyond the caps.
+	reserved map[string]uint64
+	// bits is the storage charged by live and reserved filters together,
+	// bounded by MaxTotalBits.
+	bits uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{filters: make(map[string]*Filter)}
+	return &Registry{
+		filters:  make(map[string]*Filter),
+		reserved: make(map[string]uint64),
+	}
+}
+
+// storageBits resolves a defaulted Config's total filter storage in bits
+// (shards × shard_bits × counter width), rejecting any geometry over
+// MaxFilterBits. The comparison divides rather than multiplies: a crafted
+// shard_bits near 2^64/shards would make the product wrap mod 2^64, slip
+// under the cap, and reach allocation. Every factor is positive and bounded
+// (withDefaults caps Shards and CounterWidth), so the divisions are safe and
+// the returned product cannot overflow.
+func (c Config) storageBits() (uint64, error) {
+	width := uint64(1)
+	if c.Variant == VariantCounting {
+		width = uint64(c.CounterWidth)
+	}
+	if c.ShardBits > MaxFilterBits/uint64(c.Shards)/width {
+		return 0, fmt.Errorf("service: filter would need %d shards × %d bits × %d-bit positions of storage, limit %d bits",
+			c.Shards, c.ShardBits, width, MaxFilterBits)
+	}
+	return uint64(c.Shards) * c.ShardBits * width, nil
 }
 
 // Create builds a filter from cfg and registers it under name. It fails
 // with ErrFilterExists when the name is taken — filters are immutable once
 // created; delete and re-create to change configuration — and enforces the
-// MaxFilters and MaxFilterBits limits before allocating anything.
+// MaxFilters, MaxFilterBits and MaxTotalBits limits before allocating
+// anything: the name and its storage budget are reserved under the lock
+// first, then the store is built outside the lock (sizing allocates) and the
+// reservation is filled or rolled back.
 func (r *Registry) Create(name string, cfg Config) (*Filter, error) {
 	if !ValidFilterName(name) {
 		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
@@ -85,48 +128,89 @@ func (r *Registry) Create(name string, cfg Config) (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	width := uint64(1)
-	if cfg.Variant == VariantCounting {
-		width = uint64(cfg.CounterWidth)
-	}
-	if bits := uint64(cfg.Shards) * cfg.ShardBits * width; bits > MaxFilterBits {
-		return nil, fmt.Errorf("service: filter would need %d bits of storage, limit %d (shards × shard_bits × counter width)",
-			bits, MaxFilterBits)
-	}
-	// Cheap early capacity check (best effort; authoritative re-check at
-	// insertion below), then build outside the lock: sizing allocates.
-	if r.Len() >= MaxFilters {
-		return nil, fmt.Errorf("%w (%d registered)", ErrRegistryFull, r.Len())
-	}
-	store, err := NewSharded(cfg)
+	bits, err := cfg.storageBits()
 	if err != nil {
 		return nil, err
 	}
-	f := &Filter{name: name, store: store}
+	if err := r.reserve(name, bits); err != nil {
+		return nil, err
+	}
+	store, err := NewSharded(cfg)
+	if err != nil {
+		r.unreserve(name, bits)
+		return nil, err
+	}
+	f := &Filter{name: name, store: store, bits: bits}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, taken := r.filters[name]; taken {
-		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
-	}
-	if len(r.filters) >= MaxFilters {
-		return nil, fmt.Errorf("%w (%d registered)", ErrRegistryFull, len(r.filters))
-	}
+	delete(r.reserved, name)
 	r.filters[name] = f
+	r.mu.Unlock()
 	return f, nil
 }
 
+// reserve claims name and bits of storage budget ahead of the build,
+// enforcing every registry limit while nothing has been allocated yet.
+func (r *Registry) reserve(name string, bits uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.filters[name]; taken {
+		return fmt.Errorf("%w: %q", ErrFilterExists, name)
+	}
+	if _, taken := r.reserved[name]; taken {
+		return fmt.Errorf("%w: %q", ErrFilterExists, name)
+	}
+	if n := len(r.filters) + len(r.reserved); n >= MaxFilters {
+		return fmt.Errorf("%w (%d registered)", ErrRegistryFull, n)
+	}
+	if err := r.chargeLocked(bits); err != nil {
+		return err
+	}
+	r.reserved[name] = bits
+	return nil
+}
+
+// unreserve rolls back a reservation whose build failed.
+func (r *Registry) unreserve(name string, bits uint64) {
+	r.mu.Lock()
+	delete(r.reserved, name)
+	r.bits -= bits
+	r.mu.Unlock()
+}
+
+// chargeLocked adds bits to the registry-wide storage budget, failing when
+// the total would exceed MaxTotalBits. The caller holds r.mu. Written
+// subtraction-side so no operand can wrap.
+func (r *Registry) chargeLocked(bits uint64) error {
+	if bits > MaxTotalBits || r.bits > MaxTotalBits-bits {
+		return fmt.Errorf("%w: %d bits requested, %d of %d in use",
+			ErrBudgetExhausted, bits, r.bits, MaxTotalBits)
+	}
+	r.bits += bits
+	return nil
+}
+
 // Adopt registers an already-built store under name — the path `evilbloom
-// serve` uses to install its flag-configured default filter.
+// serve` uses to install its flag-configured default filter. The store's
+// storage is charged against the registry budget so later unauthenticated
+// creates see an honest total, but the charge is unconditional: the
+// operator's store exists already, so refusing it here would protect
+// nothing and fail startup after the allocation. An adopted store over
+// MaxTotalBits simply leaves no budget for unauthenticated creation.
 func (r *Registry) Adopt(name string, store *Sharded) (*Filter, error) {
 	if !ValidFilterName(name) {
 		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
 	}
-	f := &Filter{name: name, store: store}
+	bits := store.storageBits()
+	f := &Filter{name: name, store: store, bits: bits}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, taken := r.filters[name]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
 	}
+	if _, taken := r.reserved[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
+	}
+	r.bits += bits
 	r.filters[name] = f
 	return f, nil
 }
@@ -142,16 +226,18 @@ func (r *Registry) Get(name string) (*Filter, error) {
 	return f, nil
 }
 
-// Delete removes the filter registered under name. In-flight operations on
-// the filter finish against the orphaned store; its memory is reclaimed
-// when they drain.
+// Delete removes the filter registered under name and refunds its storage
+// budget. In-flight operations on the filter finish against the orphaned
+// store; its memory is reclaimed when they drain.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.filters[name]; !ok {
+	f, ok := r.filters[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrFilterNotFound, name)
 	}
 	delete(r.filters, name)
+	r.bits -= f.bits
 	return nil
 }
 

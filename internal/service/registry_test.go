@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -115,6 +116,140 @@ func TestRegistryResourceLimits(t *testing.T) {
 	}
 }
 
+// Regression: the storage-bits cap must be checked without multiplying, or
+// a crafted shard_bits near 2^61 wraps the product mod 2^64 under the cap
+// and reaches allocation (makeslice panic or a fatal real OOM).
+func TestRegistryRejectsOverflowingGeometry(t *testing.T) {
+	reg := NewRegistry()
+	cases := []Config{
+		// 8 × 2^61 = 2^64 wraps to exactly 0, the original exploit.
+		{Shards: 8, ShardBits: 1 << 61, HashCount: 4},
+		{Shards: 1, ShardBits: 1 << 61, HashCount: 4},
+		// Counting width is the third factor: 4 × 2^60 × 4 wraps to 0 too.
+		{Variant: VariantCounting, Shards: 4, ShardBits: 1 << 60, HashCount: 4},
+		// Wraps to a small non-zero value: 8 × (2^61 + 1) = 2^64 + 8 ≡ 8.
+		{Shards: 8, ShardBits: 1<<61 + 1, HashCount: 4},
+	}
+	for _, cfg := range cases {
+		if _, err := reg.Create("wrap", cfg); err == nil {
+			t.Errorf("config %+v accepted; product wraps mod 2^64", cfg)
+		}
+	}
+	if reg.Len() != 0 || reg.bits != 0 {
+		t.Fatalf("rejected creates left %d filters, %d budget bits", reg.Len(), reg.bits)
+	}
+}
+
+// Structural factors are bounded individually: a huge shard count allocates
+// the []shard array, pools and families before any bits cap applies, and a
+// huge hash count sizes every per-item index buffer.
+func TestRegistryRejectsOversizedFactors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Create("x", Config{Shards: MaxShards * 2, ShardBits: 1, HashCount: 1}); err == nil {
+		t.Error("shard count beyond MaxShards accepted")
+	}
+	if _, err := reg.Create("x", Config{Shards: 1, ShardBits: 64, HashCount: MaxHashCount + 1}); err == nil {
+		t.Error("hash count beyond MaxHashCount accepted")
+	}
+	if _, err := reg.Create("x", Config{Variant: VariantCounting, Shards: 1, ShardBits: 64, HashCount: 2, CounterWidth: -1}); err == nil {
+		t.Error("negative counter width accepted")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("rejected creates left %d filters", reg.Len())
+	}
+}
+
+// The per-filter caps must not compose past the aggregate budget: the
+// registry refuses creation once live + reserved storage reaches
+// MaxTotalBits, and refunds the budget on delete. Exercised through the
+// reservation layer so the test never allocates gigabytes for real.
+func TestRegistryAggregateBudget(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.reserve("a", MaxTotalBits-64); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.reserve("b", 128); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("reserve past budget: %v, want ErrBudgetExhausted", err)
+	}
+	if err := reg.reserve("b", 64); err != nil {
+		t.Errorf("reserve of exact remainder: %v", err)
+	}
+	reg.unreserve("a", MaxTotalBits-64)
+	reg.unreserve("b", 64)
+	if reg.bits != 0 {
+		t.Fatalf("rollback left %d budget bits charged", reg.bits)
+	}
+	// End to end with real (small) filters: create, delete, budget refunded.
+	cfg := Config{Variant: VariantCounting, Shards: 2, ShardBits: 512, HashCount: 2}
+	bits := uint64(2 * 512 * 4)
+	if _, err := reg.Create("real", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.bits != bits {
+		t.Errorf("budget holds %d bits after create, want %d", reg.bits, bits)
+	}
+	if err := reg.Delete("real"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.bits != 0 {
+		t.Errorf("budget holds %d bits after delete, want 0", reg.bits)
+	}
+	// Adopt is the trusted operator path: it charges the budget for honest
+	// accounting but never refuses — the store already exists, so failing
+	// startup after the allocation would protect nothing. With the budget
+	// (artificially) exhausted, Adopt still lands while Create is refused.
+	reg.bits = MaxTotalBits
+	store, err := NewSharded(Config{Shards: 1, ShardBits: 256, HashCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Adopt("operator", store); err != nil {
+		t.Errorf("Adopt over budget: %v, want success", err)
+	}
+	if _, err := reg.Create("client", cfg); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("Create over budget: %v, want ErrBudgetExhausted", err)
+	}
+	if err := reg.Delete("operator"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.bits != MaxTotalBits {
+		t.Errorf("deleting the adopted filter refunded wrongly: %d bits, want %d", reg.bits, MaxTotalBits)
+	}
+}
+
+// Racing creates for one name must admit exactly one winner, and the losers
+// must be turned away before they build a store — afterwards the budget
+// holds exactly one filter's bits.
+func TestRegistryConcurrentCreateSameName(t *testing.T) {
+	reg := NewRegistry()
+	cfg := Config{Shards: 1, ShardBits: 256, HashCount: 2}
+	const racers = 8
+	var wg sync.WaitGroup
+	var wins, losses int32
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := reg.Create("contested", cfg)
+			switch {
+			case err == nil:
+				atomic.AddInt32(&wins, 1)
+			case errors.Is(err, ErrFilterExists):
+				atomic.AddInt32(&losses, 1)
+			default:
+				t.Errorf("unexpected create error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 || losses != racers-1 {
+		t.Errorf("%d winners, %d losers; want 1 and %d", wins, losses, racers-1)
+	}
+	if reg.bits != 256 {
+		t.Errorf("budget holds %d bits, want 256 (one filter)", reg.bits)
+	}
+}
+
 // Concurrent create/get/delete/list churn must be race-clean (run under
 // -race) and never observe a half-registered filter.
 func TestRegistryConcurrentChurn(t *testing.T) {
@@ -149,5 +284,8 @@ func TestRegistryConcurrentChurn(t *testing.T) {
 	wg.Wait()
 	if reg.Len() != 0 {
 		t.Errorf("churn left %d filters registered", reg.Len())
+	}
+	if reg.bits != 0 {
+		t.Errorf("churn left %d budget bits charged", reg.bits)
 	}
 }

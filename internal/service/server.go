@@ -438,7 +438,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name strin
 	}
 	f, err := s.reg.Create(name, cfg)
 	switch {
-	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull):
+	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull), errors.Is(err, ErrBudgetExhausted):
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	case err != nil:

@@ -204,6 +204,13 @@ func TestV2Validation(t *testing.T) {
 		{"oversized geometry", func() int {
 			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: 1, ShardBits: MaxFilterBits + 1, HashCount: 4}, nil)
 		}, 400},
+		{"geometry whose bit product wraps mod 2^64", func() int {
+			// 8 × 2^61 wraps to 0: must be rejected, not allocated.
+			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: 8, ShardBits: 1 << 61, HashCount: 4}, nil)
+		}, 400},
+		{"shard count beyond MaxShards", func() int {
+			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: MaxShards * 2, ShardBits: 64, HashCount: 2}, nil)
+		}, 400},
 		{"bad name", func() int {
 			return doJSON(t, "PUT", ts.URL+"/v2/filters/.hidden", FilterSpec{}, nil)
 		}, 400},

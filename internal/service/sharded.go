@@ -49,6 +49,19 @@ func ParseMode(s string) (Mode, error) {
 	}
 }
 
+// Structural limits enforced by Config.withDefaults. Unlike the registry's
+// storage-bits caps these bound allocations that happen *before* any bit of
+// filter storage exists: the []shard array, per-shard pools, index families
+// and per-item index buffers all scale with these factors, so an
+// unauthenticated filter spec must not pick them freely.
+const (
+	// MaxShards caps the shard count (must also be a power of two).
+	MaxShards = 1 << 16
+	// MaxHashCount caps k: every pooled scratch and every batch request
+	// buffers k uint64 indexes per item.
+	MaxHashCount = 512
+)
+
 // Config sizes and keys a Sharded store.
 type Config struct {
 	// Variant selects the per-shard backend: VariantBloom (default, no
@@ -96,6 +109,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Shards < 1 || c.Shards&(c.Shards-1) != 0 {
 		return c, fmt.Errorf("service: shard count %d is not a power of two", c.Shards)
 	}
+	if c.Shards > MaxShards {
+		return c, fmt.Errorf("service: shard count %d exceeds %d", c.Shards, MaxShards)
+	}
 	if c.Capacity == 0 {
 		c.Capacity = 1 << 20
 	}
@@ -118,6 +134,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HashCount < 1 {
 		return c, fmt.Errorf("service: hash count %d must be positive", c.HashCount)
 	}
+	if c.HashCount > MaxHashCount {
+		return c, fmt.Errorf("service: hash count %d exceeds %d", c.HashCount, MaxHashCount)
+	}
 	switch c.Variant {
 	case VariantBloom:
 		if c.CounterWidth != 0 {
@@ -129,6 +148,11 @@ func (c Config) withDefaults() (Config, error) {
 	case VariantCounting:
 		if c.CounterWidth == 0 {
 			c.CounterWidth = 4
+		}
+		// Mirror core's packed-counter bound here so the width entering the
+		// registry's storage arithmetic is never negative or absurd.
+		if c.CounterWidth < 1 || c.CounterWidth > 16 {
+			return c, fmt.Errorf("service: counter width %d outside [1,16]", c.CounterWidth)
 		}
 		if c.Overflow == 0 {
 			c.Overflow = core.Wrap
@@ -529,6 +553,18 @@ func (s *Sharded) CounterWidth() int { return s.width }
 
 // OverflowPolicy returns the counting overflow policy (0 for bloom shards).
 func (s *Sharded) OverflowPolicy() core.OverflowPolicy { return s.policy }
+
+// storageBits returns the store's total filter storage in bits
+// (shards × shard_bits × counter width) — what the registry charges against
+// its aggregate budget. A live store's product cannot wrap: memory that
+// large could never have been allocated.
+func (s *Sharded) storageBits() uint64 {
+	width := uint64(1)
+	if s.width > 0 {
+		width = uint64(s.width)
+	}
+	return uint64(len(s.shards)) * s.mShard * width
+}
 
 // ShardStats is one shard's snapshot inside Stats.
 type ShardStats struct {
