@@ -113,6 +113,9 @@ func TestServeFlagValidation(t *testing.T) {
 		{"serve", "-variant", "bloom", "-overflow", "wrap"},
 		{"serve", "-variant", "counting", "-overflow", "explode"}, // unknown policy
 		{"serve", "-variant", "counting", "-counter-width", "99"}, // width out of range
+		{"serve", "-fsync", "always"},                             // fsync needs -data-dir
+		{"serve", "-fsync", "never"},                              // ditto, any policy
+		{"serve", "-data-dir", "x", "-fsync", "sometimes"},        // unknown policy
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {
@@ -129,6 +132,7 @@ func TestServeFlagValidation(t *testing.T) {
 		{"counting", "hardened", []string{"-key", key}},
 		{"bloom", "hardened", []string{"-key", key, "-route-key", key}},
 		{"bloom", "naive", []string{"-seed", "9"}},
+		{"bloom", "naive", []string{"-data-dir", "d", "-fsync", "always"}},
 	}
 	for _, tc := range good {
 		args := append([]string{"-variant", tc.variant, "-mode", tc.mode}, tc.extra...)

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"evilbloom/internal/core"
@@ -28,6 +32,8 @@ type serveFlags struct {
 	routeKeyHex  *string
 	counterWidth *int
 	overflow     *string
+	dataDir      *string
+	fsync        *string
 }
 
 // newServeFlagSet declares the serve flag set.
@@ -45,6 +51,8 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 		routeKeyHex:  fs.String("route-key", "", "hex-encoded 16-byte shard-routing secret (random when empty)"),
 		counterWidth: fs.Int("counter-width", 4, "counter bits per position (counting variant only)"),
 		overflow:     fs.String("overflow", "wrap", "counter overflow policy: wrap or saturate (counting variant only)"),
+		dataDir:      fs.String("data-dir", "", "directory for durable filter state (snapshots + operation logs); empty serves from memory only"),
+		fsync:        fs.String("fsync", "interval", "operation-log durability: always, interval or never (needs -data-dir)"),
 	}
 	return fs, v
 }
@@ -87,6 +95,15 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 		}
 	}
 
+	// Durability-dependent flags: the fsync policy governs the operation
+	// log, which exists only under -data-dir.
+	if set["fsync"] && *v.dataDir == "" {
+		return service.Config{}, fmt.Errorf("-fsync needs -data-dir; without a data directory there is no operation log to sync")
+	}
+	if _, err := service.ParseSyncPolicy(*v.fsync); err != nil {
+		return service.Config{}, err
+	}
+
 	cfg := service.Config{
 		Variant:   variant,
 		Shards:    *v.shards,
@@ -114,7 +131,9 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 // filters behind the /v2 API, with the flag-configured filter installed as
 // "default" (also served on the /v1 shim) — the paper's §8 naive-vs-hardened
 // comparison and the §4.3 deletion scenario as live HTTP endpoints the
-// attack machinery can be pointed at.
+// attack machinery can be pointed at. With -data-dir every filter journals
+// its mutations and the whole registry survives a restart bit-identically;
+// SIGINT/SIGTERM trigger a graceful drain-and-flush shutdown.
 func cmdServe(args []string) error {
 	fs, values := newServeFlagSet()
 	if err := fs.Parse(args); err != nil {
@@ -124,14 +143,39 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	store, err := service.NewSharded(cfg)
+	reg := service.NewRegistry()
+	if *values.dataDir != "" {
+		policy, err := service.ParseSyncPolicy(*values.fsync)
+		if err != nil {
+			return err
+		}
+		n, err := reg.OpenDataDir(*values.dataDir, policy)
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *values.dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "evilbloom serve: recovered %d filter(s) from %s (fsync=%s)\n", n, *values.dataDir, policy)
+	}
+	// The flag-configured default filter: created unless a persisted one
+	// was just recovered, in which case the durable state wins and the
+	// geometry flags are ignored (delete the filter's directory to rebuild
+	// it from flags).
+	if f, err := reg.Get(service.DefaultFilterName); err == nil {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: default filter restored from data dir (%s %s, count %d); geometry flags ignored\n",
+			f.Store().Variant(), f.Store().Mode(), f.Store().Count())
+	} else {
+		store, err := service.NewSharded(cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Adopt(service.DefaultFilterName, store); err != nil {
+			return err
+		}
+	}
+	defaultFilter, err := reg.Get(service.DefaultFilterName)
 	if err != nil {
 		return err
 	}
-	reg := service.NewRegistry()
-	if _, err := reg.Adopt(service.DefaultFilterName, store); err != nil {
-		return err
-	}
+	store := defaultFilter.Store()
 	ln, err := net.Listen("tcp", *values.addr)
 	if err != nil {
 		return err
@@ -154,7 +198,34 @@ func cmdServe(args []string) error {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.Serve(ln)
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting, drain in-flight
+	// requests (so batches complete and their journal records land), then
+	// flush and close every filter's durable store. Killing the process
+	// mid-write is what the torn-tail recovery is for; the signal path
+	// should never need it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		reg.Close() //nolint:errcheck // the listener error is the headline
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "evilbloom serve: signal received; draining\n")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: drain: %v\n", err)
+	}
+	if err := reg.Close(); err != nil {
+		return fmt.Errorf("flushing durable state: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "evilbloom serve: durable state flushed; bye\n")
+	return nil
 }
 
 // parseKeyFlag decodes an optional hex key flag; empty means "draw random".

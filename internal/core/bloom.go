@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -143,6 +144,39 @@ func (b *Bloom) Clone() *Bloom {
 func (b *Bloom) Reset() {
 	b.bits.Reset()
 	b.n = 0
+}
+
+// MarshalBinary encodes the filter state (insertion count plus the bit
+// vector). Like the Counting snapshot, the index family is NOT serialized —
+// a snapshot is only meaningful to a party that already knows the filter's
+// public geometry (and, for keyed families, its secret).
+func (b *Bloom) MarshalBinary() ([]byte, error) {
+	bits, err := b.bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8, 8+len(bits))
+	binary.LittleEndian.PutUint64(out, b.n)
+	return append(out, bits...), nil
+}
+
+// UnmarshalBinary restores state written by MarshalBinary into a filter that
+// must already have the same geometry (m). The filter is only modified on
+// success.
+func (b *Bloom) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("core: truncated bloom snapshot: %d bytes", len(data))
+	}
+	bits := bitset.New(0)
+	if err := bits.UnmarshalBinary(data[8:]); err != nil {
+		return err
+	}
+	if bits.Size() != b.fam.M() {
+		return fmt.Errorf("core: snapshot geometry (m=%d) does not match filter (m=%d)", bits.Size(), b.fam.M())
+	}
+	b.n = binary.LittleEndian.Uint64(data)
+	b.bits = bits
+	return nil
 }
 
 // Synced wraps a Filter with a mutex for concurrent use (the crawler's dedup

@@ -253,3 +253,48 @@ func BenchmarkBloomTest(b *testing.B) {
 		bl.Test(item)
 	}
 }
+
+// Snapshots round-trip: a restored filter answers identically and
+// re-serializes to the same bytes; mismatched geometry is refused.
+func TestBloomSnapshotRoundTrip(t *testing.T) {
+	a := newTestBloom(t, 4, 3200)
+	items := make([][]byte, 200)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("http://snap%d.example.com/", i))
+		a.Add(items[i])
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newTestBloom(t, 4, 3200)
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != a.Count() || b.Weight() != a.Weight() {
+		t.Errorf("restored count=%d weight=%d, want %d and %d", b.Count(), b.Weight(), a.Count(), a.Weight())
+	}
+	for _, it := range items {
+		if !b.Test(it) {
+			t.Fatalf("restored filter lost %q", it)
+		}
+	}
+	again, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(blob) {
+		t.Error("restored filter re-serializes differently")
+	}
+	// Geometry mismatch and truncation are refused without mutating state.
+	small := newTestBloom(t, 4, 64)
+	if err := small.UnmarshalBinary(blob); err == nil {
+		t.Error("snapshot restored into a filter of different m")
+	}
+	if err := b.UnmarshalBinary(blob[:5]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if b.Count() != a.Count() {
+		t.Error("failed restore mutated the filter")
+	}
+}

@@ -53,10 +53,15 @@ type Remover interface {
 }
 
 // Snapshotter is the optional persistence capability: a backend that can
-// serialize its occupancy state. The index family is never part of a
-// snapshot — geometry and secrets travel out of band.
+// serialize its occupancy state and rebuild itself from such a blob. The
+// index family is never part of a snapshot — geometry and secrets travel out
+// of band.
 type Snapshotter interface {
 	Snapshot() ([]byte, error)
+	// Restore overwrites the backend's occupancy state with a blob written
+	// by Snapshot on a backend of identical geometry. A failed restore may
+	// leave the backend half-written; callers must discard it.
+	Restore(data []byte) error
 }
 
 // overflowReporter is the stats-only capability of counter-based backends:
@@ -112,7 +117,11 @@ type bloomBackend struct {
 }
 
 func (b bloomBackend) Snapshot() ([]byte, error) {
-	return b.Bits().MarshalBinary()
+	return b.Bloom.MarshalBinary()
+}
+
+func (b bloomBackend) Restore(data []byte) error {
+	return b.Bloom.UnmarshalBinary(data)
 }
 
 // countingBackend adapts *core.Counting to Backend + Remover + Snapshotter;
@@ -134,6 +143,21 @@ func (c countingBackend) AddIndexes(idx []uint64) int {
 
 func (c countingBackend) Snapshot() ([]byte, error) {
 	return c.MarshalBinary()
+}
+
+func (c countingBackend) Restore(data []byte) error {
+	// core restores the overflow policy from the blob; the service pins the
+	// policy at creation, so a blob smuggling a different one (the envelope
+	// cannot catch it: the inner blob has its own policy byte) is rejected
+	// rather than silently flipping the shard's overflow behaviour.
+	want := c.Policy()
+	if err := c.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if got := c.Policy(); got != want {
+		return fmt.Errorf("service: snapshot carries overflow policy %v, filter uses %v", got, want)
+	}
+	return nil
 }
 
 var (

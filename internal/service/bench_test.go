@@ -180,6 +180,37 @@ func BenchmarkParallelMixedMonitored(b *testing.B) {
 	})
 }
 
+// BenchmarkLoggedMixed prices the write-ahead log next to
+// BenchmarkParallelMixed: the identical parallel mixed load on a 16-shard
+// store with no journal (the baseline — must match sharded-16 above within
+// noise), with the buffered journal under each flush policy, and with
+// synchronous per-operation fsync. The buffered policies pay one in-memory
+// record append inside the shard critical section; "always" pays a disk
+// round-trip per mutation and is listed to make that price visible.
+func BenchmarkLoggedMixed(b *testing.B) {
+	const totalBits, k = 1 << 24, 5
+	items := benchItems(1 << 16)
+	b.Run("unlogged", func(b *testing.B) {
+		s := newShardedBench(b, 16, totalBits, k, ModeNaive)
+		runMixed(b, s.Add, s.Test, nil, 0, items)
+	})
+	for _, policy := range []SyncPolicy{SyncNever, SyncInterval, SyncAlways} {
+		b.Run("wal-"+policy.String(), func(b *testing.B) {
+			s := newShardedBench(b, 16, totalBits, k, ModeNaive)
+			p, err := createPersister(b.TempDir(), s.config(), policy, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close() //nolint:errcheck
+			s.SetJournal(p)
+			runMixed(b, s.Add, s.Test, nil, 0, items)
+			if err := p.Err(); err != nil {
+				b.Fatalf("journal failed during bench: %v", err)
+			}
+		})
+	}
+}
+
 // BenchmarkBatchAdd measures the lock-once-per-shard batch path against
 // looping over singleton adds.
 func BenchmarkBatchAdd(b *testing.B) {

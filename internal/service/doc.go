@@ -2,7 +2,8 @@
 // online, serving system: a registry of named, independently configured
 // filter instances (Registry), each a sharded striped-lock store (Sharded)
 // over a pluggable per-shard backend (Backend), behind a versioned HTTP/JSON
-// API (Server), started by `evilbloom serve`.
+// API (Server), started by `evilbloom serve` — durable across restarts when
+// given a data directory (Persister).
 //
 // # Store architecture
 //
@@ -49,11 +50,39 @@
 // "default" backs the unversioned-era /v1/* shim, byte-identical to the
 // original single-filter wire format.
 //
+// # Durability model
+//
+// With `evilbloom serve -data-dir`, every filter owns a directory holding
+// its full configuration (meta.json, secrets included — the data dir is the
+// server's trusted storage), versioned + checksummed snapshot envelopes
+// written via temp-file + rename, and an append-only operation log with
+// length-prefixed, per-record-CRC framing. Mutations are journaled from
+// inside the shard critical section into a buffered, batched writer whose
+// durability is the -fsync policy: always (fsync per mutation), interval
+// (flush+fsync every ~100ms, the default) or never (the OS decides).
+// Restart restores the newest restorable snapshot — a corrupt one falls
+// back a generation — and replays the log chain on top, truncating a torn
+// tail to the longest valid record prefix, so a recovered filter is
+// bit-identical to the pre-crash state up to the configured loss window.
+// POST .../compact forces a snapshot and starts a fresh log segment;
+// SIGTERM/SIGINT drain in-flight requests and flush before exit. Restored
+// filters pass through the same MaxTotalBits accounting as fresh creations,
+// with failed restores rolling their reservation back.
+//
+// Why it matters for the paper: the §4/§6 campaigns are only an
+// operational threat because filter state is long-lived. A polluted or
+// deletion-damaged filter that survives restart bit-identically (see the
+// restart-preserves-attack test) is the adversarial-environment setting of
+// Naor–Yogev made concrete — bouncing the process does not heal the filter.
+//
 // # HTTP surface
 //
-//	PUT    /v2/filters/{name}              create (FilterSpec -> FilterInfo, 201; 409 if taken)
+//	PUT    /v2/filters/{name}              create (FilterSpec -> FilterInfo, 201; 409 if taken);
+//	                                       with Content-Type: application/octet-stream the body
+//	                                       is a snapshot envelope and the filter is created from
+//	                                       it (naive envelopes only; hardened or mismatched 409)
 //	GET    /v2/filters/{name}              public parameters + capabilities
-//	DELETE /v2/filters/{name}              delete (204; 404 if unknown)
+//	DELETE /v2/filters/{name}              delete, including durable state (204; 404 if unknown)
 //	GET    /v2/filters                     list all filters
 //	POST   /v2/filters/{name}/add          insert one item
 //	POST   /v2/filters/{name}/test         membership query
@@ -63,9 +92,12 @@
 //	POST   /v2/filters/{name}/remove-batch delete a batch, per-item outcomes
 //	GET    /v2/filters/{name}/stats        fill, weight, FPR, overflow events, per shard
 //	GET    /v2/filters/{name}/info         same document as GET /v2/filters/{name}
-//	GET    /v2/filters/{name}/snapshot     binary occupancy snapshot of every shard
+//	GET    /v2/filters/{name}/snapshot     versioned, checksummed snapshot envelope
+//	POST   /v2/filters/{name}/compact      force snapshot + log rotation (durable filters only; 409 otherwise)
 //	POST   /v1/{add,test,add-batch,test-batch}  shim over the "default" filter
 //	GET    /v1/{stats,info}                     shim over the "default" filter
 //
-// See Server for the exact wire formats.
+// See Server for the exact wire formats and snapshot.go for the envelope
+// layout (compatibility note: the former raw snapshot format, a bare
+// shard-count header with unversioned blobs, is gone).
 package service

@@ -3,6 +3,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
@@ -57,6 +60,8 @@ type Filter struct {
 	// bits is the storage charged against the registry budget at creation,
 	// refunded on Delete.
 	bits uint64
+	// persist is the filter's durable store, nil in a memory-only registry.
+	persist *Persister
 }
 
 // Name returns the registry name.
@@ -64,6 +69,28 @@ func (f *Filter) Name() string { return f.name }
 
 // Store returns the underlying sharded store.
 func (f *Filter) Store() *Sharded { return f.store }
+
+// Durable reports whether the filter journals to a durable store.
+func (f *Filter) Durable() bool { return f.persist != nil }
+
+// Compact forces a snapshot of the filter's current state and starts a
+// fresh log segment, bounding recovery time. It fails with ErrNotDurable on
+// a memory-only filter.
+func (f *Filter) Compact() error {
+	if f.persist == nil {
+		return ErrNotDurable
+	}
+	return f.persist.Compact(f.store)
+}
+
+// Generation returns the durable store's snapshot generation (0 when the
+// filter is memory-only).
+func (f *Filter) Generation() uint64 {
+	if f.persist == nil {
+		return 0
+	}
+	return f.persist.Generation()
+}
 
 // Registry is a concurrency-safe collection of named filter instances, each
 // with its own variant, mode, geometry and keys. All mutation is
@@ -82,6 +109,12 @@ type Registry struct {
 	// bits is the storage charged by live and reserved filters together,
 	// bounded by MaxTotalBits.
 	bits uint64
+	// dataDir, when non-empty, makes the registry durable: every filter
+	// owns a directory under it, journals its mutations, and is reopened by
+	// OpenDataDir at the next boot. Set once by OpenDataDir before traffic.
+	dataDir string
+	// sync is the durable registry's fsync policy.
+	sync SyncPolicy
 }
 
 // NewRegistry returns an empty registry.
@@ -119,33 +152,127 @@ func (c Config) storageBits() (uint64, error) {
 // first, then the store is built outside the lock (sizing allocates) and the
 // reservation is filled or rolled back.
 func (r *Registry) Create(name string, cfg Config) (*Filter, error) {
-	if !ValidFilterName(name) {
-		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
+	return r.create(name, cfg, nil)
+}
+
+// CreateFromSnapshot builds a filter from a snapshot envelope read from rd
+// and registers it under name — the PUT-with-snapshot-body path. The
+// envelope header alone resolves the configuration (naive snapshots only;
+// hardened ones carry no keys and are refused with ErrSnapshotMismatch), so
+// every registry limit is enforced and the storage budget reserved BEFORE
+// the payload is buffered: an unauthenticated client cannot make the server
+// hold more snapshot bytes than the budget it was granted — the 72-byte
+// header is all that is read ahead of the size check and reservation.
+func (r *Registry) CreateFromSnapshot(name string, rd io.Reader) (*Filter, error) {
+	hdr := make([]byte, snapshotHeaderLen)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrSnapshotCorrupt, err)
 	}
-	// Resolve the geometry first so the size check precedes allocation: a
-	// crafted shard_bits or capacity must be rejected, not OOM the server.
-	cfg, err := cfg.withDefaults()
+	cfg, err := SnapshotConfig(hdr)
 	if err != nil {
 		return nil, err
 	}
-	bits, err := cfg.storageBits()
+	h, err := decodeSnapshotHeader(hdr) // re-decode for the exact payload length
+	if err != nil {
+		return nil, err
+	}
+	bits, err := r.validate(name, &cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := r.reserve(name, bits); err != nil {
 		return nil, err
 	}
+	// The reservation caps the geometry (storageBits ≤ MaxFilterBits and the
+	// header's payload length is geometry-implied), so this buffer is
+	// bounded by the budget just charged.
+	env := make([]byte, snapshotHeaderLen+int(h.payloadLen)+snapshotTrailerLen)
+	copy(env, hdr)
+	if _, err := io.ReadFull(rd, env[snapshotHeaderLen:]); err != nil {
+		r.unreserve(name, bits)
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrSnapshotCorrupt, err)
+	}
+	if n, _ := io.ReadFull(rd, make([]byte, 1)); n != 0 {
+		r.unreserve(name, bits)
+		return nil, fmt.Errorf("%w: trailing bytes after envelope", ErrSnapshotCorrupt)
+	}
+	return r.createReserved(name, cfg, bits, env)
+}
+
+// validate resolves cfg in place and returns its storage bits, enforcing
+// the per-filter limits — everything creation checks before reserving.
+func (r *Registry) validate(name string, cfg *Config) (uint64, error) {
+	if !ValidFilterName(name) {
+		return 0, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
+	}
+	// Resolve the geometry first so the size check precedes allocation: a
+	// crafted shard_bits or capacity must be rejected, not OOM the server.
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	*cfg = c
+	return c.storageBits()
+}
+
+// create is the spec-based creation path: validate, reserve, build.
+func (r *Registry) create(name string, cfg Config, snap []byte) (*Filter, error) {
+	bits, err := r.validate(name, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.reserve(name, bits); err != nil {
+		return nil, err
+	}
+	return r.createReserved(name, cfg, bits, snap)
+}
+
+// createReserved finishes a creation whose name and budget are already
+// reserved: build the store, optionally restore a snapshot into it,
+// initialize its durable directory, publish — any failure rolls the
+// reservation back, so a failed or oversized restore never leaks budget
+// (fill-or-rollback).
+func (r *Registry) createReserved(name string, cfg Config, bits uint64, snap []byte) (*Filter, error) {
 	store, err := NewSharded(cfg)
 	if err != nil {
 		r.unreserve(name, bits)
 		return nil, err
 	}
+	if snap != nil {
+		if err := store.Restore(snap); err != nil {
+			r.unreserve(name, bits)
+			return nil, err
+		}
+	}
 	f := &Filter{name: name, store: store, bits: bits}
+	if r.dataDir != "" {
+		// The received envelope doubles as the filter's generation-0
+		// snapshot, so the directory is byte-complete from the first moment.
+		p, err := createPersister(r.filterDir(name), store.config(), r.sync, snap)
+		if err != nil {
+			if !errors.Is(err, errDirInitialized) {
+				// Never remove a directory createPersister refused to touch:
+				// it belongs to someone else's filter.
+				os.RemoveAll(r.filterDir(name)) //nolint:errcheck // best-effort rollback
+			}
+			r.unreserve(name, bits)
+			return nil, err
+		}
+		store.SetJournal(p)
+		f.persist = p
+	}
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.filters[name] = f
 	r.mu.Unlock()
 	return f, nil
+}
+
+// filterDir returns a filter's directory under the data dir. Filter names
+// are ValidFilterName-constrained (no separators, no leading dot), so the
+// name is safe as a single path component.
+func (r *Registry) filterDir(name string) string {
+	return filepath.Join(r.dataDir, name)
 }
 
 // reserve claims name and bits of storage budget ahead of the build,
@@ -200,16 +327,47 @@ func (r *Registry) Adopt(name string, store *Sharded) (*Filter, error) {
 	if !ValidFilterName(name) {
 		return nil, fmt.Errorf("service: invalid filter name %q (want %s)", name, filterName)
 	}
-	bits := store.storageBits()
-	f := &Filter{name: name, store: store, bits: bits}
+	// Reserve the name (with no budget charge: Adopt's charge below is
+	// unconditional) before any durable side effect, so a taken or racing
+	// name is turned away while nothing exists to roll back — the same
+	// order Create uses, and what keeps the rollback paths from ever
+	// touching a live filter's directory.
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, taken := r.filters[name]; taken {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
 	}
 	if _, taken := r.reserved[name]; taken {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrFilterExists, name)
 	}
+	r.reserved[name] = 0
+	r.mu.Unlock()
+
+	bits := store.storageBits()
+	f := &Filter{name: name, store: store, bits: bits}
+	if r.dataDir != "" {
+		// The adopted store may already hold state (an operator pre-warms
+		// it before serving), so its current snapshot seeds generation 0.
+		snap, err := store.Snapshot()
+		if err != nil {
+			r.unreserve(name, 0)
+			return nil, err
+		}
+		p, err := createPersister(r.filterDir(name), store.config(), r.sync, snap)
+		if err != nil {
+			if !errors.Is(err, errDirInitialized) {
+				os.RemoveAll(r.filterDir(name)) //nolint:errcheck // best-effort rollback
+			}
+			r.unreserve(name, 0)
+			return nil, err
+		}
+		store.SetJournal(p)
+		f.persist = p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.reserved, name)
 	r.bits += bits
 	r.filters[name] = f
 	return f, nil
@@ -226,19 +384,132 @@ func (r *Registry) Get(name string) (*Filter, error) {
 	return f, nil
 }
 
-// Delete removes the filter registered under name and refunds its storage
-// budget. In-flight operations on the filter finish against the orphaned
-// store; its memory is reclaimed when they drain.
+// Delete removes the filter registered under name, refunds its storage
+// budget and deletes its durable directory. In-flight operations on the
+// filter finish against the orphaned store (a closed journal drops their
+// records — the state they mutate is condemned); its memory is reclaimed
+// when they drain.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	f, ok := r.filters[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrFilterNotFound, name)
 	}
 	delete(r.filters, name)
 	r.bits -= f.bits
+	if f.persist != nil {
+		// Keep the name reserved while the directory is torn down outside
+		// the lock: a racing re-create of the same name must not build its
+		// fresh directory under the RemoveAll below (it gets ErrFilterExists
+		// until the teardown finishes).
+		r.reserved[name] = 0
+	}
+	r.mu.Unlock()
+	if f.persist != nil {
+		f.persist.Close() //nolint:errcheck // directory is removed next
+		err := f.persist.remove()
+		r.unreserve(name, 0)
+		return err
+	}
 	return nil
+}
+
+// OpenDataDir makes the registry durable and adopts every filter already
+// persisted under dir: each is rebuilt from its meta configuration, its
+// newest restorable snapshot and its surviving log segments, charged
+// against the registry limits exactly like a fresh creation (reserve →
+// build → fill-or-rollback). A filter that cannot be recovered fails the
+// whole open — silently dropping persisted state would defeat the point —
+// with every reservation already rolled back. It returns the number of
+// filters recovered.
+func (r *Registry) OpenDataDir(dir string, policy SyncPolicy) (int, error) {
+	if r.dataDir != "" {
+		return 0, fmt.Errorf("service: registry already has data dir %s", r.dataDir)
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return 0, err
+	}
+	r.dataDir = dir
+	r.sync = policy
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if !e.IsDir() || !ValidFilterName(e.Name()) {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), metaFileName)); err != nil {
+			continue // not a filter directory
+		}
+		if err := r.loadPersisted(e.Name()); err != nil {
+			return loaded, fmt.Errorf("service: recovering filter %q: %w", e.Name(), err)
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// loadPersisted recovers one filter directory through the registry's
+// accounting: the budget is reserved before the store allocates, and any
+// recovery failure (corrupt meta, oversized geometry, unrestorable
+// snapshot chain) rolls the reservation back.
+func (r *Registry) loadPersisted(name string) error {
+	p, cfg, err := openPersister(r.filterDir(name), r.sync)
+	if err != nil {
+		return err
+	}
+	cfg, err = cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	bits, err := cfg.storageBits()
+	if err != nil {
+		return err
+	}
+	if err := r.reserve(name, bits); err != nil {
+		return err
+	}
+	store, err := NewSharded(cfg)
+	if err != nil {
+		r.unreserve(name, bits)
+		return err
+	}
+	if err := p.Replay(store); err != nil {
+		r.unreserve(name, bits)
+		return err
+	}
+	store.SetJournal(p)
+	f := &Filter{name: name, store: store, bits: bits, persist: p}
+	r.mu.Lock()
+	delete(r.reserved, name)
+	r.filters[name] = f
+	r.mu.Unlock()
+	return nil
+}
+
+// Close flushes and closes every filter's durable store — the graceful-
+// shutdown tail, after the HTTP server has drained. The registry stays
+// readable but journals no further mutations. It returns the first error.
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	filters := make([]*Filter, 0, len(r.filters))
+	for _, f := range r.filters {
+		filters = append(filters, f)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, f := range filters {
+		if f.persist == nil {
+			continue
+		}
+		if err := f.persist.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // List returns every registered filter, sorted by name.

@@ -23,6 +23,12 @@ const (
 	// MaxBodyBytes caps request bodies. Exceeding it answers 413 with a
 	// message naming this limit.
 	MaxBodyBytes = 8 << 20
+	// MaxSnapshotBytes caps a PUT-with-snapshot-body request: the largest
+	// permissible filter (MaxFilterBits of storage) serialized, plus framing
+	// slack. The registry additionally reserves the decoded filter's budget
+	// before buffering the payload, so this is transport-level belt and
+	// braces, not the real control.
+	MaxSnapshotBytes = MaxFilterBits/8 + MaxBodyBytes
 )
 
 // ---------------------------------------------------------------------------
@@ -67,6 +73,12 @@ type removeResponse struct {
 type removeBatchResponse struct {
 	Removed []bool `json:"removed"`
 	Count   uint64 `json:"count"`
+}
+
+// compactResponse answers /v2/.../compact with the new snapshot generation.
+type compactResponse struct {
+	Compacted  bool   `json:"compacted"`
+	Generation uint64 `json:"generation"`
 }
 
 // InfoResponse answers /v1/info: the public parameters of the serving
@@ -239,6 +251,9 @@ func filterInfo(f *Filter) FilterInfo {
 	if st.Removable() {
 		info.Capabilities = append(info.Capabilities, "remove")
 	}
+	if f.Durable() {
+		info.Capabilities = append(info.Capabilities, "compact")
+	}
 	return info
 }
 
@@ -250,9 +265,13 @@ func filterInfo(f *Filter) FilterInfo {
 // The versioned v2 surface manages named filters and routes item traffic to
 // them:
 //
-//	PUT    /v2/filters/{name}              FilterSpec -> FilterInfo (201)
+//	PUT    /v2/filters/{name}              FilterSpec -> FilterInfo (201); with
+//	                                       Content-Type: application/octet-stream the
+//	                                       body is a snapshot envelope instead and the
+//	                                       filter is created from it (naive snapshots
+//	                                       only; mismatches answer 409)
 //	GET    /v2/filters/{name}              -> FilterInfo
-//	DELETE /v2/filters/{name}              -> 204
+//	DELETE /v2/filters/{name}              -> 204 (also deletes the durable directory)
 //	GET    /v2/filters                     -> {"filters": [FilterInfo...]}
 //	POST   /v2/filters/{name}/add          {"item": s}       -> {"added": 1, "count": n}
 //	POST   /v2/filters/{name}/test         {"item": s}       -> {"present": bool}
@@ -262,11 +281,18 @@ func filterInfo(f *Filter) FilterInfo {
 //	POST   /v2/filters/{name}/remove-batch {"items": [s...]} -> {"removed": [bool...], "count": n}
 //	GET    /v2/filters/{name}/stats        -> Stats
 //	GET    /v2/filters/{name}/info         -> FilterInfo
-//	GET    /v2/filters/{name}/snapshot     -> binary shard snapshots
+//	GET    /v2/filters/{name}/snapshot     -> versioned, checksummed snapshot envelope
+//	POST   /v2/filters/{name}/compact      -> {"compacted": true, "generation": g}
 //
 // remove/remove-batch need the Remover capability (variant=counting) and
 // answer 405 with a capability error otherwise; a single remove of an item
-// the filter believes absent answers 409.
+// the filter believes absent answers 409. compact needs a durable registry
+// (`evilbloom serve -data-dir`) and answers 409 otherwise.
+//
+// Compatibility note: until this revision the snapshot endpoint returned
+// the raw per-shard blobs behind a bare shard-count header. That format
+// was unverifiable (no version, variant or checksum) and unreplayable; it
+// is gone, replaced by the envelope documented in snapshot.go.
 //
 // The unversioned-era v1 surface survives as a shim over the registry's
 // "default" filter, byte-identical to the original single-filter server:
@@ -424,6 +450,16 @@ func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name string) {
+	// A binary body (Content-Type: application/octet-stream) is a snapshot
+	// envelope — create-from-snapshot; anything else is a JSON FilterSpec.
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		f, err := s.reg.CreateFromSnapshot(name, http.MaxBytesReader(w, r.Body, int64(MaxSnapshotBytes)))
+		if !checkCreateErr(w, err) {
+			return
+		}
+		writeJSON(w, http.StatusCreated, filterInfo(f))
+		return
+	}
 	var spec FilterSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -437,15 +473,27 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	f, err := s.reg.Create(name, cfg)
-	switch {
-	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull), errors.Is(err, ErrBudgetExhausted):
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !checkCreateErr(w, err) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, filterInfo(f))
+}
+
+// checkCreateErr maps filter-creation errors to statuses: 409 for conflicts
+// with existing state or limits (name taken, registry full, budget
+// exhausted, snapshot disagreeing with the configuration it implies), 400
+// for malformed requests.
+func checkCreateErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull),
+		errors.Is(err, ErrBudgetExhausted), errors.Is(err, ErrSnapshotMismatch):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -485,6 +533,8 @@ func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, filterInfo(f))
 	case "snapshot":
 		handleSnapshot(w, r, st)
+	case "compact":
+		handleCompact(w, r, f)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown filter operation %q", op))
 	}
@@ -600,8 +650,29 @@ func handleSnapshot(w http.ResponseWriter, r *http.Request, st *Sharded) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Evilbloom-Snapshot-Version", fmt.Sprint(snapshotVersion))
 	w.WriteHeader(http.StatusOK)
 	w.Write(blob) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleCompact forces a durable filter's snapshot+log rotation; a
+// memory-only filter answers 409 so operators notice the missing -data-dir
+// instead of trusting a no-op.
+func handleCompact(w http.ResponseWriter, r *http.Request, f *Filter) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	err := f.Compact()
+	switch {
+	case errors.Is(err, ErrNotDurable):
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, compactResponse{Compacted: true, Generation: f.Generation()})
 }
 
 // ---------------------------------------------------------------------------

@@ -2,7 +2,6 @@ package service
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -296,8 +295,14 @@ func TestV2Snapshot(t *testing.T) {
 		return blob
 	}
 	empty := fetch()
-	if shards := binary.LittleEndian.Uint64(empty); shards != 2 {
-		t.Errorf("snapshot header says %d shards, want 2", shards)
+	// The export travels in the versioned, checksummed envelope: magic,
+	// geometry header, CRC — decodeSnapshot validates all three.
+	h, _, err := decodeSnapshot(empty)
+	if err != nil {
+		t.Fatalf("snapshot envelope does not decode: %v", err)
+	}
+	if h.shards != 2 || h.shardBits != 1024 || h.k != 4 || h.variant != VariantCounting {
+		t.Errorf("envelope header %+v, want 2×1024 k=4 counting", h)
 	}
 	doJSON(t, "POST", ts.URL+"/v2/filters/snap/add", itemRequest{Item: "x"}, nil)
 	after := fetch()
@@ -306,5 +311,13 @@ func TestV2Snapshot(t *testing.T) {
 	}
 	if bytes.Equal(empty, after) {
 		t.Error("snapshot unchanged by an insertion")
+	}
+	if _, _, err := decodeSnapshot(after); err != nil {
+		t.Fatalf("post-insertion envelope does not decode: %v", err)
+	}
+	// Corrupting any byte must be detected by the checksum.
+	after[len(after)/2] ^= 0xff
+	if _, _, err := decodeSnapshot(after); err == nil {
+		t.Error("corrupted envelope decoded cleanly")
 	}
 }

@@ -3,7 +3,6 @@ package service
 import (
 	"crypto/rand"
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -228,7 +227,38 @@ type Sharded struct {
 	mShard  uint64
 	width   int
 	policy  core.OverflowPolicy
+	// cfg is the normalized configuration the store was built from,
+	// including its secrets — retained so the persistence layer can rebuild
+	// an identical store at boot. Never exposed through the public API.
+	cfg Config
+	// journal, when non-nil, receives every effective mutation from inside
+	// the owning shard's critical section, so the journal order of
+	// operations on one shard matches their application order (operations on
+	// different shards touch disjoint state and commute under replay). Set
+	// once via SetJournal before the store serves traffic.
+	journal Journal
 }
+
+// Journal receives the store's effective mutations — the append-only
+// operation log of the persistence layer. Calls arrive under a shard's write
+// lock and must not block on anything that could itself wait on a shard lock
+// (a buffered in-memory append is the intended implementation).
+type Journal interface {
+	// JournalAdd records an insertion. Item aliases caller memory; copy it.
+	JournalAdd(item []byte)
+	// JournalRemove records an accepted removal (refused removals never
+	// mutate state and are not journaled). Item aliases caller memory.
+	JournalRemove(item []byte)
+}
+
+// SetJournal attaches the mutation journal. It must be called before the
+// store serves concurrent traffic (the registry attaches it between replay
+// and publication at boot).
+func (s *Sharded) SetJournal(j Journal) { s.journal = j }
+
+// config returns the store's normalized build configuration, secrets
+// included — for the persistence layer only.
+func (s *Sharded) config() Config { return s.cfg }
 
 var _ core.Filter = (*Sharded)(nil)
 
@@ -251,6 +281,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		mShard:  cfg.ShardBits,
 		width:   cfg.CounterWidth,
 		policy:  cfg.Overflow,
+		cfg:     cfg,
 	}
 	for i := range s.shards {
 		fam, err := newShardFamily(cfg, i)
@@ -313,6 +344,9 @@ func (s *Sharded) Add(item []byte) {
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.Lock()
 	sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx))
+	if s.journal != nil {
+		s.journal.JournalAdd(item)
+	}
 	sh.mu.Unlock()
 	sh.pool.Put(sc)
 }
@@ -364,6 +398,9 @@ func (s *Sharded) Remove(item []byte) (bool, error) {
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.Lock()
 	removed, err := sh.removeLocked(sc.idx)
+	if removed && s.journal != nil {
+		s.journal.JournalRemove(item)
+	}
 	sh.mu.Unlock()
 	sh.pool.Put(sc)
 	return removed, err
@@ -417,6 +454,9 @@ func (s *Sharded) RemoveBatch(items [][]byte) ([]bool, error) {
 				sh.pool.Put(sc)
 				return removed, err
 			}
+			if ok && s.journal != nil {
+				s.journal.JournalRemove(items[ii])
+			}
 			removed[ii] = ok
 		}
 		sh.mu.Unlock()
@@ -443,6 +483,9 @@ func (s *Sharded) AddBatch(items [][]byte) {
 		sh.mu.Lock()
 		for j := 0; j < len(g); j++ {
 			sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx[j*s.k:(j+1)*s.k]))
+			if s.journal != nil {
+				s.journal.JournalAdd(items[g[j]])
+			}
 		}
 		sh.mu.Unlock()
 		sh.pool.Put(sc)
@@ -498,36 +541,20 @@ func (s *Sharded) Count() uint64 {
 	return n
 }
 
-// Snapshot serializes every shard's backend state (length-prefixed, in shard
-// order, after a small header pinning the geometry). Shards are locked one
-// at a time, so like Stats the snapshot is per-shard consistent rather than
-// a global atomic cut. It fails if a backend lacks the Snapshotter
-// capability.
-func (s *Sharded) Snapshot() ([]byte, error) {
-	out := make([]byte, 0, 64)
-	var hdr [24]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(s.shards)))
-	binary.LittleEndian.PutUint64(hdr[8:], s.mShard)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.k))
-	out = append(out, hdr[:]...)
+// lockAll write-locks every shard in index order — the stop-the-world
+// moment compaction and restore use to get a true atomic cut (no mutation
+// can be between "applied" and "journaled" while all locks are held).
+func (s *Sharded) lockAll() {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		snap, ok := sh.backend.(Snapshotter)
-		if !ok {
-			return nil, fmt.Errorf("service: %v backend of shard %d cannot snapshot", s.variant, i)
-		}
-		sh.mu.RLock()
-		blob, err := snap.Snapshot()
-		sh.mu.RUnlock()
-		if err != nil {
-			return nil, fmt.Errorf("service: snapshotting shard %d: %w", i, err)
-		}
-		var sz [8]byte
-		binary.LittleEndian.PutUint64(sz[:], uint64(len(blob)))
-		out = append(out, sz[:]...)
-		out = append(out, blob...)
+		s.shards[i].mu.Lock()
 	}
-	return out, nil
+}
+
+// unlockAll releases lockAll.
+func (s *Sharded) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // Variant returns the backend variant.

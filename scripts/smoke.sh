@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Smoke test for the live multi-filter service: build the real binary, start
-# it, create a counting filter over HTTP, drive adds and adversarial
-# removals with curl, and verify the §4.3 signature — an honest item turned
-# false negative by removing crafted "ghost" items the filter wrongly
-# believes present.
+# it with a durable data dir, create a counting filter over HTTP, drive adds
+# and adversarial removals with curl, and verify the §4.3 signature — an
+# honest item turned false negative by removing crafted "ghost" items the
+# filter wrongly believes present. Then SIGTERM the server (graceful drain +
+# flush), restart it from the same data dir, and verify the filter state —
+# stats, the adversarially induced false negatives, the v1 default filter —
+# survived the restart unchanged.
 #
 # Deterministic: the filter is tiny (m=64, k=4) with a fixed public seed, so
 # every counter position, false positive and induced false negative is the
@@ -14,6 +17,7 @@ ADDR="127.0.0.1:${SMOKE_PORT:-18379}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/evilbloom"
 LOG="$(dirname "$BIN")/serve.log"
+DATA="$(dirname "$BIN")/data"
 
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
@@ -23,19 +27,23 @@ trap cleanup EXIT
 say()  { printf 'smoke: %s\n' "$*"; }
 fail() { say "FAIL: $*"; [[ -f "$LOG" ]] && sed 's/^/smoke:   server: /' "$LOG"; exit 1; }
 
+wait_ready() {
+  for i in $(seq 1 50); do
+    curl -sf "$BASE/v1/info" >/dev/null 2>&1 && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+  done
+  curl -sf "$BASE/v1/info" >/dev/null || fail "server never came up"
+}
+
 say "building evilbloom"
 go build -o "$BIN" ./cmd/evilbloom
 
-say "starting evilbloom serve on $ADDR"
-"$BIN" serve -addr "$ADDR" >"$LOG" 2>&1 &
+say "starting evilbloom serve on $ADDR with -data-dir $DATA"
+"$BIN" serve -addr "$ADDR" -data-dir "$DATA" >"$LOG" 2>&1 &
 SERVER_PID=$!
 
-for i in $(seq 1 50); do
-  curl -sf "$BASE/v1/info" >/dev/null 2>&1 && break
-  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
-  sleep 0.1
-done
-curl -sf "$BASE/v1/info" >/dev/null || fail "server never came up"
+wait_ready
 
 say "creating a counting filter (m=64, k=4, naive seed 3) via PUT /v2/filters/smoke"
 CREATE=$(curl -sf -X PUT "$BASE/v2/filters/smoke" \
@@ -62,16 +70,56 @@ say "server accepted $ACCEPTED ghost removals"
 [[ "$ACCEPTED" -gt 0 ]] || fail "no ghost removal accepted"
 
 say "checking for induced false negatives among the honest items"
-FN=0
-for i in $(seq 1 100); do
-  RESP=$(curl -sf -X POST "$BASE/v2/filters/smoke/test" -d "{\"item\":\"http://honest.example/$i\"}")
-  echo "$RESP" | grep -q '"present":false' && FN=$((FN + 1))
-done
+fn_list() {
+  local out="$1"
+  : >"$out"
+  for i in $(seq 1 100); do
+    RESP=$(curl -sf -X POST "$BASE/v2/filters/smoke/test" -d "{\"item\":\"http://honest.example/$i\"}")
+    echo "$RESP" | grep -q '"present":false' && echo "$i" >>"$out"
+  done
+  return 0
+}
+FN_BEFORE="$(dirname "$BIN")/fn-before.txt"
+fn_list "$FN_BEFORE"
+FN=$(wc -l <"$FN_BEFORE")
 say "$FN/100 honest items driven to false negatives"
 [[ "$FN" -gt 0 ]] || fail "removals induced no false negative"
 
 say "verifying stats and the v1 shim still answer"
 curl -sf "$BASE/v2/filters/smoke/stats" | grep -q '"variant":"counting"' || fail "stats missing variant"
 curl -sf -X POST "$BASE/v1/add" -d '{"item":"x"}' | grep -q '"added":1' || fail "v1 shim broken"
+
+say "compacting the smoke filter (snapshot + log rotation)"
+curl -sf -X POST "$BASE/v2/filters/smoke/compact" | grep -q '"compacted":true' || fail "compact failed"
+say "adding one post-compact item so the restart replays snapshot + log"
+curl -sf -X POST "$BASE/v2/filters/smoke/add" -d '{"item":"post-compact"}' | grep -q '"added":1' || fail "post-compact add failed"
+STATS_BEFORE=$(curl -sf "$BASE/v2/filters/smoke/stats")
+
+say "SIGTERM: graceful drain and durable-state flush"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+grep -q "durable state flushed" "$LOG" || fail "graceful shutdown did not flush"
+
+say "restarting from $DATA"
+"$BIN" serve -addr "$ADDR" -data-dir "$DATA" >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_ready
+grep -q "recovered 2 filter(s)" "$LOG" || fail "restart did not recover both filters"
+
+say "verifying stats survived the restart byte-identically"
+STATS_AFTER=$(curl -sf "$BASE/v2/filters/smoke/stats")
+[[ "$STATS_BEFORE" == "$STATS_AFTER" ]] || fail "stats changed across restart:
+  before: $STATS_BEFORE
+  after:  $STATS_AFTER"
+
+say "verifying the adversarially induced false negatives survived"
+FN_AFTER="$(dirname "$BIN")/fn-after.txt"
+fn_list "$FN_AFTER"
+diff -q "$FN_BEFORE" "$FN_AFTER" >/dev/null || fail "false-negative set changed across restart"
+curl -sf -X POST "$BASE/v2/filters/smoke/test" -d '{"item":"post-compact"}' | grep -q '"present":true' \
+  || fail "post-compact item lost"
+
+say "verifying the v1 default filter survived too"
+curl -sf -X POST "$BASE/v1/test" -d '{"item":"x"}' | grep -q '"present":true' || fail "default filter state lost"
 
 say "OK"
