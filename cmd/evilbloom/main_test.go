@@ -104,18 +104,22 @@ func TestSubcommandFlagErrors(t *testing.T) {
 func TestServeFlagValidation(t *testing.T) {
 	key := "00112233445566778899aabbccddeeff"
 	bad := [][]string{
-		{"serve", "-variant", "cuckoo"},                   // unknown variant
-		{"serve", "-mode", "hardened", "-seed", "7"},      // hardened has no public seed
-		{"serve", "-mode", "naive", "-key", key},          // naive has no index secret
-		{"serve", "-key", key},                            // mode defaults to naive
-		{"serve", "-counter-width", "8"},                  // counters need -variant counting
-		{"serve", "-overflow", "saturate"},                // ditto
+		{"serve", "-variant", "cuckoo"},              // unknown variant
+		{"serve", "-mode", "hardened", "-seed", "7"}, // hardened has no public seed
+		{"serve", "-mode", "naive", "-key", key},     // naive has no index secret
+		{"serve", "-key", key},                       // mode defaults to naive
+		{"serve", "-counter-width", "8"},             // counters need -variant counting
+		{"serve", "-overflow", "saturate"},           // ditto
 		{"serve", "-variant", "bloom", "-overflow", "wrap"},
 		{"serve", "-variant", "counting", "-overflow", "explode"}, // unknown policy
 		{"serve", "-variant", "counting", "-counter-width", "99"}, // width out of range
 		{"serve", "-fsync", "always"},                             // fsync needs -data-dir
 		{"serve", "-fsync", "never"},                              // ditto, any policy
 		{"serve", "-data-dir", "x", "-fsync", "sometimes"},        // unknown policy
+		{"serve", "-peer-refresh", "5s"},                          // refresh needs -peer
+		{"serve", "-peer", "http://h:1", "-peer-refresh", "0s"},   // non-positive interval
+		{"serve", "-peer", "not-a-url"},                           // peer must be absolute http(s)
+		{"serve", "-peer", "ftp://h:1/x"},                         // ditto, scheme checked
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

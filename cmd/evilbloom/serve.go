@@ -34,6 +34,21 @@ type serveFlags struct {
 	overflow     *string
 	dataDir      *string
 	fsync        *string
+	peers        stringList
+	peerRefresh  *time.Duration
+}
+
+// stringList collects a repeatable string flag (-peer may appear once per
+// sibling).
+type stringList []string
+
+// String implements flag.Value.
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+// Set implements flag.Value.
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
 }
 
 // newServeFlagSet declares the serve flag set.
@@ -53,7 +68,9 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 		overflow:     fs.String("overflow", "wrap", "counter overflow policy: wrap or saturate (counting variant only)"),
 		dataDir:      fs.String("data-dir", "", "directory for durable filter state (snapshots + operation logs); empty serves from memory only"),
 		fsync:        fs.String("fsync", "interval", "operation-log durability: always, interval or never (needs -data-dir)"),
+		peerRefresh:  fs.Duration("peer-refresh", service.DefaultPeerRefresh, "digest refresh interval for -peer siblings"),
 	}
+	fs.Var(&v.peers, "peer", "sibling evilbloomd base URL for cache-digest exchange (repeatable)")
 	return fs, v
 }
 
@@ -104,6 +121,15 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 		return service.Config{}, err
 	}
 
+	// Peer-exchange flags: the refresh interval paces digest fetch loops
+	// that exist only when siblings are configured.
+	if set["peer-refresh"] && len(v.peers) == 0 {
+		return service.Config{}, fmt.Errorf("-peer-refresh needs -peer; without siblings there is no digest exchange to pace")
+	}
+	if *v.peerRefresh <= 0 {
+		return service.Config{}, fmt.Errorf("-peer-refresh must be positive, got %v", *v.peerRefresh)
+	}
+
 	cfg := service.Config{
 		Variant:   variant,
 		Shards:    *v.shards,
@@ -144,6 +170,18 @@ func cmdServe(args []string) error {
 		return err
 	}
 	reg := service.NewRegistry()
+	if len(values.peers) > 0 {
+		// Join the mesh before any filter exists so every filter — flag
+		// default, recovered, or created over HTTP — exchanges digests.
+		if err := reg.ConfigurePeers(service.PeerConfig{
+			Peers:   values.peers,
+			Refresh: *values.peerRefresh,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "evilbloom serve: exchanging cache digests with %d peer(s) every %v: %s\n",
+			len(values.peers), *values.peerRefresh, strings.Join(values.peers, ", "))
+	}
 	if *values.dataDir != "" {
 		policy, err := service.ParseSyncPolicy(*values.fsync)
 		if err != nil {

@@ -1,0 +1,136 @@
+// Servedigest runs the paper's §7 Squid experiment as a real two-server
+// deployment: two evilbloom filter services on loopback ports, peered via
+// the cache-digest exchange. A malicious client fills server A's filter
+// with crafted URLs through the public add endpoint; server B periodically
+// fetches A's digest and routes cache misses by it — so after the attack,
+// B misdirects its miss traffic at A, one wasted round trip per false hit.
+// The honest control run inserts the same number of unchosen URLs; the gap
+// between the two false-hit rates is the paper's 79%-vs-40% result.
+//
+//	go run ./examples/servedigest
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"evilbloom/internal/analysis"
+	"evilbloom/internal/attack"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// filterName is the filter both nodes hold; digests are exchanged between
+// same-named filters.
+const filterName = "cache"
+
+// geometry sizes the digest like the test deployment: single shard, k=4
+// like Squid, calibrated so the honest run's false-hit rate lands at the
+// paper's ≈40% baseline after 151 cached URLs.
+func geometry() service.Config {
+	return service.Config{Shards: 1, ShardBits: 384, HashCount: 4, Seed: 7}
+}
+
+// node is one live evilbloom server plus its teardown.
+type node struct {
+	url   string
+	reg   *service.Registry
+	close func()
+}
+
+// startNode boots a registry server on a loopback port, optionally peered
+// at a sibling, with the shared filter created.
+func startNode(peer string) (*node, error) {
+	reg := service.NewRegistry()
+	if peer != "" {
+		// A long interval: the demo forces the exchange explicitly (like
+		// Squid's rebuild moment) so the run is deterministic.
+		if err := reg.ConfigurePeers(service.PeerConfig{Peers: []string{peer}, Refresh: time.Hour}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := reg.Create(filterName, geometry()); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+	go srv.Serve(ln) //nolint:errcheck // shut down via close
+	return &node{
+		url: "http://" + ln.Addr().String(),
+		reg: reg,
+		close: func() {
+			reg.Close() //nolint:errcheck // memory-only registry
+			srv.Close()
+		},
+	}, nil
+}
+
+// run stages one §7 run (paper phase sizes) on a fresh two-server pair.
+func run(polluted bool) (*attack.RemoteDigestReport, error) {
+	a, err := startNode("")
+	if err != nil {
+		return nil, err
+	}
+	defer a.close()
+	b, err := startNode(a.url)
+	if err != nil {
+		return nil, err
+	}
+	defer b.close()
+
+	campaign := &attack.RemoteDigestPollution{
+		Proxy:        attack.NewRemoteClient(a.url, nil).ForFilter(filterName),
+		Peer:         attack.NewRemoteClient(b.url, nil).ForFilter(filterName),
+		CleanTraffic: urlgen.New(1),
+		ExtraTraffic: urlgen.New(8),
+		Probes:       urlgen.New(1000),
+		CleanN:       51,
+		ExtraN:       100,
+		ProbeN:       100,
+	}
+	fmt.Printf("  server A (cache owner) on %s, server B (-peer %s) on %s\n", a.url, a.url, b.url)
+	return campaign.Run(polluted)
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("§7 as a deployment: two evilbloom servers exchanging cache digests")
+	fmt.Println("51 clean + 100 client-supplied URLs cached on A, then 100 misses probed via B's route endpoint")
+	fmt.Println()
+
+	const rtt = 10 * time.Millisecond // the paper's measured per-false-hit cost
+	rows := make([][]string, 0, 2)
+	for _, polluted := range []bool{false, true} {
+		label := "honest extras"
+		if polluted {
+			label = "polluted extras"
+		}
+		fmt.Printf("%s:\n", label)
+		rep, err := run(polluted)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  digest B routes by: %d/%d bits set (generation %d); %d/%d probes misdirected to A\n",
+			rep.DigestWeight, rep.DigestBits, rep.DigestGeneration, rep.FalseHits, rep.Probes)
+		if polluted {
+			fmt.Printf("  adversary: %d candidates examined for %d cached URLs\n", rep.ForgeAttempts, rep.Inserted)
+		}
+		fmt.Println()
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%d/%d", rep.DigestWeight, rep.DigestBits),
+			fmt.Sprintf("%d%%", rep.FalseHits*100/rep.Probes),
+			fmt.Sprint(time.Duration(rep.FalseHits) * rtt),
+		})
+	}
+	fmt.Print(analysis.FormatTable(
+		[]string{"Run", "Digest weight", "False-hit rate", "Wasted RTT (10ms each)"}, rows))
+	fmt.Println("\npaper §7: 79% false hits polluted vs 40% clean on the Squid testbed;")
+	fmt.Println("here the digest saturates outright — every miss at B wastes a round trip on A")
+}

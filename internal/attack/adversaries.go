@@ -101,6 +101,39 @@ func (a *ChosenInsertion) Saturate(perItemBudget uint64) (uint64, error) {
 	}
 }
 
+// PolluteGreedy forges and inserts n best-effort polluting items: strictly
+// polluting (condition 6, k fresh bits) while such items remain findable
+// within the per-item budget, otherwise the candidate setting the most
+// fresh bits. This is the §7 digest regime: a cache digest is small enough
+// that a strict campaign exhausts the free positions mid-run, and the
+// adversary's goal is weight, not per-item perfection. The campaign ends
+// early — without error — once the filter view is saturated, since no
+// further insertion can pollute anything. perItemBudget = 0 selects the
+// Saturate default of 20000 candidates per item.
+func (a *ChosenInsertion) PolluteGreedy(n int, perItemBudget uint64) ([]PollutionPoint, error) {
+	if perItemBudget == 0 {
+		perItemBudget = 20000
+	}
+	points := make([]PollutionPoint, 0, n)
+	for i := 0; i < n; i++ {
+		item, err := a.forgeBestFresh(perItemBudget)
+		if err != nil {
+			if a.state.Weight() >= a.view.M() {
+				return points, nil // saturated: every position set, nothing to pollute
+			}
+			return points, fmt.Errorf("attack: greedy polluting item %d: %w", i, err)
+		}
+		a.sink.Add(item)
+		points = append(points, PollutionPoint{
+			Inserted: a.state.Count(),
+			Attempts: a.forger.Attempts,
+			Weight:   a.state.Weight(),
+			FPR:      a.state.EstimatedFPR(),
+		})
+	}
+	return points, nil
+}
+
 // forgeBestFresh returns the first candidate meeting the strict pollution
 // condition, or — if the budget runs out first — the candidate that set the
 // most previously-unset bits. It fails only if every candidate was a full

@@ -28,4 +28,14 @@
 // server delete them, draining a targeted honest item's counters into a
 // false negative; a hardened server refuses the same campaign because the
 // crafted items are not false positives under its keyed family.
+//
+// RemoteDigestPollution extends the setting across machines: two live
+// `evilbloom serve` nodes exchange cache digests (§7), and the adversary —
+// again using only public endpoints — fills the first node's filter with
+// chosen items so the digest the second node routes by lies about nearly
+// everything. The damage lands on a server the adversary never spoke to:
+// the sibling's misses are misdirected, one wasted round trip per false
+// hit, reproducing the paper's 79%-vs-40% gap over real HTTP. The greedy
+// PolluteGreedy campaign drives it, since a digest-sized filter saturates
+// under strict condition-(6) forging.
 package attack

@@ -1,5 +1,10 @@
-// Package cachedigest simulates Squid's cache-digest mechanism (§7):
-// sibling proxies periodically exchange Bloom-filter summaries of their
+// Package cachedigest implements Squid's cache-digest mechanism (§7), both
+// as an in-process simulation and as the wire format live evilbloom nodes
+// exchange digests in.
+//
+// # The §7 simulation
+//
+// Sibling proxies periodically exchange Bloom-filter summaries of their
 // caches; a proxy receiving a client request checks its siblings' digests
 // and fetches from the closest sibling claiming the object. Every digest
 // false positive costs at least one wasted round trip between the proxies —
@@ -16,4 +21,32 @@
 // populates a sibling's cache with chosen URLs before the digest exchange —
 // and measures the wasted-RTT budget; `evilbloom squid` prints it next to
 // the paper's 79%-vs-40% false-hit numbers.
+//
+// # The digest envelope
+//
+// The envelope (see the format comment in envelope.go for the byte-by-byte
+// layout) is how a digest crosses a process boundary: versioned,
+// checksummed, size-determined from its 88-byte header, and self-describing
+// — it names the index family (murmur3 double hashing for service filters,
+// MD5-split for Squid digests), the geometry, and the shard-routing key, so
+// a receiving peer can evaluate membership locally via OpenEnvelope and
+// PeerDigest.Test. Digest.Envelope exports a Squid digest in the same
+// format, so the simulation and a live `evilbloom serve -peer` deployment
+// speak identical bytes.
+//
+// Unlike package service's snapshot envelope, which carries full filter
+// state for restoration by the same trusted party, the digest envelope
+// carries only the occupancy pattern plus what a peer needs to query it:
+// counting filters travel as their non-zero mask (1 bit per position), and
+// keyed (hardened) families are unrepresentable by design — their secrets
+// never leave the server, and OpenEnvelope rejects unknown families as
+// unusable (ErrEnvelopeUnusable) rather than guessing. Structural damage —
+// truncation, length lies, checksum mismatch — is ErrEnvelopeCorrupt; the
+// HTTP layer maps the pair to 400/409.
+//
+// The exchange is exactly where §7's trust boundary sits: a peer's digest
+// is taken at face value, so polluting one node's filter (§4.1) poisons
+// every sibling's routing. Package service's peer subsystem serves the
+// deployment side; attack.RemoteDigestPollution runs the §7 campaign
+// across two real servers.
 package cachedigest

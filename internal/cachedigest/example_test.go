@@ -1,0 +1,50 @@
+package cachedigest_test
+
+import (
+	"fmt"
+	"log"
+
+	"evilbloom/internal/cachedigest"
+)
+
+// The digest round trip of the §7 exchange: a proxy summarizes its cache
+// into a Squid-sized digest, ships it inside the checksummed envelope, and
+// the sibling on the far side answers membership locally — including the
+// false positives that make the exchange attackable.
+func ExampleDigest_Envelope() {
+	// The exporting proxy: three cached objects, m = 5n+7 bits.
+	d, err := cachedigest.NewDigest(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Add("GET", "http://cached.example/a")
+	d.Add("GET", "http://cached.example/b")
+	d.Add("GET", "http://cached.example/c")
+
+	// Over the wire: versioned, checksummed, self-describing.
+	env, err := d.Envelope(1) // generation 1 (Squid: the rebuild number)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The receiving sibling evaluates queries against the envelope alone.
+	peer, err := cachedigest.OpenEnvelope(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("digest: %d bits, %d set, generation %d, family %s\n",
+		peer.Bits(), peer.Weight(), peer.Generation(), peer.Info().Family)
+	fmt.Printf("cached object claimed: %v\n", peer.TestKey("GET", "http://cached.example/a"))
+	fmt.Printf("uncached object claimed: %v\n", peer.TestKey("GET", "http://elsewhere.example/"))
+
+	// Corruption in transit cannot go unnoticed: the CRC spans everything.
+	env[len(env)/2] ^= 0x10
+	if _, err := cachedigest.OpenEnvelope(env); err != nil {
+		fmt.Println("corrupted envelope rejected")
+	}
+	// Output:
+	// digest: 22 bits, 8 set, generation 1, family md5-split
+	// cached object claimed: true
+	// uncached object claimed: false
+	// corrupted envelope rejected
+}

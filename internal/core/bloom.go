@@ -126,6 +126,12 @@ func (b *Bloom) Occupied(i uint64) bool { return b.bits.Test(i) }
 // mutate filter state through it; use Clone for a private copy.
 func (b *Bloom) Bits() *bitset.BitSet { return b.bits }
 
+// OccupancyBits returns a private copy of the occupancy pattern — the bit
+// vector a Squid-style cache digest of this filter consists of. For a plain
+// Bloom filter the digest IS the filter, so this is simply a clone of the
+// bits; the counting variant projects its counters down to the same shape.
+func (b *Bloom) OccupancyBits() *bitset.BitSet { return b.bits.Clone() }
+
 // Family returns the index family (public knowledge in the threat model:
 // "the implementation of the Bloom filter is public and known").
 func (b *Bloom) Family() hashes.IndexFamily { return b.fam }

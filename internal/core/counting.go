@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"evilbloom/internal/bitset"
 	"evilbloom/internal/hashes"
 )
 
@@ -206,6 +207,42 @@ func (c *Counting) Occupied(i uint64) bool { return c.counters.get(i) != 0 }
 
 // CounterMax returns the maximum representable counter value (2^width − 1).
 func (c *Counting) CounterMax() uint64 { return c.counters.max() }
+
+// OccupancyBits projects the counters down to a plain bit vector: position i
+// is set iff counter i is non-zero. This is the shape a Squid-style cache
+// digest of a counting filter travels in — membership answers are identical
+// to the source filter's, at one bit per position instead of the counter
+// width. Callers export digests under a lock, so zero storage words are
+// skipped a whole word at a time: a sparse filter is scanned in ~m·width/64
+// word reads, not m counter extractions.
+func (c *Counting) OccupancyBits() *bitset.BitSet {
+	m := c.M()
+	bits := bitset.New(m)
+	w := uint64(c.counters.width)
+	for i := uint64(0); i < m; {
+		bit := i * w
+		word := bit / 64
+		if c.counters.words[word] == 0 {
+			if end := (word + 1) * 64; bit+w <= end {
+				// Counter i lies wholly inside a zero word, as does every
+				// later counter ending at or before the word boundary; jump
+				// to the first counter extending past it. (Counters may
+				// straddle words, so the straddler is re-checked normally.)
+				next := (end-w)/w + 1
+				if next > m {
+					next = m
+				}
+				i = next
+				continue
+			}
+		}
+		if c.counters.get(i) != 0 {
+			bits.Set(i)
+		}
+		i++
+	}
+	return bits
+}
 
 // Weight returns the number of non-zero counters.
 func (c *Counting) Weight() uint64 {

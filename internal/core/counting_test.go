@@ -282,3 +282,36 @@ func TestCountingAddRemoveInverseProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// OccupancyBits must agree with Occupied at every position — including
+// counter widths that straddle word boundaries and the zero-word skip path
+// — since it is what a cache digest of the filter is built from.
+func TestCountingOccupancyBits(t *testing.T) {
+	for _, width := range []int{1, 3, 4, 5, 12, 16} {
+		t.Run(fmt.Sprintf("width%d", width), func(t *testing.T) {
+			// 517 positions: not word-aligned, several all-zero words.
+			c := newTestCounting(t, 3, 517, width, Saturate)
+			for i := 0; i < 40; i++ {
+				c.Add([]byte(fmt.Sprintf("item-%d", i)))
+			}
+			bits := c.OccupancyBits()
+			if bits.Size() != c.M() {
+				t.Fatalf("occupancy size %d, want %d", bits.Size(), c.M())
+			}
+			for i := uint64(0); i < c.M(); i++ {
+				if bits.Test(i) != c.Occupied(i) {
+					t.Fatalf("width %d: position %d: occupancy bit %v, counter says %v",
+						width, i, bits.Test(i), c.Occupied(i))
+				}
+			}
+			if bits.Weight() != c.Weight() {
+				t.Fatalf("occupancy weight %d, filter weight %d", bits.Weight(), c.Weight())
+			}
+			// An empty filter projects to all zeros via the skip path alone.
+			empty := newTestCounting(t, 3, 517, width, Saturate).OccupancyBits()
+			if empty.Weight() != 0 {
+				t.Fatalf("empty filter occupancy weight %d", empty.Weight())
+			}
+		})
+	}
+}

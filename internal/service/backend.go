@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"evilbloom/internal/bitset"
 	"evilbloom/internal/core"
 	"evilbloom/internal/hashes"
 )
@@ -68,6 +69,17 @@ type Snapshotter interface {
 // how many counter-overflow events (the §6.2 attack signature) occurred.
 type overflowReporter interface {
 	Overflows() uint64
+}
+
+// digestSource is the capability behind the §7 cache-digest exchange: a
+// backend that can project its occupancy down to a plain bit vector, the
+// shape a digest travels in. Both shipped variants implement it (a bloom
+// backend clones its bits, a counting backend masks its non-zero counters),
+// so a digest can be exported from any live filter variant.
+type digestSource interface {
+	// OccupancyBits returns a private copy of the occupancy pattern:
+	// position i set iff the backend counts position i occupied.
+	OccupancyBits() *bitset.BitSet
 }
 
 // ErrNotRemovable answers removal requests against a backend without the
@@ -161,12 +173,14 @@ func (c countingBackend) Restore(data []byte) error {
 }
 
 var (
-	_ Backend     = bloomBackend{}
-	_ Snapshotter = bloomBackend{}
-	_ Backend     = countingBackend{}
-	_ Remover     = countingBackend{}
-	_ Snapshotter = countingBackend{}
-	_             = overflowReporter(countingBackend{})
+	_ Backend      = bloomBackend{}
+	_ Snapshotter  = bloomBackend{}
+	_ digestSource = bloomBackend{}
+	_ Backend      = countingBackend{}
+	_ Remover      = countingBackend{}
+	_ Snapshotter  = countingBackend{}
+	_ digestSource = countingBackend{}
+	_              = overflowReporter(countingBackend{})
 )
 
 // newBackend builds one shard's backend for cfg (already defaulted) over the

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"evilbloom/internal/bitset"
+	"evilbloom/internal/cachedigest"
+)
+
+// ErrDigestUnexportable answers digest requests against a hardened filter:
+// a digest is only useful to a peer that can reproduce the index mapping,
+// and a hardened filter's keyed family never leaves the server. Exporting
+// the bare bits would hand out an envelope no honest peer can evaluate —
+// and a dishonest one could still mine for occupancy statistics — so the
+// request is refused outright.
+var ErrDigestUnexportable = errors.New(
+	"service: hardened filters export no digest: the keyed index family never travels (use a naive filter for digest exchange)")
+
+// DigestEnvelope serializes the store's occupancy into a cache-digest
+// envelope (see package cachedigest for the byte layout) and returns it with
+// the generation it captures. Works on any variant with the digestSource
+// capability — a counting filter's digest is its non-zero mask, 1 bit per
+// position regardless of counter width, so a digest is never larger than
+// the filter and usually far smaller than its snapshot.
+//
+// Shards are read-locked one at a time: the result is per-shard consistent,
+// the right trade for a summary that is stale the moment it leaves anyway
+// (Squid rebuilds hourly; our peers refresh on an interval).
+func (s *Sharded) DigestEnvelope() ([]byte, uint64, error) {
+	if s.mode == ModeHardened {
+		return nil, 0, ErrDigestUnexportable
+	}
+	info := cachedigest.EnvelopeInfo{
+		Family:        cachedigest.FamilyMurmurDouble,
+		SourceVariant: byte(s.variant),
+		Seed:          s.seed,
+		Shards:        len(s.shards),
+		ShardBits:     s.mShard,
+		K:             s.k,
+	}
+	if len(s.shards) > 1 {
+		// Single-shard filters route everything to shard 0; the key is only
+		// needed — and only published — when there is a choice to reproduce.
+		copy(info.RouteKey[:], s.cfg.RouteKey)
+	}
+	bits := make([]*bitset.BitSet, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		src, ok := sh.backend.(digestSource)
+		if !ok {
+			sh.mu.RUnlock()
+			return nil, 0, fmt.Errorf("service: %v backend of shard %d cannot export a digest", s.variant, i)
+		}
+		bits[i] = src.OccupancyBits()
+		info.Generation += sh.muts
+		info.Count += sh.backend.Count()
+		sh.mu.RUnlock()
+	}
+	env, err := cachedigest.EncodeEnvelope(info, bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, info.Generation, nil
+}

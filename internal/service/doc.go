@@ -3,7 +3,8 @@
 // filter instances (Registry), each a sharded striped-lock store (Sharded)
 // over a pluggable per-shard backend (Backend), behind a versioned HTTP/JSON
 // API (Server), started by `evilbloom serve` — durable across restarts when
-// given a data directory (Persister).
+// given a data directory (Persister), and exchanging Squid-style cache
+// digests with sibling servers when given peer URLs (Peers).
 //
 // # Store architecture
 //
@@ -75,6 +76,47 @@
 // restart-preserves-attack test) is the adversarial-environment setting of
 // Naor–Yogev made concrete — bouncing the process does not heal the filter.
 //
+// # Peer digest exchange
+//
+// With `evilbloom serve -peer <url>` (repeatable) the node joins a §7-style
+// mesh: every local filter runs one refresh loop that fetches each peer's
+// same-named filter's cache digest (GET /v2/filters/{name}/digest) on a
+// jittered interval. Digests travel in package cachedigest's versioned,
+// checksummed envelope — the occupancy pattern plus the public index
+// family, geometry and shard-routing key, so the receiver evaluates
+// membership locally; a counting filter's digest is its non-zero mask, one
+// bit per position. The digest endpoint's ETag is the store's Generation (a
+// per-shard mutation counter summed in O(shards)), so an unchanged filter
+// answers a conditional fetch with 304 and no serialization at all.
+// Hardened filters export no digest: their keyed family never travels, and
+// the endpoint answers 409.
+//
+// POST /v2/filters/{name}/route answers the routing question the exchange
+// exists for — "local", "peer" (naming the first sibling whose digest
+// claims the item) or "origin" — with every peer's individual claim, age
+// and staleness attached. GET .../peers reports per-peer accounting
+// (generation, age, staleness, fetch/304/failure counters, last error);
+// POST .../peers/refresh forces a synchronous fetch, the deterministic
+// stand-in for the interval that tests and smoke scripts use. Digests can
+// also be pushed (POST .../digest?peer=<label>) for topologies where only
+// one side can dial; corrupt envelopes answer 400, envelopes naming a
+// family no peer can evaluate answer 409, and — push being unauthenticated
+// — retention is budgeted like filter creation (MaxPushedPeers labels,
+// MaxPushedDigestBits total, reserved from the header before the payload
+// is buffered; 409 when exhausted).
+//
+// A filter's refresh loop starts when the filter is published and is
+// stopped — synchronously, no goroutine outlives its filter — by
+// Registry.Delete and Registry.Close.
+//
+// Why it matters for the paper: digest exchange is the first place filter
+// damage crosses a trust boundary. §7 shows an adversary who pollutes one
+// proxy's cache makes the *sibling* waste a round trip per false hit
+// (79% vs 40% of probe queries); attack.RemoteDigestPollution reproduces
+// exactly that across two live `evilbloom serve` processes, and the
+// Retouched-Bloom-filter literature (Donnet et al.) shows the same
+// trade-off propagation in honest meshes.
+//
 // # HTTP surface
 //
 //	PUT    /v2/filters/{name}              create (FilterSpec -> FilterInfo, 201; 409 if taken);
@@ -94,6 +136,11 @@
 //	GET    /v2/filters/{name}/info         same document as GET /v2/filters/{name}
 //	GET    /v2/filters/{name}/snapshot     versioned, checksummed snapshot envelope
 //	POST   /v2/filters/{name}/compact      force snapshot + log rotation (durable filters only; 409 otherwise)
+//	GET    /v2/filters/{name}/digest       cache-digest envelope (naive filters only; ETag/304)
+//	POST   /v2/filters/{name}/digest       push-import a sibling digest (?peer=<label>; 400 corrupt, 409 unusable)
+//	POST   /v2/filters/{name}/route        routing verdict: local, peer or origin
+//	GET    /v2/filters/{name}/peers        per-peer digest accounting
+//	POST   /v2/filters/{name}/peers/refresh  fetch every configured peer's digest now
 //	POST   /v1/{add,test,add-batch,test-batch}  shim over the "default" filter
 //	GET    /v1/{stats,info}                     shim over the "default" filter
 //

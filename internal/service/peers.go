@@ -1,0 +1,608 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"evilbloom/internal/cachedigest"
+)
+
+// Peer subsystem: the §7 cache-digest exchange between evilbloom nodes.
+//
+// Squid siblings periodically ship each other Bloom-filter summaries of
+// their caches and use them to decide where to route a miss. Here every
+// filter in a registry can take part: a node configured with peer URLs runs
+// one refresh loop per local filter, fetching each peer's same-named
+// filter's digest (GET /v2/filters/{name}/digest) on a jittered interval
+// with an ETag/generation short-circuit, and answers routing queries
+// (POST /v2/filters/{name}/route) from the digests it holds. Digests can
+// also be pushed (POST .../digest?peer=...) for meshes where only one side
+// can dial.
+//
+// The exchange crosses a trust boundary, and that is the point of serving
+// it: a peer's digest is taken at face value, so an adversary who pollutes
+// one node's filter (§4.1) poisons every sibling's routing — the §7 attack,
+// run live by attack.RemoteDigestPollution. The digests themselves are
+// integrity-checked (CRC, size-bounded before buffering) so a corrupt peer
+// can waste round trips but not crash the receiver.
+
+// Peer-exchange defaults; PeerConfig fields override them.
+const (
+	// DefaultPeerRefresh is the digest refresh interval (Squid rebuilds
+	// hourly; a serving deployment wants staleness bounded in seconds).
+	DefaultPeerRefresh = 15 * time.Second
+	// DefaultPeerJitter is the refresh jitter fraction: each sleep is drawn
+	// from Refresh × [1−j, 1+j] so a mesh's fetches do not synchronize.
+	DefaultPeerJitter = 0.2
+	// staleFactor × Refresh with no successful update marks a digest stale.
+	staleFactor = 3
+	// maxPeerLabel bounds pushed-peer labels.
+	maxPeerLabel = 128
+	// MaxPushedPeers caps how many pushed digests one filter retains. Push
+	// is an unauthenticated endpoint, so like filter creation it must not
+	// let a stranger grow server memory without bound.
+	MaxPushedPeers = 64
+	// MaxPushedDigestBits caps the total digest bits retained across one
+	// filter's pushed peers (2^30 bits = 128 MiB), reserved from the
+	// envelope's 88-byte header BEFORE the payload is buffered — the same
+	// header-first discipline as create-from-snapshot.
+	MaxPushedDigestBits = uint64(1) << 30
+)
+
+// ErrNoPeers answers refresh requests on a registry with no configured peer
+// URLs — a no-op refresh would read as a healthy exchange that isn't there.
+var ErrNoPeers = errors.New("service: no peers configured (start the server with -peer)")
+
+// ErrPushedDigestLimit answers digest pushes beyond MaxPushedPeers labels
+// or MaxPushedDigestBits of retained digest storage per filter.
+var ErrPushedDigestLimit = errors.New("service: pushed-digest budget exhausted; delete the filter or push smaller digests")
+
+// PeerConfig wires a registry into a digest-exchange mesh.
+type PeerConfig struct {
+	// Peers lists sibling base URLs (e.g. "http://10.0.0.2:8379"). Each
+	// local filter fetches /v2/filters/{name}/digest from every peer.
+	Peers []string
+	// Refresh is the fetch interval (DefaultPeerRefresh when zero).
+	Refresh time.Duration
+	// Jitter is the refresh jitter fraction in [0,1) (DefaultPeerJitter
+	// when zero).
+	Jitter float64
+	// StaleAfter marks a peer digest stale when no successful update
+	// happened within it (staleFactor × Refresh when zero).
+	StaleAfter time.Duration
+	// Client performs the fetches (a 5-second-timeout client when nil).
+	Client *http.Client
+}
+
+// Peers manages every filter's sibling digests: one refresh loop per local
+// filter (started when the filter is created, stopped when it is deleted),
+// plus push-imported digests. A zero-URL Peers runs no loops but still
+// accepts pushes, so the route endpoint works on every registry.
+type Peers struct {
+	mu         sync.Mutex
+	urls       []string
+	refresh    time.Duration
+	jitter     float64
+	staleAfter time.Duration
+	client     *http.Client
+	watches    map[string]*peerWatch
+	closed     bool
+}
+
+// peerWatch is one local filter's view of the mesh.
+type peerWatch struct {
+	name string
+	stop chan struct{} // closed by unwatch; nil when no loop runs
+	done chan struct{} // closed by the loop on exit
+
+	mu      sync.RWMutex
+	fetched []*peerDigest          // one per configured URL, fixed order
+	pushed  map[string]*peerDigest // push-imported, keyed by label
+	// pushedBits charges retained pushed digests (plus in-flight push
+	// reservations) against MaxPushedDigestBits.
+	pushedBits uint64
+}
+
+// peerDigest is the per-peer state the ISSUE calls staleness and failure
+// accounting: the last good digest plus everything needed to judge it.
+type peerDigest struct {
+	peer   string // base URL (fetched) or label (pushed)
+	pushed bool
+
+	digest      *cachedigest.PeerDigest // nil until the first good exchange
+	etag        string
+	fetches     uint64 // completed GETs answered 200
+	notModified uint64 // GETs short-circuited by If-None-Match (304)
+	failures    uint64 // transport errors and non-200/304 answers
+	consecutive uint64 // failures since the last success
+	lastErr     string
+	lastUpdate  time.Time // last 200, 304 or push
+}
+
+// newPeers builds an unconfigured subsystem (pushes work, no loops run).
+func newPeers() *Peers {
+	return &Peers{
+		refresh:    DefaultPeerRefresh,
+		jitter:     DefaultPeerJitter,
+		staleAfter: staleFactor * DefaultPeerRefresh,
+		client:     &http.Client{Timeout: 5 * time.Second},
+		watches:    make(map[string]*peerWatch),
+	}
+}
+
+// configure installs the mesh configuration and starts refresh loops for
+// every filter already watched. It is one-shot: reconfiguring a live mesh
+// would have to restart every loop for little operational value.
+func (p *Peers) configure(cfg PeerConfig) error {
+	for _, raw := range cfg.Peers {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("service: peer URL %q is not an absolute http(s) URL", raw)
+		}
+	}
+	if cfg.Refresh < 0 || cfg.Jitter < 0 || cfg.Jitter >= 1 || cfg.StaleAfter < 0 {
+		return fmt.Errorf("service: invalid peer config (refresh=%v jitter=%v stale=%v)",
+			cfg.Refresh, cfg.Jitter, cfg.StaleAfter)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("service: peer subsystem closed")
+	}
+	if len(p.urls) > 0 {
+		return errors.New("service: peers already configured")
+	}
+	if len(cfg.Peers) == 0 {
+		return ErrNoPeers
+	}
+	p.urls = append([]string(nil), cfg.Peers...)
+	if cfg.Refresh > 0 {
+		p.refresh = cfg.Refresh
+	}
+	if cfg.Jitter > 0 {
+		p.jitter = cfg.Jitter
+	}
+	p.staleAfter = cfg.StaleAfter
+	if p.staleAfter == 0 {
+		p.staleAfter = staleFactor * p.refresh
+	}
+	if cfg.Client != nil {
+		p.client = cfg.Client
+	}
+	for _, w := range p.watches {
+		p.startLocked(w)
+	}
+	return nil
+}
+
+// watch registers a local filter with the mesh, starting its refresh loop
+// when peer URLs are configured. Idempotent.
+func (p *Peers) watch(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.watches[name] != nil {
+		return
+	}
+	w := &peerWatch{name: name, pushed: make(map[string]*peerDigest)}
+	p.watches[name] = w
+	p.startLocked(w)
+}
+
+// startLocked provisions w's per-peer state and starts its refresh loop.
+// The caller holds p.mu.
+func (p *Peers) startLocked(w *peerWatch) {
+	if len(p.urls) == 0 || w.stop != nil {
+		return
+	}
+	w.fetched = make([]*peerDigest, len(p.urls))
+	for i, u := range p.urls {
+		w.fetched[i] = &peerDigest{peer: u}
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go p.refreshLoop(w)
+}
+
+// unwatch stops a filter's refresh loop and waits for it to exit — the
+// Delete path's leak guarantee: when Delete returns, no goroutine still
+// works for the filter.
+func (p *Peers) unwatch(name string) {
+	p.mu.Lock()
+	w := p.watches[name]
+	delete(p.watches, name)
+	p.mu.Unlock()
+	if w == nil || w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// Close stops every refresh loop and refuses further watches. Idempotent.
+func (p *Peers) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	watches := make([]*peerWatch, 0, len(p.watches))
+	for _, w := range p.watches {
+		watches = append(watches, w)
+	}
+	p.watches = make(map[string]*peerWatch)
+	p.mu.Unlock()
+	for _, w := range watches {
+		if w.stop != nil {
+			close(w.stop)
+			<-w.done
+		}
+	}
+}
+
+// refreshLoop fetches w's peers immediately (a fresh filter should learn
+// the mesh without waiting a full interval), then on the jittered interval
+// until stopped.
+func (p *Peers) refreshLoop(w *peerWatch) {
+	defer close(w.done)
+	p.fetchAll(w)
+	for {
+		t := time.NewTimer(p.jittered())
+		select {
+		case <-w.stop:
+			t.Stop()
+			return
+		case <-t.C:
+			p.fetchAll(w)
+		}
+	}
+}
+
+// jittered draws one refresh sleep from Refresh × [1−j, 1+j].
+func (p *Peers) jittered() time.Duration {
+	j := 1 + p.jitter*(2*rand.Float64()-1) //nolint:gosec // scheduling jitter, not crypto
+	return time.Duration(float64(p.refresh) * j)
+}
+
+// fetchAll refreshes every configured peer of one filter sequentially (peer
+// sets are small; a slow peer delaying its siblings' refresh by its timeout
+// is acceptable, a goroutine per peer per filter is not).
+func (p *Peers) fetchAll(w *peerWatch) {
+	for _, st := range w.fetched {
+		p.fetchOne(w, st)
+	}
+}
+
+// fetchOne performs one conditional digest GET against a peer and folds the
+// outcome into its accounting.
+func (p *Peers) fetchOne(w *peerWatch, st *peerDigest) {
+	w.mu.RLock()
+	etag := st.etag
+	w.mu.RUnlock()
+
+	req, err := http.NewRequest(http.MethodGet, st.peer+"/v2/filters/"+url.PathEscape(w.name)+"/digest", nil)
+	if err != nil {
+		p.record(w, st, nil, "", err)
+		return
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.record(w, st, nil, "", err)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		w.mu.Lock()
+		st.notModified++
+		st.consecutive = 0
+		st.lastErr = ""
+		st.lastUpdate = time.Now()
+		w.mu.Unlock()
+	case http.StatusOK:
+		d, err := readEnvelope(resp.Body)
+		p.record(w, st, d, resp.Header.Get("ETag"), err)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		p.record(w, st, nil, "", fmt.Errorf("peer answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+}
+
+// record folds a completed (non-304) exchange into a peer's accounting.
+func (p *Peers) record(w *peerWatch, st *peerDigest, d *cachedigest.PeerDigest, etag string, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		st.failures++
+		st.consecutive++
+		st.lastErr = err.Error()
+		return // the last good digest keeps serving, flagged stale by age
+	}
+	st.fetches++
+	st.consecutive = 0
+	st.lastErr = ""
+	st.digest = d
+	st.etag = etag
+	st.lastUpdate = time.Now()
+}
+
+// readEnvelope buffers and decodes a digest envelope from rd, size-checking
+// from the 88-byte header before trusting the body's claimed length.
+func readEnvelope(rd io.Reader) (*cachedigest.PeerDigest, error) {
+	hdr := make([]byte, cachedigest.EnvelopeHeaderLen)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	}
+	info, err := cachedigest.DecodeEnvelopeInfo(hdr)
+	if err != nil {
+		return nil, err
+	}
+	env := make([]byte, info.EnvelopeSize())
+	copy(env, hdr)
+	if _, err := io.ReadFull(rd, env[len(hdr):]); err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	}
+	if n, _ := io.ReadFull(rd, make([]byte, 1)); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after envelope", cachedigest.ErrEnvelopeCorrupt)
+	}
+	return cachedigest.OpenEnvelope(env)
+}
+
+// RefreshNow synchronously refreshes every configured peer of one filter —
+// the POST .../peers/refresh handler, and what deterministic tests and the
+// smoke script use instead of waiting out the interval. It returns the
+// post-refresh status.
+func (p *Peers) RefreshNow(name string) ([]PeerStatus, error) {
+	p.mu.Lock()
+	w := p.watches[name]
+	urls := len(p.urls)
+	p.mu.Unlock()
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrFilterNotFound, name)
+	}
+	if urls == 0 {
+		return nil, ErrNoPeers
+	}
+	p.fetchAll(w)
+	return p.status(name)
+}
+
+// Push imports a digest envelope under a peer label — the push half of the
+// gossip, for peers that cannot be dialed back. Push is unauthenticated,
+// so it follows the registry's header-first discipline: the digest's size
+// is read from the 88-byte header and reserved against the per-filter
+// MaxPushedPeers / MaxPushedDigestBits budget BEFORE the payload is
+// buffered, and the reservation is filled or rolled back — a pusher cannot
+// make the node hold more digest bytes than the budget it was granted.
+func (p *Peers) Push(name, label string, rd io.Reader) (PeerStatus, error) {
+	if label == "" || len(label) > maxPeerLabel {
+		return PeerStatus{}, fmt.Errorf("service: peer label must be 1..%d bytes", maxPeerLabel)
+	}
+	p.mu.Lock()
+	w := p.watches[name]
+	p.mu.Unlock()
+	if w == nil {
+		return PeerStatus{}, fmt.Errorf("%w: %q", ErrFilterNotFound, name)
+	}
+	hdr := make([]byte, cachedigest.EnvelopeHeaderLen)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return PeerStatus{}, fmt.Errorf("%w: reading header: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	}
+	info, err := cachedigest.DecodeEnvelopeInfo(hdr)
+	if err != nil {
+		return PeerStatus{}, err
+	}
+	bits := uint64(info.Shards) * info.ShardBits
+	if err := w.reservePush(label, bits); err != nil {
+		return PeerStatus{}, err
+	}
+	env := make([]byte, info.EnvelopeSize())
+	copy(env, hdr)
+	var d *cachedigest.PeerDigest
+	if _, err = io.ReadFull(rd, env[len(hdr):]); err != nil {
+		err = fmt.Errorf("%w: reading payload: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	} else {
+		d, err = cachedigest.OpenEnvelope(env)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		w.pushedBits -= bits // roll the reservation back
+		return PeerStatus{}, err
+	}
+	st := w.pushed[label]
+	if st == nil {
+		st = &peerDigest{peer: label, pushed: true}
+		w.pushed[label] = st
+	}
+	if st.digest != nil {
+		w.pushedBits -= st.digest.Bits() // the replaced digest's charge
+	}
+	st.fetches++
+	st.consecutive = 0
+	st.lastErr = ""
+	st.digest = d
+	st.lastUpdate = time.Now()
+	return p.statusOf(st), nil
+}
+
+// reservePush charges bits of pushed-digest budget for label before any
+// payload is buffered. A replacement's old charge is credited in the check
+// (and released when the new digest is actually stored), so updating a
+// label never deadlocks against a full budget; under racing replacements
+// of one label the retained total stays exact and only the transient
+// in-flight sum can briefly overshoot.
+func (w *peerWatch) reservePush(label string, bits uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev := w.pushed[label]
+	if prev == nil && len(w.pushed) >= MaxPushedPeers {
+		return fmt.Errorf("%w: filter already retains %d pushed digests", ErrPushedDigestLimit, len(w.pushed))
+	}
+	var prevBits uint64
+	if prev != nil && prev.digest != nil {
+		prevBits = prev.digest.Bits()
+	}
+	if bits > MaxPushedDigestBits || w.pushedBits-prevBits > MaxPushedDigestBits-bits {
+		return fmt.Errorf("%w: %d digest bits pushed, %d of %d retained",
+			ErrPushedDigestLimit, bits, w.pushedBits, MaxPushedDigestBits)
+	}
+	w.pushedBits += bits
+	return nil
+}
+
+// PeerStatus is one peer's accounting as served on GET .../peers.
+type PeerStatus struct {
+	// Peer is the sibling's base URL (fetched) or push label.
+	Peer string `json:"peer"`
+	// Source is "fetched" for refresh-loop peers, "pushed" for imports.
+	Source string `json:"source"`
+	// HasDigest reports whether a usable digest is held.
+	HasDigest bool `json:"has_digest"`
+	// Generation, DigestBits and DigestWeight describe the held digest.
+	Generation   uint64 `json:"generation,omitempty"`
+	DigestBits   uint64 `json:"digest_bits,omitempty"`
+	DigestWeight uint64 `json:"digest_weight,omitempty"`
+	// AgeSeconds is the time since the last successful update (200, 304 or
+	// push); Stale reports whether it exceeds the staleness bound.
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+	Stale      bool    `json:"stale,omitempty"`
+	// Fetches, NotModified and Failures count completed exchanges;
+	// ConsecutiveFailures counts failures since the last success.
+	Fetches             uint64 `json:"fetches,omitempty"`
+	NotModified         uint64 `json:"not_modified,omitempty"`
+	Failures            uint64 `json:"failures,omitempty"`
+	ConsecutiveFailures uint64 `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// statusOf snapshots one peer's accounting. The caller holds w.mu.
+func (p *Peers) statusOf(st *peerDigest) PeerStatus {
+	out := PeerStatus{
+		Peer:                st.peer,
+		Source:              "fetched",
+		HasDigest:           st.digest != nil,
+		Fetches:             st.fetches,
+		NotModified:         st.notModified,
+		Failures:            st.failures,
+		ConsecutiveFailures: st.consecutive,
+		LastError:           st.lastErr,
+	}
+	if st.pushed {
+		out.Source = "pushed"
+	}
+	if st.digest != nil {
+		out.Generation = st.digest.Generation()
+		out.DigestBits = st.digest.Bits()
+		out.DigestWeight = st.digest.Weight()
+	}
+	if !st.lastUpdate.IsZero() {
+		age := time.Since(st.lastUpdate)
+		out.AgeSeconds = age.Seconds()
+		out.Stale = age > p.staleAfter
+	}
+	return out
+}
+
+// status snapshots every peer of one filter: configured peers in their
+// configured order, then pushed peers sorted by label.
+func (p *Peers) status(name string) ([]PeerStatus, error) {
+	p.mu.Lock()
+	w := p.watches[name]
+	p.mu.Unlock()
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrFilterNotFound, name)
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]PeerStatus, 0, len(w.fetched)+len(w.pushed))
+	for _, st := range w.fetched {
+		out = append(out, p.statusOf(st))
+	}
+	labels := make([]string, 0, len(w.pushed))
+	for l := range w.pushed {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		out = append(out, p.statusOf(w.pushed[l]))
+	}
+	return out, nil
+}
+
+// PeerClaim is one peer's answer inside a routing verdict.
+type PeerClaim struct {
+	// Peer names the sibling (URL or push label).
+	Peer string `json:"peer"`
+	// Claims reports whether the sibling's digest contains the item.
+	Claims bool `json:"claims"`
+	// Generation is the claimed digest's generation.
+	Generation uint64 `json:"generation,omitempty"`
+	// AgeSeconds and Stale qualify how current the digest is; Squid-style
+	// routing uses stale digests until replaced, so a claim from a stale
+	// digest still routes — flagged, so the caller can decide otherwise.
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+	Stale      bool    `json:"stale,omitempty"`
+}
+
+// claims answers one item against every held digest of one filter, in
+// status order. Peers holding no digest claim nothing.
+func (p *Peers) claims(name string, item []byte) []PeerClaim {
+	p.mu.Lock()
+	w := p.watches[name]
+	p.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.RLock()
+	states := make([]*peerDigest, 0, len(w.fetched)+len(w.pushed))
+	states = append(states, w.fetched...)
+	labels := make([]string, 0, len(w.pushed))
+	for l := range w.pushed {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		states = append(states, w.pushed[l])
+	}
+	type held struct {
+		claim  PeerClaim
+		digest *cachedigest.PeerDigest
+	}
+	snapshot := make([]held, len(states))
+	for i, st := range states {
+		h := held{digest: st.digest, claim: PeerClaim{Peer: st.peer}}
+		if st.digest != nil {
+			h.claim.Generation = st.digest.Generation()
+		}
+		if !st.lastUpdate.IsZero() {
+			age := time.Since(st.lastUpdate)
+			h.claim.AgeSeconds = age.Seconds()
+			h.claim.Stale = age > p.staleAfter
+		}
+		snapshot[i] = h
+	}
+	w.mu.RUnlock()
+	// Digest evaluation happens outside the lock: PeerDigest is immutable
+	// and concurrency-safe, and k hashes per peer need not serialize with
+	// refresh bookkeeping.
+	out := make([]PeerClaim, len(snapshot))
+	for i, h := range snapshot {
+		if h.digest != nil {
+			h.claim.Claims = h.digest.Test(item)
+		}
+		out[i] = h.claim
+	}
+	return out
+}

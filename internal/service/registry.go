@@ -115,6 +115,12 @@ type Registry struct {
 	dataDir string
 	// sync is the durable registry's fsync policy.
 	sync SyncPolicy
+	// peers is the §7 digest-exchange subsystem. Always present so pushed
+	// digests and the route endpoint work on every registry; refresh loops
+	// run only once ConfigurePeers installs peer URLs. Each filter's
+	// refresh work starts when the filter is published and stops inside
+	// Delete (and Close), so no goroutine outlives its filter.
+	peers *Peers
 }
 
 // NewRegistry returns an empty registry.
@@ -122,8 +128,17 @@ func NewRegistry() *Registry {
 	return &Registry{
 		filters:  make(map[string]*Filter),
 		reserved: make(map[string]uint64),
+		peers:    newPeers(),
 	}
 }
+
+// Peers returns the digest-exchange subsystem.
+func (r *Registry) Peers() *Peers { return r.peers }
+
+// ConfigurePeers joins the registry to a digest-exchange mesh: every
+// current and future filter periodically fetches each peer's same-named
+// filter's digest. One-shot; call before serving traffic.
+func (r *Registry) ConfigurePeers(cfg PeerConfig) error { return r.peers.configure(cfg) }
 
 // storageBits resolves a defaulted Config's total filter storage in bits
 // (shards × shard_bits × counter width), rejecting any geometry over
@@ -261,6 +276,9 @@ func (r *Registry) createReserved(name string, cfg Config, bits uint64, snap []b
 		store.SetJournal(p)
 		f.persist = p
 	}
+	// Watch before publishing: the name is still reserved, so no Delete can
+	// race in between and orphan a just-started refresh loop.
+	r.peers.watch(name)
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.filters[name] = f
@@ -365,11 +383,12 @@ func (r *Registry) Adopt(name string, store *Sharded) (*Filter, error) {
 		store.SetJournal(p)
 		f.persist = p
 	}
+	r.peers.watch(name) // before publish: the reservation shields the race with Delete
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	delete(r.reserved, name)
 	r.bits += bits
 	r.filters[name] = f
+	r.mu.Unlock()
 	return f, nil
 }
 
@@ -385,10 +404,11 @@ func (r *Registry) Get(name string) (*Filter, error) {
 }
 
 // Delete removes the filter registered under name, refunds its storage
-// budget and deletes its durable directory. In-flight operations on the
-// filter finish against the orphaned store (a closed journal drops their
-// records — the state they mutate is condemned); its memory is reclaimed
-// when they drain.
+// budget, stops its peer-refresh loop (waiting for it to exit — no
+// goroutine works for a deleted filter once Delete returns) and deletes its
+// durable directory. In-flight operations on the filter finish against the
+// orphaned store (a closed journal drops their records — the state they
+// mutate is condemned); its memory is reclaimed when they drain.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	f, ok := r.filters[name]
@@ -406,6 +426,7 @@ func (r *Registry) Delete(name string) error {
 		r.reserved[name] = 0
 	}
 	r.mu.Unlock()
+	r.peers.unwatch(name)
 	if f.persist != nil {
 		f.persist.Close() //nolint:errcheck // directory is removed next
 		err := f.persist.remove()
@@ -483,6 +504,7 @@ func (r *Registry) loadPersisted(name string) error {
 	}
 	store.SetJournal(p)
 	f := &Filter{name: name, store: store, bits: bits, persist: p}
+	r.peers.watch(name) // before publish: the reservation shields the race with Delete
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.filters[name] = f
@@ -490,10 +512,12 @@ func (r *Registry) loadPersisted(name string) error {
 	return nil
 }
 
-// Close flushes and closes every filter's durable store — the graceful-
-// shutdown tail, after the HTTP server has drained. The registry stays
-// readable but journals no further mutations. It returns the first error.
+// Close stops every peer-refresh loop (waiting for each to exit), then
+// flushes and closes every filter's durable store — the graceful-shutdown
+// tail, after the HTTP server has drained. The registry stays readable but
+// journals no further mutations. It returns the first error.
 func (r *Registry) Close() error {
+	r.peers.Close()
 	r.mu.RLock()
 	filters := make([]*Filter, 0, len(r.filters))
 	for _, f := range r.filters {

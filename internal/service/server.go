@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"evilbloom/internal/cachedigest"
 	"evilbloom/internal/core"
 )
 
@@ -79,6 +80,32 @@ type removeBatchResponse struct {
 type compactResponse struct {
 	Compacted  bool   `json:"compacted"`
 	Generation uint64 `json:"generation"`
+}
+
+// RouteResponse answers /v2/.../route: the §7 routing decision for one item
+// — serve locally, probe a sibling whose digest claims it, or go to the
+// origin. A probe sent because of a polluted or merely unlucky digest is
+// the wasted round trip the paper's attack inflates.
+type RouteResponse struct {
+	// Local reports whether this node's own filter claims the item.
+	Local bool `json:"local"`
+	// Verdict is "local", "peer" or "origin".
+	Verdict string `json:"verdict"`
+	// Peer names the first claiming sibling when Verdict is "peer".
+	Peer string `json:"peer,omitempty"`
+	// Peers holds every sibling's individual answer, in peer order.
+	Peers []PeerClaim `json:"peers"`
+}
+
+// peersResponse answers GET /v2/.../peers and POST /v2/.../peers/refresh.
+type peersResponse struct {
+	Peers []PeerStatus `json:"peers"`
+}
+
+// digestPushResponse answers POST /v2/.../digest with the stored peer entry.
+type digestPushResponse struct {
+	Imported bool       `json:"imported"`
+	Peer     PeerStatus `json:"peer"`
 }
 
 // InfoResponse answers /v1/info: the public parameters of the serving
@@ -254,6 +281,11 @@ func filterInfo(f *Filter) FilterInfo {
 	if f.Durable() {
 		info.Capabilities = append(info.Capabilities, "compact")
 	}
+	if st.Mode() == ModeNaive {
+		// Digest export needs a family a peer can reproduce; hardened
+		// filters answer 409 on the digest endpoint instead.
+		info.Capabilities = append(info.Capabilities, "digest")
+	}
 	return info
 }
 
@@ -283,11 +315,22 @@ func filterInfo(f *Filter) FilterInfo {
 //	GET    /v2/filters/{name}/info         -> FilterInfo
 //	GET    /v2/filters/{name}/snapshot     -> versioned, checksummed snapshot envelope
 //	POST   /v2/filters/{name}/compact      -> {"compacted": true, "generation": g}
+//	GET    /v2/filters/{name}/digest       -> cache-digest envelope (ETag = generation;
+//	                                          If-None-Match short-circuits to 304)
+//	POST   /v2/filters/{name}/digest?peer=p   push-import a sibling's digest envelope
+//	POST   /v2/filters/{name}/route        {"item": s} -> RouteResponse
+//	GET    /v2/filters/{name}/peers        -> {"peers": [PeerStatus...]}
+//	POST   /v2/filters/{name}/peers/refresh   fetch every configured peer now
 //
 // remove/remove-batch need the Remover capability (variant=counting) and
 // answer 405 with a capability error otherwise; a single remove of an item
 // the filter believes absent answers 409. compact needs a durable registry
-// (`evilbloom serve -data-dir`) and answers 409 otherwise.
+// (`evilbloom serve -data-dir`) and answers 409 otherwise. digest export
+// needs a naive-mode filter (a hardened filter's keyed family never
+// travels) and answers 409 otherwise; a pushed digest that is structurally
+// corrupt answers 400, one naming a family no peer can evaluate answers
+// 409. peers/refresh on a registry with no configured peer URLs answers
+// 409.
 //
 // Compatibility note: until this revision the snapshot endpoint returned
 // the raw per-shard blobs behind a bare shard-count header. That format
@@ -320,6 +363,7 @@ func NewRegistryServer(reg *Registry) *Server {
 	s.mux.HandleFunc("/v2/filters", s.handleFilters)
 	s.mux.HandleFunc("/v2/filters/{name}", s.handleFilter)
 	s.mux.HandleFunc("/v2/filters/{name}/{op}", s.handleFilterOp)
+	s.mux.HandleFunc("/v2/filters/{name}/peers/refresh", s.handlePeersRefresh)
 	return s
 }
 
@@ -535,6 +579,12 @@ func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
 		handleSnapshot(w, r, st)
 	case "compact":
 		handleCompact(w, r, f)
+	case "digest":
+		s.handleDigest(w, r, f)
+	case "route":
+		s.handleRoute(w, r, f)
+	case "peers":
+		s.handlePeers(w, r, f)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown filter operation %q", op))
 	}
@@ -673,6 +723,158 @@ func handleCompact(w http.ResponseWriter, r *http.Request, f *Filter) {
 		return
 	}
 	writeJSON(w, http.StatusOK, compactResponse{Compacted: true, Generation: f.Generation()})
+}
+
+// ---------------------------------------------------------------------------
+// v2: cache-digest exchange (§7 between nodes).
+
+// handleDigest serves a filter's cache digest (GET, with a generation ETag
+// so unchanged digests cost a peer one conditional request and no transfer)
+// and accepts push-imported sibling digests (POST with ?peer=<label>).
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request, f *Filter) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleDigestGet(w, r, f.Store())
+	case http.MethodPost:
+		s.handleDigestPush(w, r, f)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET exports the digest; POST ?peer=<label> imports one")
+	}
+}
+
+// digestETag renders a store generation as the digest endpoint's ETag. The
+// store's per-boot salt is folded in because the generation counter resets
+// on restart: without it, a restarted filter's generation would re-pass
+// through values a peer already holds and earn a spurious 304 for
+// different content.
+func digestETag(st *Sharded, gen uint64) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("evb-digest-%x-%d", st.etagSalt, gen))
+}
+
+func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, st *Sharded) {
+	// The conditional check reads only the O(shards) generation counter;
+	// an unchanged filter never pays for digest serialization.
+	if match := r.Header.Get("If-None-Match"); match != "" && match == digestETag(st, st.Generation()) {
+		w.Header().Set("ETag", match)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	blob, gen, err := st.DigestEnvelope()
+	switch {
+	case errors.Is(err, ErrDigestUnexportable):
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", digestETag(st, gen))
+	w.Header().Set("X-Evilbloom-Digest-Version", fmt.Sprint(cachedigest.EnvelopeVersion))
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, f *Filter) {
+	label := r.URL.Query().Get("peer")
+	if label == "" {
+		writeError(w, http.StatusBadRequest, "peer query parameter required: which sibling does this digest describe?")
+		return
+	}
+	status, err := s.reg.Peers().Push(f.Name(), label,
+		http.MaxBytesReader(w, r.Body, int64(MaxSnapshotBytes)))
+	switch {
+	case errors.Is(err, cachedigest.ErrEnvelopeUnusable), errors.Is(err, ErrPushedDigestLimit):
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, cachedigest.ErrEnvelopeCorrupt):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, digestPushResponse{Imported: true, Peer: status})
+}
+
+// handleRoute answers the §7 routing question for one item: local cache,
+// sibling whose digest claims it, or origin.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, f *Filter) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !checkItem(w, req.Item) {
+		return
+	}
+	item := []byte(req.Item)
+	resp := RouteResponse{
+		Local: f.Store().Test(item),
+		Peers: s.reg.Peers().claims(f.Name(), item),
+	}
+	if resp.Peers == nil {
+		resp.Peers = []PeerClaim{}
+	}
+	switch {
+	case resp.Local:
+		resp.Verdict = "local"
+	default:
+		resp.Verdict = "origin"
+		for _, pc := range resp.Peers {
+			// Squid semantics: a digest routes until replaced, stale or not
+			// — the Stale flag in the claim lets stricter callers opt out.
+			if pc.Claims {
+				resp.Verdict, resp.Peer = "peer", pc.Peer
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeers reports one filter's per-peer digest accounting.
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request, f *Filter) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only; force a fetch with POST .../peers/refresh")
+		return
+	}
+	status, err := s.reg.Peers().status(f.Name())
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if status == nil {
+		status = []PeerStatus{}
+	}
+	writeJSON(w, http.StatusOK, peersResponse{Peers: status})
+}
+
+// handlePeersRefresh synchronously fetches every configured peer's digest
+// for one filter — the deterministic alternative to waiting out the
+// jittered refresh interval (tests, smoke scripts, operators mid-incident).
+func (s *Server) handlePeersRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	f, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	status, err := s.reg.Peers().RefreshNow(f.Name())
+	switch {
+	case errors.Is(err, ErrNoPeers):
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, ErrFilterNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, peersResponse{Peers: status})
 }
 
 // ---------------------------------------------------------------------------

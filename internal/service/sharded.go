@@ -3,6 +3,7 @@ package service
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -200,7 +201,12 @@ type shard struct {
 	// from the fresh/zeroed deltas AddIndexes and RemoveIndexes report, so
 	// Stats is O(shards) instead of an O(m) scan under the lock.
 	weight uint64
-	pool   sync.Pool // of *scratch
+	// muts counts effective mutations (adds, accepted removals, restores),
+	// maintained under the write lock the mutation already holds. The sum
+	// across shards is the store's Generation — the cheap monotone version
+	// number the digest exchange uses for its ETag short-circuit.
+	muts uint64
+	pool sync.Pool // of *scratch
 }
 
 // scratch is the per-goroutine working set checked out of a shard's pool.
@@ -227,6 +233,12 @@ type Sharded struct {
 	mShard  uint64
 	width   int
 	policy  core.OverflowPolicy
+	// etagSalt makes digest ETags unique per store instance. The mutation
+	// counter behind Generation resets on restart, so a bare generation
+	// could re-pass through an ETag value a peer already holds and earn a
+	// spurious 304 for different content; a fresh random salt per boot
+	// makes pre-restart ETags never match again.
+	etagSalt uint64
 	// cfg is the normalized configuration the store was built from,
 	// including its secrets — retained so the persistence layer can rebuild
 	// an identical store at boot. Never exposed through the public API.
@@ -268,20 +280,25 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	var salt [8]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		return nil, fmt.Errorf("service: drawing etag salt: %w", err)
+	}
 	var rk [16]byte
 	copy(rk[:], cfg.RouteKey)
 	s := &Sharded{
-		shards:  make([]shard, cfg.Shards),
-		mask:    uint64(cfg.Shards - 1),
-		route:   hashes.SipKeyFromBytes(rk),
-		variant: cfg.Variant,
-		mode:    cfg.Mode,
-		seed:    cfg.Seed,
-		k:       cfg.HashCount,
-		mShard:  cfg.ShardBits,
-		width:   cfg.CounterWidth,
-		policy:  cfg.Overflow,
-		cfg:     cfg,
+		shards:   make([]shard, cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
+		route:    hashes.SipKeyFromBytes(rk),
+		variant:  cfg.Variant,
+		mode:     cfg.Mode,
+		seed:     cfg.Seed,
+		k:        cfg.HashCount,
+		mShard:   cfg.ShardBits,
+		width:    cfg.CounterWidth,
+		policy:   cfg.Overflow,
+		etagSalt: binary.LittleEndian.Uint64(salt[:]),
+		cfg:      cfg,
 	}
 	for i := range s.shards {
 		fam, err := newShardFamily(cfg, i)
@@ -344,6 +361,7 @@ func (s *Sharded) Add(item []byte) {
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.Lock()
 	sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx))
+	sh.muts++
 	if s.journal != nil {
 		s.journal.JournalAdd(item)
 	}
@@ -398,8 +416,11 @@ func (s *Sharded) Remove(item []byte) (bool, error) {
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	sh.mu.Lock()
 	removed, err := sh.removeLocked(sc.idx)
-	if removed && s.journal != nil {
-		s.journal.JournalRemove(item)
+	if removed {
+		sh.muts++
+		if s.journal != nil {
+			s.journal.JournalRemove(item)
+		}
 	}
 	sh.mu.Unlock()
 	sh.pool.Put(sc)
@@ -454,8 +475,11 @@ func (s *Sharded) RemoveBatch(items [][]byte) ([]bool, error) {
 				sh.pool.Put(sc)
 				return removed, err
 			}
-			if ok && s.journal != nil {
-				s.journal.JournalRemove(items[ii])
+			if ok {
+				sh.muts++
+				if s.journal != nil {
+					s.journal.JournalRemove(items[ii])
+				}
 			}
 			removed[ii] = ok
 		}
@@ -483,6 +507,7 @@ func (s *Sharded) AddBatch(items [][]byte) {
 		sh.mu.Lock()
 		for j := 0; j < len(g); j++ {
 			sh.weight = applyDelta(sh.weight, sh.backend.AddIndexes(sc.idx[j*s.k:(j+1)*s.k]))
+			sh.muts++
 			if s.journal != nil {
 				s.journal.JournalAdd(items[g[j]])
 			}
@@ -527,6 +552,25 @@ func (s *Sharded) group(items [][]byte) [][]int {
 		groups[si] = append(groups[si], i)
 	}
 	return groups
+}
+
+// Generation returns the store's mutation counter: the sum of effective
+// adds, accepted removals and restores across shards. It is monotone under
+// serving traffic, so equal generations mean an unchanged filter — the
+// digest endpoint's ETag basis, letting peers skip refetching an unchanged
+// digest. It resets on restart (a recovered store recounts from its
+// replay), which is why the ETag folds in the per-boot etagSalt. (Shards
+// are read one at a time, so a racing mutation may or may not be counted;
+// either answer is a generation the store passed through.)
+func (s *Sharded) Generation() uint64 {
+	var g uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		g += sh.muts
+		sh.mu.RUnlock()
+	}
+	return g
 }
 
 // Count implements core.Filter: net insertions across shards.

@@ -339,6 +339,7 @@ func (s *Sharded) Restore(data []byte) error {
 			return fmt.Errorf("service: restoring shard %d: %w", i, err)
 		}
 		sh.weight = sh.backend.Weight()
+		sh.muts++ // a restore is a mutation: digests of this store are stale now
 		payload = payload[n:]
 	}
 	if len(payload) != 0 {

@@ -21,6 +21,7 @@ DATA="$(dirname "$BIN")/data"
 
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "${SERVER_B_PID:-}" ]] && kill "$SERVER_B_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -121,5 +122,87 @@ curl -sf -X POST "$BASE/v2/filters/smoke/test" -d '{"item":"post-compact"}' | gr
 
 say "verifying the v1 default filter survived too"
 curl -sf -X POST "$BASE/v1/test" -d '{"item":"x"}' | grep -q '"present":true' || fail "default filter state lost"
+
+# ---------------------------------------------------------------------------
+# Two-server cache-digest exchange (§7 live): a second evilbloom process
+# peers at the first, pulls its digests, and routes by them. Pollute A's
+# filter and B's routing verdicts for never-cached items flip from "origin"
+# to "peer" — the paper's misdirected sibling probes, over two real
+# processes. Deterministic: tiny filter (m=64, k=4), fixed public seed.
+
+say "=== two-server digest exchange (§7) ==="
+B_ADDR="127.0.0.1:${SMOKE_PORT2:-18380}"
+B_BASE="http://$B_ADDR"
+LOG_B="$(dirname "$BIN")/serve-b.log"
+MESH='{"shards":1,"shard_bits":64,"hash_count":4,"seed":3}'
+
+say "creating the shared 'mesh' filter on server A"
+curl -sf -X PUT "$BASE/v2/filters/mesh" -d "$MESH" | grep -q '"digest"' \
+  || fail "mesh filter does not advertise the digest capability"
+
+say "the counting filter exports a digest too (any variant, 1 bit/position)"
+SMOKE_DIGEST="$(dirname "$BIN")/smoke-digest.bin"
+curl -sf -o "$SMOKE_DIGEST" "$BASE/v2/filters/smoke/digest" && [[ -s "$SMOKE_DIGEST" ]] \
+  || fail "counting-filter digest export failed"
+
+say "starting peer server B on $B_ADDR with -peer $BASE"
+"$BIN" serve -addr "$B_ADDR" -peer "$BASE" -peer-refresh 1s >"$LOG_B" 2>&1 &
+SERVER_B_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$B_BASE/v1/info" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_B_PID" 2>/dev/null || { LOG="$LOG_B" fail "server B exited during startup"; }
+  sleep 0.1
+done
+curl -sf "$B_BASE/v1/info" >/dev/null || fail "server B never came up"
+curl -sf -X PUT "$B_BASE/v2/filters/mesh" -d "$MESH" >/dev/null || fail "creating mesh on B failed"
+
+say "checking A's digest endpoint and its ETag short-circuit"
+DIGEST_FILE="$(dirname "$BIN")/mesh-digest.bin"
+ETAG=$(curl -sf -D - -o "$DIGEST_FILE" "$BASE/v2/filters/mesh/digest" \
+  | awk 'tolower($1)=="etag:"{print $2}' | tr -d '\r')
+[[ -s "$DIGEST_FILE" && -n "$ETAG" ]] || fail "digest export returned no body or no ETag"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "$BASE/v2/filters/mesh/digest")
+[[ "$CODE" == "304" ]] || fail "unchanged digest refetched (status $CODE, want 304)"
+
+say "B exchanges digests with A and reports the peer"
+curl -sf -X POST "$B_BASE/v2/filters/mesh/peers/refresh" | grep -q '"has_digest":true' \
+  || fail "B holds no digest of A after refresh"
+
+say "routing verdicts before pollution: everything goes to the origin"
+curl -sf -X POST "$B_BASE/v2/filters/mesh/route" -d '{"item":"wanted-item"}' \
+  | grep -q '"verdict":"origin"' || fail "empty mesh routed somewhere"
+GHOSTS_BEFORE=0
+for i in $(seq 0 19); do
+  curl -sf -X POST "$B_BASE/v2/filters/mesh/route" -d "{\"item\":\"mesh-ghost-$i\"}" \
+    | grep -q '"verdict":"peer"' && GHOSTS_BEFORE=$((GHOSTS_BEFORE + 1))
+done
+say "$GHOSTS_BEFORE/20 ghost probes misdirected before pollution"
+[[ "$GHOSTS_BEFORE" -le 3 ]] || fail "clean digest already misdirects $GHOSTS_BEFORE/20 ghosts"
+
+say "caching wanted-item on A: B must now route it to the peer"
+curl -sf -X POST "$BASE/v2/filters/mesh/add" -d '{"item":"wanted-item"}' >/dev/null
+curl -sf -X POST "$B_BASE/v2/filters/mesh/peers/refresh" >/dev/null
+curl -sf -X POST "$B_BASE/v2/filters/mesh/route" -d '{"item":"wanted-item"}' \
+  | grep -q "\"verdict\":\"peer\",\"peer\":\"$BASE\"" || fail "cached item not routed to A"
+
+say "polluting A's mesh filter (60 inserts saturate the 64-bit digest)"
+POLLUTION=$(printf '"pollution-%s",' $(seq 1 60))
+curl -sf -X POST "$BASE/v2/filters/mesh/add-batch" -d "{\"items\":[${POLLUTION%,}]}" >/dev/null \
+  || fail "pollution batch failed"
+curl -sf -X POST "$B_BASE/v2/filters/mesh/peers/refresh" >/dev/null
+
+say "routing verdicts after pollution: ghosts are misdirected at A"
+GHOSTS_AFTER=0
+for i in $(seq 0 19); do
+  curl -sf -X POST "$B_BASE/v2/filters/mesh/route" -d "{\"item\":\"mesh-ghost-$i\"}" \
+    | grep -q '"verdict":"peer"' && GHOSTS_AFTER=$((GHOSTS_AFTER + 1))
+done
+say "$GHOSTS_AFTER/20 ghost probes misdirected after pollution (§7: 79% vs 40%)"
+[[ "$GHOSTS_AFTER" -ge 15 ]] || fail "pollution misdirected only $GHOSTS_AFTER/20 ghosts"
+[[ "$GHOSTS_AFTER" -gt $((GHOSTS_BEFORE + 10)) ]] || fail "no pollution gap"
+
+say "stopping peer server B"
+kill -TERM "$SERVER_B_PID"
+wait "$SERVER_B_PID" || fail "server B exited non-zero on SIGTERM"
 
 say "OK"
