@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"evilbloom/internal/service"
 )
@@ -120,6 +121,12 @@ func TestServeFlagValidation(t *testing.T) {
 		{"serve", "-peer", "http://h:1", "-peer-refresh", "0s"},   // non-positive interval
 		{"serve", "-peer", "not-a-url"},                           // peer must be absolute http(s)
 		{"serve", "-peer", "ftp://h:1/x"},                         // ditto, scheme checked
+		{"serve", "-rate-burst", "10"},                            // burst needs -rate-mutations
+		{"serve", "-rate-mutations", "0"},                         // explicit zero: omit the flag instead
+		{"serve", "-rate-mutations", "-5"},                        // negative budget
+		{"serve", "-rate-mutations", "5", "-rate-burst", "0"},     // non-positive burst
+		{"serve", "-rate-mutations", "5", "-rate-burst", "-1"},    // ditto
+		{"serve", "-rate-clients-max", "0"},                       // table cap must hold someone
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {
@@ -137,12 +144,41 @@ func TestServeFlagValidation(t *testing.T) {
 		{"bloom", "hardened", []string{"-key", key, "-route-key", key}},
 		{"bloom", "naive", []string{"-seed", "9"}},
 		{"bloom", "naive", []string{"-data-dir", "d", "-fsync", "always"}},
+		{"bloom", "naive", []string{"-rate-mutations", "100", "-rate-burst", "500"}},
+		{"bloom", "naive", []string{"-rate-mutations", "0.5"}},
+		{"bloom", "naive", []string{"-trust-proxy", "-rate-clients-max", "64"}}, // accounting-only tuning
 	}
 	for _, tc := range good {
 		args := append([]string{"-variant", tc.variant, "-mode", tc.mode}, tc.extra...)
 		if err := checkServeConfig(t, args); err != nil {
 			t.Errorf("coherent combination %v rejected: %v", args, err)
 		}
+	}
+}
+
+// The serving http.Server must time-bound both directions of every
+// connection. WriteTimeout in particular: the serve code's own slowloris
+// comment promised it, but until this revision only the read side was
+// bounded — a client accepting a large snapshot response one byte at a
+// time held its goroutine (and the buffered response) forever.
+func TestServeHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(nil)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("read-side timeouts unset: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Fatal("WriteTimeout unset: a slow reader can hold a response goroutine forever")
+	}
+	// It must be generous enough for the largest response the API can
+	// produce — a MaxSnapshotBytes snapshot at a modest 8 MiB/s...
+	if floor := time.Duration(service.MaxSnapshotBytes/(8<<20)) * time.Second; srv.WriteTimeout < floor {
+		t.Errorf("WriteTimeout %v cannot deliver a %d-byte snapshot at 8 MiB/s (needs ≥ %v)",
+			srv.WriteTimeout, service.MaxSnapshotBytes, floor)
+	}
+	// ...while still actually bounding the goroutine's lifetime.
+	if ceiling := time.Hour; srv.WriteTimeout > ceiling {
+		t.Errorf("WriteTimeout %v is no bound at all (want ≤ %v)", srv.WriteTimeout, ceiling)
 	}
 }
 

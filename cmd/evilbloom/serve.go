@@ -36,6 +36,10 @@ type serveFlags struct {
 	fsync        *string
 	peers        stringList
 	peerRefresh  *time.Duration
+	rateMut      *float64
+	rateBurst    *float64
+	rateClients  *int
+	trustProxy   *bool
 }
 
 // stringList collects a repeatable string flag (-peer may appear once per
@@ -69,6 +73,10 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 		dataDir:      fs.String("data-dir", "", "directory for durable filter state (snapshots + operation logs); empty serves from memory only"),
 		fsync:        fs.String("fsync", "interval", "operation-log durability: always, interval or never (needs -data-dir)"),
 		peerRefresh:  fs.Duration("peer-refresh", service.DefaultPeerRefresh, "digest refresh interval for -peer siblings"),
+		rateMut:      fs.Float64("rate-mutations", 0, "per-client mutation budget in items/second across add/remove/digest-push (batches charge per item; 0 serves unthrottled, accounting only)"),
+		rateBurst:    fs.Float64("rate-burst", 0, "mutation burst each client may spend at once (needs -rate-mutations; default one second of budget, floor 1)"),
+		rateClients:  fs.Int("rate-clients-max", service.DefaultRateClientsMax, "per-filter client accounting-table cap; least-recently-seen identities are evicted beyond it"),
+		trustProxy:   fs.Bool("trust-proxy", false, "trust X-Evilbloom-Client, then the rightmost X-Forwarded-For entry, for client identity (only behind a proxy tier that sets or sanitizes them)"),
 	}
 	fs.Var(&v.peers, "peer", "sibling evilbloomd base URL for cache-digest exchange (repeatable)")
 	return fs, v
@@ -130,6 +138,22 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 		return service.Config{}, fmt.Errorf("-peer-refresh must be positive, got %v", *v.peerRefresh)
 	}
 
+	// Rate-limit flags: the burst spends from a budget, so it needs one.
+	// (-rate-clients-max and -trust-proxy stand alone: they also govern the
+	// always-on accounting table.)
+	if set["rate-mutations"] && *v.rateMut <= 0 {
+		return service.Config{}, fmt.Errorf("-rate-mutations must be positive, got %v (omit the flag to serve unthrottled)", *v.rateMut)
+	}
+	if set["rate-burst"] && !set["rate-mutations"] {
+		return service.Config{}, fmt.Errorf("-rate-burst needs -rate-mutations; a burst alone is no budget")
+	}
+	if set["rate-burst"] && *v.rateBurst <= 0 {
+		return service.Config{}, fmt.Errorf("-rate-burst must be positive, got %v", *v.rateBurst)
+	}
+	if *v.rateClients < 1 {
+		return service.Config{}, fmt.Errorf("-rate-clients-max must be at least 1, got %d", *v.rateClients)
+	}
+
 	cfg := service.Config{
 		Variant:   variant,
 		Shards:    *v.shards,
@@ -170,6 +194,19 @@ func cmdServe(args []string) error {
 		return err
 	}
 	reg := service.NewRegistry()
+	rateCfg := service.RateLimitConfig{
+		MutationsPerSec: *values.rateMut,
+		Burst:           *values.rateBurst,
+		MaxClients:      *values.rateClients,
+		TrustProxy:      *values.trustProxy,
+	}
+	if err := reg.ConfigureRateLimit(rateCfg); err != nil {
+		return err
+	}
+	if rateCfg.MutationsPerSec > 0 {
+		fmt.Fprintf(os.Stderr, "evilbloom serve: per-client mutation budget %.3g/s (burst %.3g, table cap %d) on add/remove/digest-push; exhausted budgets answer 429\n",
+			rateCfg.MutationsPerSec, rateCfg.EffectiveBurst(), rateCfg.MaxClients)
+	}
 	if len(values.peers) > 0 {
 		// Join the mesh before any filter exists so every filter — flag
 		// default, recovered, or created over HTTP — exchanges digests.
@@ -228,14 +265,7 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "evilbloom serve: naive index seed %d is PUBLIC (served on the info endpoints) — this mode is meant to be attacked\n", store.Seed())
 	}
 	fmt.Fprintf(os.Stderr, "evilbloom serve: manage named filters via PUT/GET/DELETE /v2/filters/{name}; /v1/* serves the default filter\n")
-	srv := &http.Server{
-		Handler: service.NewRegistryServer(reg),
-		// The filter attacks are the point; transport-level stalls
-		// (slowloris clients holding goroutines open) are not.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
+	srv := newHTTPServer(service.NewRegistryServer(reg))
 
 	// Graceful shutdown: SIGINT/SIGTERM stop accepting, drain in-flight
 	// requests (so batches complete and their journal records land), then
@@ -264,6 +294,33 @@ func cmdServe(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "evilbloom serve: durable state flushed; bye\n")
 	return nil
+}
+
+// newHTTPServer assembles the serving http.Server with its transport-level
+// protections. The filter attacks are the point; transport-level stalls
+// (slowloris clients holding goroutines open) are not — on either side of
+// the connection: the read timeouts cut slow senders, and WriteTimeout cuts
+// slow *readers*, which the old configuration forgot — a client that
+// accepted a large snapshot or digest response one byte at a time held its
+// goroutine (and the response buffer) forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      serveWriteTimeout(),
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serveWriteTimeout sizes WriteTimeout for the largest response the API can
+// produce — a MaxSnapshotBytes snapshot envelope — delivered at a floor
+// bandwidth of 4 MiB/s, plus scheduling slack. Slower-but-honest mirrors
+// should split their reads or re-fetch; anything below the floor is
+// indistinguishable from a slowloris reader.
+func serveWriteTimeout() time.Duration {
+	const floorBytesPerSec = 4 << 20
+	return time.Duration(service.MaxSnapshotBytes/floorBytesPerSec+30) * time.Second
 }
 
 // parseKeyFlag decodes an optional hex key flag; empty means "draw random".

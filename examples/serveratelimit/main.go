@@ -1,0 +1,142 @@
+// Serveratelimit measures the paper's suggested operational defense against
+// chosen-insertion pollution: throttle who may mutate the filter. Two
+// evilbloom servers hold the same small naive filter; one serves its add
+// endpoint unthrottled, the other runs a per-client mutation budget
+// (`evilbloom serve -rate-mutations`, here configured in-process). The same
+// adversary runs the same greedy chosen-insertion campaign with the same
+// request budget against both. Unthrottled, the filter saturates — every
+// membership query a false positive. Rate-limited, exactly the burst lands,
+// the other requests bounce off 429s, and the server's per-client
+// accounting names the attacker — the naive → rate-limited → hardened-keyed
+// mitigation ladder's middle rung, measured.
+//
+//	go run ./examples/serveratelimit
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"evilbloom/internal/analysis"
+	"evilbloom/internal/attack"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// filterName is the filter under attack on both servers.
+const filterName = "cache"
+
+// geometry is a digest-sized naive filter (m=640, k=4): small enough that
+// an unthrottled campaign saturates it inside the request budget.
+func geometry() service.Config {
+	return service.Config{Shards: 1, ShardBits: 640, HashCount: 4, Seed: 7}
+}
+
+// requests is the adversary's mutation request budget per campaign; burst
+// is the throttled server's per-client allowance.
+const (
+	requests = 600
+	burst    = 100
+)
+
+// startNode boots a registry server, optionally behind a mutation rate
+// limit, with the target filter created.
+func startNode(rate *service.RateLimitConfig) (url string, closeFn func(), err error) {
+	reg := service.NewRegistry()
+	if rate != nil {
+		if err := reg.ConfigureRateLimit(*rate); err != nil {
+			return "", nil, err
+		}
+	}
+	if _, err := reg.Create(filterName, geometry()); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+	go srv.Serve(ln) //nolint:errcheck // shut down via close
+	return "http://" + ln.Addr().String(), func() {
+		reg.Close() //nolint:errcheck // memory-only registry
+		srv.Close()
+	}, nil
+}
+
+// campaign runs the greedy chosen-insertion campaign against one server
+// and returns its report plus the server's accounting view.
+func campaign(rate *service.RateLimitConfig) (*attack.ThrottledPollutionReport, *attack.RemoteClientsReport, error) {
+	url, closeFn, err := startNode(rate)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer closeFn()
+	target := attack.NewRemoteClient(url, nil).ForFilter(filterName).WithIdentity("mallory")
+	rep, err := (&attack.RemoteThrottledPollution{
+		Target:   target,
+		Traffic:  urlgen.New(2),
+		Requests: requests,
+	}).Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	clients, err := target.Clients()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, clients, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("rate limiting vs chosen-insertion pollution: one campaign, two servers")
+	fmt.Printf("filter m=%d k=%d; adversary budget %d add requests, throttled server allows burst %d then ~0/s\n\n",
+		geometry().ShardBits, geometry().HashCount, requests, burst)
+
+	throttle := &service.RateLimitConfig{
+		MutationsPerSec: 1.0 / 3600, // ≈ nothing refills during the run
+		Burst:           burst,
+		TrustProxy:      true, // honor the client's self-declared identity
+	}
+	rows := make([][]string, 0, 2)
+	var throttledClients *attack.RemoteClientsReport
+	for _, cfg := range []*service.RateLimitConfig{nil, throttle} {
+		label := "unthrottled"
+		if cfg != nil {
+			label = "rate-limited"
+		}
+		rep, clients, err := campaign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saturated := "never"
+		if rep.SaturatedAt > 0 {
+			saturated = fmt.Sprintf("request %d", rep.SaturatedAt)
+		}
+		fmt.Printf("%s: %d requests sent, %d accepted, %d bounced (429); saturated: %s; server FPR %.4f\n",
+			label, rep.Requests, rep.Accepted, rep.Throttled, saturated, rep.ServerFPR)
+		rows = append(rows, []string{
+			label,
+			fmt.Sprint(rep.Requests),
+			fmt.Sprint(rep.Accepted),
+			fmt.Sprint(rep.Throttled),
+			saturated,
+			fmt.Sprintf("%.4f", rep.ServerFPR),
+		})
+		if cfg != nil {
+			throttledClients = clients
+		}
+	}
+	fmt.Println()
+	fmt.Print(analysis.FormatTable(
+		[]string{"Server", "Requests", "Accepted", "429s", "Saturated at", "Server FPR"}, rows))
+
+	fmt.Println("\nthe rate-limited server's own accounting (GET /v2/filters/cache/clients):")
+	for _, cs := range throttledClients.Clients {
+		fmt.Printf("  client %-10s allowed %-4d throttled %d\n", cs.Client, cs.Allowed, cs.Throttled)
+	}
+	fmt.Println("\nmitigation ladder: naive (saturated) → rate-limited (damage ≤ burst, attacker named)")
+	fmt.Println("→ hardened keyed (campaign degrades to random insertions; see examples/servepollution)")
+}

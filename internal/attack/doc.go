@@ -38,4 +38,14 @@
 // hit, reproducing the paper's 79%-vs-40% gap over real HTTP. The greedy
 // PolluteGreedy campaign drives it, since a digest-sized filter saturates
 // under strict condition-(6) forging.
+//
+// RemoteThrottledPollution measures the defense the paper suggests against
+// all of the above: per-client mutation rate limiting (`evilbloom serve
+// -rate-mutations`). It re-runs the chosen-insertion campaign counting
+// 429s instead of assuming every insertion lands — the shadow model
+// mirrors only accepted adds, staying exact mid-throttle — and reports the
+// stretched time-to-saturation and blunted FPR trajectory, plus the
+// server-side accounting (RemoteClient.Clients) that names the attacking
+// identity. Unthrottled: saturation inside the request budget. Throttled:
+// damage capped at the burst, every refused mutation attributed.
 package attack

@@ -22,6 +22,10 @@ type RemoteClient struct {
 	base   string
 	prefix string // "/v1" or "/v2/filters/{name}"
 	hc     *http.Client
+	// identity, when non-empty, is sent as X-Evilbloom-Client on every
+	// request — the self-declared identity a -trust-proxy server charges
+	// mutations to. See WithIdentity.
+	identity string
 }
 
 // NewRemoteClient targets an evilbloom serve instance at base (e.g.
@@ -35,9 +39,20 @@ func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
 }
 
 // ForFilter returns a client for the named filter's /v2 endpoints, sharing
-// the transport.
+// the transport (and identity, if any).
 func (c *RemoteClient) ForFilter(name string) *RemoteClient {
-	return &RemoteClient{base: c.base, prefix: "/v2/filters/" + name, hc: c.hc}
+	return &RemoteClient{base: c.base, prefix: "/v2/filters/" + name, hc: c.hc, identity: c.identity}
+}
+
+// WithIdentity returns a client that self-identifies as id on every request
+// via the X-Evilbloom-Client header. A server running with -trust-proxy
+// charges that identity's mutation budget and reports it on the clients
+// accounting endpoint; other servers ignore the header and charge the
+// transport peer address.
+func (c *RemoteClient) WithIdentity(id string) *RemoteClient {
+	cp := *c
+	cp.identity = id
+	return &cp
 }
 
 // RemoteInfo is a served filter's public self-description (/v1/info or
@@ -131,9 +146,9 @@ func (c *RemoteClient) Remove(item []byte) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("attack: encoding %s request: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	resp, err := c.do(http.MethodPost, path, buf)
 	if err != nil {
-		return false, fmt.Errorf("attack: POST %s: %w", path, err)
+		return false, err
 	}
 	if resp.StatusCode == http.StatusConflict {
 		resp.Body.Close()
@@ -166,9 +181,9 @@ func toStrings(items [][]byte) []string {
 }
 
 func (c *RemoteClient) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
-		return fmt.Errorf("attack: GET %s: %w", path, err)
+		return err
 	}
 	return decodeRemote(resp, path, out)
 }
@@ -178,11 +193,34 @@ func (c *RemoteClient) post(path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("attack: encoding %s request: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	resp, err := c.do(http.MethodPost, path, buf)
 	if err != nil {
-		return fmt.Errorf("attack: POST %s: %w", path, err)
+		return err
 	}
 	return decodeRemote(resp, path, out)
+}
+
+// do issues one request with the client's standing headers applied.
+func (c *RemoteClient) do(method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("attack: building %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.identity != "" {
+		req.Header.Set("X-Evilbloom-Client", c.identity)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %s %s: %w", method, path, err)
+	}
+	return resp, nil
 }
 
 func decodeRemote(resp *http.Response, path string, out any) error {
@@ -289,6 +327,14 @@ func (v *RemoteView) Add(item []byte) {
 		v.err = err
 		return
 	}
+	v.Observe(item)
+}
+
+// Observe folds item's assumed positions into the shadow without touching
+// the server — for insertions known to have landed through another channel.
+// The throttled campaign uses it to mirror only *accepted* adds: a 429'd
+// item never reached the filter, so recording it would corrupt the shadow.
+func (v *RemoteView) Observe(item []byte) {
 	idx := v.fam.Indexes(make([]uint64, 0, v.fam.K()), item)
 	for _, i := range idx {
 		v.shadow.Set(i)

@@ -1,0 +1,198 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the adversary's side of the rate-limited mutation plane:
+// RemoteClient grows throttling-aware insertion (TryAdd) and the accounting
+// endpoint (Clients), and RemoteThrottledPollution re-runs the chosen-
+// insertion pollution campaign against a server defending itself with
+// per-client mutation budgets — the paper's own suggested operational
+// countermeasure, measured instead of assumed.
+
+// TryAdd submits one insertion and reports whether the server accepted it.
+// A 429 answer is a normal, informative outcome for a throttled adversary
+// — (false, retryAfter, nil), carrying the server's parsed Retry-After —
+// not an error; every other non-200 answer and transport failure errors.
+func (c *RemoteClient) TryAdd(item []byte) (accepted bool, retryAfter time.Duration, err error) {
+	path := c.prefix + "/add"
+	buf, err := json.Marshal(map[string]string{"item": string(item)})
+	if err != nil {
+		return false, 0, fmt.Errorf("attack: encoding %s request: %w", path, err)
+	}
+	resp, err := c.do(http.MethodPost, path, buf)
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		return false, retryAfter, nil
+	}
+	return true, 0, decodeRemote(resp, path, nil)
+}
+
+// RemoteClientStatus is one client's mutation accounting as the server
+// reports it (GET .../clients).
+type RemoteClientStatus struct {
+	Client      string  `json:"client"`
+	Allowed     uint64  `json:"allowed"`
+	Throttled   uint64  `json:"throttled"`
+	Tokens      float64 `json:"tokens"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// RemoteClientsReport is the filter's per-client accounting table: who
+// mutated the filter, how much, and who was turned away — the server's
+// forensic view of a pollution campaign.
+type RemoteClientsReport struct {
+	Enabled          bool                 `json:"enabled"`
+	MutationsPerSec  float64              `json:"mutations_per_sec"`
+	Burst            float64              `json:"burst"`
+	MaxClients       int                  `json:"max_clients"`
+	Clients          []RemoteClientStatus `json:"clients"`
+	EvictedClients   uint64               `json:"evicted_clients"`
+	EvictedAllowed   uint64               `json:"evicted_allowed"`
+	EvictedThrottled uint64               `json:"evicted_throttled"`
+}
+
+// Clients fetches the filter's per-client mutation accounting — public,
+// like the rest of the monitoring surface, so the adversary can watch
+// herself being attributed.
+func (c *RemoteClient) Clients() (*RemoteClientsReport, error) {
+	var rep RemoteClientsReport
+	if err := c.get(c.prefix+"/clients", &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// RemoteThrottledPollution runs the chosen-insertion pollution campaign
+// (the Fig 3 scenario, in its greedy §7 form so a small filter can be
+// driven to full saturation) against a live server, counting 429s instead
+// of assuming every insertion lands. Pointed at an unthrottled naive server
+// it reproduces the familiar saturation; pointed at the same geometry
+// behind `-rate-mutations` it measures exactly what the defense buys: the
+// attacker spends the same request budget, most of it bounces, and the
+// end-state FPR is pinned near the honest level. The shadow model records
+// only accepted insertions, so the adversary's view stays exact against a
+// naive server even mid-throttle.
+type RemoteThrottledPollution struct {
+	// Target is a filter-scoped client for the server under attack,
+	// optionally carrying a self-declared identity (WithIdentity) for
+	// -trust-proxy servers.
+	Target *RemoteClient
+	// Traffic supplies the forgery candidate stream.
+	Traffic Generator
+	// Requests is the mutation request budget: the campaign sends at most
+	// this many add requests (accepted or throttled alike).
+	Requests int
+	// PerItemBudget bounds the per-item forgery search (0 = the greedy
+	// default of 20000 candidates).
+	PerItemBudget uint64
+}
+
+// ThrottledPollutionReport is the outcome of one campaign.
+type ThrottledPollutionReport struct {
+	// Requests counts add requests actually sent (≤ the budget: an
+	// unthrottled campaign stops early once its shadow saturates — there is
+	// nothing left to pollute).
+	Requests int
+	// Accepted and Throttled partition the sent requests by outcome.
+	Accepted, Throttled int
+	// FirstThrottle is the 1-based request index of the first 429 (0 =
+	// never throttled).
+	FirstThrottle int
+	// LastRetryAfter is the final 429's Retry-After answer.
+	LastRetryAfter time.Duration
+	// SaturatedAt is the 1-based request index at which the shadow filter
+	// saturated (0 = the campaign never saturated it) — the
+	// time-to-saturation the rate limit stretches.
+	SaturatedAt int
+	// ForgeAttempts counts forgery candidates examined.
+	ForgeAttempts uint64
+	// ServerWeight, ServerFPR and ServerCount are the server's own
+	// post-campaign ground truth.
+	ServerWeight uint64
+	ServerFPR    float64
+	ServerCount  uint64
+	// Points is the shadow trajectory, one point per sent request; under
+	// throttling it flattens the moment the burst is spent — the blunted
+	// curve, per request of attacker effort.
+	Points []PollutionPoint
+}
+
+// throttledSink inserts through TryAdd, mirroring only accepted items into
+// the shadow and latching the campaign's throttle accounting.
+type throttledSink struct {
+	client *RemoteClient
+	view   *RemoteView
+	rep    *ThrottledPollutionReport
+	err    error
+}
+
+// Add implements Inserter.
+func (t *throttledSink) Add(item []byte) {
+	if t.err != nil {
+		return
+	}
+	t.rep.Requests++
+	ok, retry, err := t.client.TryAdd(item)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if !ok {
+		t.rep.Throttled++
+		t.rep.LastRetryAfter = retry
+		if t.rep.FirstThrottle == 0 {
+			t.rep.FirstThrottle = t.rep.Requests
+		}
+		return
+	}
+	t.view.Observe(item)
+	t.rep.Accepted++
+}
+
+// Run executes the campaign. The target filter must be naive-mode (the
+// shadow is built from its published parameters) and freshly created — the
+// campaign owns its whole history.
+func (c *RemoteThrottledPollution) Run() (*ThrottledPollutionReport, error) {
+	if c.Requests <= 0 {
+		return nil, fmt.Errorf("attack: request budget %d must be positive", c.Requests)
+	}
+	view, err := NewRemoteViewFromInfo(c.Target)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ThrottledPollutionReport{}
+	sink := &throttledSink{client: c.Target, view: view, rep: rep}
+	adv := NewChosenInsertion(view, sink, view, c.Traffic)
+	points, err := adv.PolluteGreedy(c.Requests, c.PerItemBudget)
+	if err != nil {
+		return nil, err
+	}
+	if sink.err != nil {
+		return nil, fmt.Errorf("attack: transport during campaign: %w", sink.err)
+	}
+	rep.Points = points
+	rep.ForgeAttempts = adv.Forger().Attempts
+	if view.Weight() >= view.M() {
+		rep.SaturatedAt = rep.Requests
+	}
+	stats, err := c.Target.Stats()
+	if err != nil {
+		return nil, err
+	}
+	rep.ServerWeight, rep.ServerFPR, rep.ServerCount = stats.Weight, stats.FPR, stats.Count
+	return rep, nil
+}

@@ -1,0 +1,172 @@
+package attack_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// saturableGeometry is a digest-sized single-shard filter (m=640, k=4) an
+// unthrottled greedy campaign saturates well inside the request budget, so
+// the rate limit's effect — a server that *cannot* be saturated in the same
+// budget — is unambiguous.
+func saturableGeometry() service.Config {
+	return service.Config{
+		Shards:    1,
+		ShardBits: 640,
+		HashCount: 4,
+		Seed:      7,
+		RouteKey:  []byte("fedcba9876543210"),
+	}
+}
+
+// startCampaignServer boots a registry server holding one "cache" filter,
+// optionally behind a mutation rate limit.
+func startCampaignServer(t *testing.T, rate *service.RateLimitConfig) *attack.RemoteClient {
+	t.Helper()
+	reg := service.NewRegistry()
+	if rate != nil {
+		if err := reg.ConfigureRateLimit(*rate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Create("cache", saturableGeometry()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewRegistryServer(reg))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { reg.Close() }) //nolint:errcheck // memory-only
+	return attack.NewRemoteClient(ts.URL, nil).ForFilter("cache")
+}
+
+// The acceptance scenario: the same chosen-insertion campaign, same filter
+// geometry, same request budget. Unthrottled, the campaign saturates the
+// filter (FPR → 1). Behind `-rate-mutations`, the identical campaign's
+// damage is capped at the burst: the end-state FPR stays below half the
+// unthrottled end state, and the server's clients endpoint attributes every
+// blocked mutation to the attacking identity.
+func TestRemoteThrottledPollutionBluntsCampaign(t *testing.T) {
+	const (
+		requests = 600
+		burst    = 100
+	)
+	// The throttled server refills at one mutation per hour: within the
+	// seconds this test runs, the budget is exactly the burst.
+	throttledCfg := &service.RateLimitConfig{
+		MutationsPerSec: 1.0 / 3600,
+		Burst:           burst,
+		MaxClients:      16,
+		TrustProxy:      true,
+	}
+
+	naive := &attack.RemoteThrottledPollution{
+		Target:   startCampaignServer(t, nil),
+		Traffic:  urlgen.New(2),
+		Requests: requests,
+	}
+	naiveRep, err := naive.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	throttled := &attack.RemoteThrottledPollution{
+		Target:   startCampaignServer(t, throttledCfg).WithIdentity("mallory"),
+		Traffic:  urlgen.New(2), // the very same candidate stream
+		Requests: requests,
+	}
+	throttledRep, err := throttled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("unthrottled: %d requests, saturated at %d, server FPR %.4f",
+		naiveRep.Requests, naiveRep.SaturatedAt, naiveRep.ServerFPR)
+	t.Logf("throttled:   %d requests (%d accepted, %d bounced, first 429 at %d, Retry-After %v), server FPR %.4f",
+		throttledRep.Requests, throttledRep.Accepted, throttledRep.Throttled,
+		throttledRep.FirstThrottle, throttledRep.LastRetryAfter, throttledRep.ServerFPR)
+
+	// The unthrottled naive server is saturated inside the budget.
+	if naiveRep.SaturatedAt == 0 || naiveRep.Requests > requests {
+		t.Fatalf("unthrottled campaign did not saturate within %d requests: %+v", requests, naiveRep)
+	}
+	if naiveRep.ServerFPR < 0.99 {
+		t.Errorf("saturated server FPR %.4f, want ≈1", naiveRep.ServerFPR)
+	}
+	if naiveRep.Throttled != 0 {
+		t.Errorf("unthrottled server answered %d 429s", naiveRep.Throttled)
+	}
+
+	// The rate-limited server, same campaign, same budget: exactly the
+	// burst lands, the rest bounce with a Retry-After, and the filter never
+	// saturates.
+	if throttledRep.Accepted != burst {
+		t.Errorf("accepted %d mutations, want exactly the burst of %d", throttledRep.Accepted, burst)
+	}
+	if throttledRep.Throttled != requests-burst {
+		t.Errorf("throttled %d, want %d", throttledRep.Throttled, requests-burst)
+	}
+	if throttledRep.FirstThrottle != burst+1 {
+		t.Errorf("first 429 at request %d, want %d", throttledRep.FirstThrottle, burst+1)
+	}
+	if throttledRep.SaturatedAt != 0 {
+		t.Error("rate-limited server was saturated anyway")
+	}
+	if throttledRep.LastRetryAfter <= 0 {
+		t.Error("429 carried no usable Retry-After")
+	}
+	// The acceptance bound: below half the unthrottled end state. (In
+	// practice far below: burst×k of m bits.)
+	if throttledRep.ServerFPR >= naiveRep.ServerFPR/2 {
+		t.Errorf("throttled FPR %.4f not below half the unthrottled %.4f",
+			throttledRep.ServerFPR, naiveRep.ServerFPR)
+	}
+	// The shadow stayed exact: only accepted items entered it, so the
+	// server's weight is precisely what the adversary believes.
+	if want := uint64(burst * 4); throttledRep.ServerWeight != want {
+		t.Errorf("server weight %d, want %d (burst × k, shadow-exact)", throttledRep.ServerWeight, want)
+	}
+
+	// Attribution: the server names mallory, with every blocked mutation
+	// charged to her identity.
+	clients, err := throttled.Target.Clients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clients.Enabled || len(clients.Clients) == 0 {
+		t.Fatalf("clients report: %+v", clients)
+	}
+	top := clients.Clients[0]
+	if top.Client != "mallory" {
+		t.Errorf("top offender %q, want mallory", top.Client)
+	}
+	if top.Allowed != burst || top.Throttled != requests-burst {
+		t.Errorf("mallory's ledger: %d allowed / %d throttled, want %d/%d",
+			top.Allowed, top.Throttled, burst, requests-burst)
+	}
+}
+
+// TryAdd must separate the three outcomes: accepted, throttled (with
+// Retry-After), and hard errors.
+func TestTryAddOutcomes(t *testing.T) {
+	client := startCampaignServer(t, &service.RateLimitConfig{
+		MutationsPerSec: 1.0 / 3600,
+		Burst:           1,
+	})
+	ok, _, err := client.TryAdd([]byte("first"))
+	if err != nil || !ok {
+		t.Fatalf("first add: ok=%v err=%v", ok, err)
+	}
+	ok, retry, err := client.TryAdd([]byte("second"))
+	if err != nil || ok {
+		t.Fatalf("second add past the burst: ok=%v err=%v", ok, err)
+	}
+	if retry <= 0 {
+		t.Errorf("throttled TryAdd returned Retry-After %v", retry)
+	}
+	if _, _, err := client.TryAdd(nil); err == nil {
+		t.Error("empty item produced no error")
+	}
+}

@@ -109,6 +109,37 @@
 // stopped — synchronously, no goroutine outlives its filter — by
 // Registry.Delete and Registry.Close.
 //
+// # Rate limiting and pollution accounting
+//
+// Every registry carries a Limiter charging each mutation — add,
+// add-batch, remove, remove-batch, digest push — against a token bucket
+// keyed by (filter, client identity); batch operations charge per item,
+// because adversarial damage scales with insertions, not requests. With a
+// budget configured (Registry.ConfigureRateLimit, `evilbloom serve
+// -rate-mutations`/`-rate-burst`), exhaustion answers 429 with a
+// Retry-After naming the exact refill time and applies nothing; the /v1
+// shim spends from the default filter's buckets, so the legacy surface is
+// no side door. Client identity is the transport peer address unless
+// -trust-proxy makes the X-Evilbloom-Client and X-Forwarded-For headers
+// count. Reads are never charged.
+//
+// Accounting runs even unthrottled: GET /v2/filters/{name}/clients is the
+// O(clients) attribution table (worst offenders first) and the stats
+// document carries the aggregate, so "who polluted this filter" has an
+// answer on every server. The table is bounded per filter
+// (-rate-clients-max, default DefaultRateClientsMax) with LRU eviction
+// folding evicted identities' counts into preserved aggregates — identity
+// churn cannot memory-exhaust the server through its own defense.
+//
+// Why it matters for the paper: §8 names restricting who may update the
+// filter as the operational mitigation below keyed hashing, and Naor–Yogev
+// formalize adversarial power as a query/insertion budget. Rate limiting
+// implements exactly that budget: attack.RemoteThrottledPollution runs the
+// same chosen-insertion campaign against an unthrottled server (saturation)
+// and a rate-limited one (damage capped at the burst, attacker named),
+// completing the naive → rate-limited → hardened mitigation ladder the
+// registry can A/B per filter.
+//
 // Why it matters for the paper: digest exchange is the first place filter
 // damage crosses a trust boundary. §7 shows an adversary who pollutes one
 // proxy's cache makes the *sibling* waste a round trip per false hit
@@ -141,6 +172,7 @@
 //	POST   /v2/filters/{name}/route        routing verdict: local, peer or origin
 //	GET    /v2/filters/{name}/peers        per-peer digest accounting
 //	POST   /v2/filters/{name}/peers/refresh  fetch every configured peer's digest now
+//	GET    /v2/filters/{name}/clients      per-client mutation accounting (ClientsReport)
 //	POST   /v1/{add,test,add-batch,test-batch}  shim over the "default" filter
 //	GET    /v1/{stats,info}                     shim over the "default" filter
 //

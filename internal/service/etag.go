@@ -1,0 +1,66 @@
+package service
+
+import "strings"
+
+// etagMatch reports whether an If-None-Match header value matches current,
+// this server's entity tag for the representation. RFC 9110 §13.1.2: the
+// field is either `*` (matches any current representation) or a
+// comma-separated list of entity-tags, each optionally a weak validator
+// (`W/"..."`); If-None-Match uses weak comparison, under which W/"x" and
+// "x" are equal. Exact string equality — what this function replaces —
+// silently failed all three forms, so intermediaries holding a valid tag
+// kept refetching full digests.
+func etagMatch(header, current string) bool {
+	current = strings.TrimPrefix(current, "W/")
+	for _, cand := range splitETags(header) {
+		if cand == "*" {
+			return true
+		}
+		if strings.TrimPrefix(cand, "W/") == current {
+			return true
+		}
+	}
+	return false
+}
+
+// splitETags tokenizes an If-None-Match value into entity-tags. Tags are
+// quoted strings (optionally W/-prefixed) separated by commas and optional
+// whitespace. The quotes delimit the tag, and RFC 9110's etagc grammar
+// permits commas *inside* them — so tokenization walks the quoting rather
+// than splitting on commas. Anything malformed is kept as an opaque token:
+// it simply won't compare equal to a well-formed server tag.
+func splitETags(v string) []string {
+	var out []string
+	for i, n := 0, len(v); i < n; {
+		for i < n && (v[i] == ' ' || v[i] == '\t' || v[i] == ',') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		if v[i] == '*' {
+			out = append(out, "*")
+			i++
+			continue
+		}
+		if v[i] == 'W' && i+1 < n && v[i+1] == '/' {
+			i += 2
+		}
+		if i < n && v[i] == '"' {
+			for i++; i < n && v[i] != '"'; i++ {
+			}
+			if i < n {
+				i++ // closing quote
+			}
+			out = append(out, v[start:i])
+			continue
+		}
+		// Unquoted garbage: take the run up to the next comma as one token.
+		for i < n && v[i] != ',' {
+			i++
+		}
+		out = append(out, strings.TrimSpace(v[start:i]))
+	}
+	return out
+}

@@ -44,8 +44,6 @@ const (
 	DefaultPeerJitter = 0.2
 	// staleFactor × Refresh with no successful update marks a digest stale.
 	staleFactor = 3
-	// maxPeerLabel bounds pushed-peer labels.
-	maxPeerLabel = 128
 	// MaxPushedPeers caps how many pushed digests one filter retains. Push
 	// is an unauthenticated endpoint, so like filter creation it must not
 	// let a stranger grow server memory without bound.
@@ -312,11 +310,32 @@ func (p *Peers) fetchOne(w *peerWatch, st *peerDigest) {
 		w.mu.Unlock()
 	case http.StatusOK:
 		d, err := readEnvelope(resp.Body)
+		if err != nil {
+			// A decode failure can leave unread payload behind; drain it
+			// (bounded) so the keep-alive connection survives the error.
+			drainBody(resp.Body)
+		}
 		p.record(w, st, d, resp.Header.Get("ETag"), err)
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		// Drain the (bounded) remainder before the deferred Close: a body
+		// closed with bytes still unread discards the whole keep-alive
+		// connection, so a flapping peer answering long errors would force
+		// a fresh TCP(+TLS) dial on every refresh tick.
+		drainBody(resp.Body)
 		p.record(w, st, nil, "", fmt.Errorf("peer answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg))))
 	}
+}
+
+// maxErrorDrain bounds how much of a failed exchange's body is read to
+// rescue the connection; past it, dropping the connection is cheaper than
+// downloading a peer's endless error.
+const maxErrorDrain = 64 << 10
+
+// drainBody consumes at most maxErrorDrain of rd so the transport can
+// return the connection to its idle pool.
+func drainBody(rd io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(rd, maxErrorDrain)) //nolint:errcheck // best-effort connection rescue
 }
 
 // record folds a completed (non-304) exchange into a peer's accounting.
@@ -386,8 +405,12 @@ func (p *Peers) RefreshNow(name string) ([]PeerStatus, error) {
 // buffered, and the reservation is filled or rolled back — a pusher cannot
 // make the node hold more digest bytes than the budget it was granted.
 func (p *Peers) Push(name, label string, rd io.Reader) (PeerStatus, error) {
-	if label == "" || len(label) > maxPeerLabel {
-		return PeerStatus{}, fmt.Errorf("service: peer label must be 1..%d bytes", maxPeerLabel)
+	// Labels are retained as map keys and echoed through the peers JSON, so
+	// they follow the filter-name rule (bounded length, no control or
+	// separator characters). The HTTP layer rejects bad labels with 400
+	// before reaching here; this guards direct callers.
+	if !ValidFilterName(label) {
+		return PeerStatus{}, fmt.Errorf("service: invalid peer label %q (want %s)", label, filterName)
 	}
 	p.mu.Lock()
 	w := p.watches[name]

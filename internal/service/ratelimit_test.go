@@ -1,0 +1,582 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock pins a limiter to a settable instant so token arithmetic is
+// exact in tests.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestLimiter builds a configured limiter on a manual clock.
+func newTestLimiter(t *testing.T, cfg RateLimitConfig) (*Limiter, *manualClock) {
+	t.Helper()
+	l := newLimiter()
+	clock := newManualClock()
+	l.now = clock.now
+	if err := l.configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Tables exist only for published filters; provision the names the
+	// tests charge against, as the registry does at publish time.
+	for _, f := range []string{"f", "g", "fa", "fb"} {
+		l.watch(f)
+	}
+	return l, clock
+}
+
+// The token bucket must be exact: burst spends, per-second refill, a hard
+// cap at burst, and Retry-After answers that name the precise deficit.
+func TestLimiterTokenBucketExact(t *testing.T) {
+	l, clock := newTestLimiter(t, RateLimitConfig{MutationsPerSec: 2, Burst: 4})
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.Allow("f", "alice", 1); !ok {
+			t.Fatalf("allow %d within burst refused", i)
+		}
+	}
+	ok, retry := l.Allow("f", "alice", 1)
+	if ok || retry != 500*time.Millisecond {
+		t.Fatalf("spent bucket: ok=%v retry=%v, want refused in 500ms", ok, retry)
+	}
+
+	// 1s at 2/s refills 2 tokens: a 2-item batch fits, 3 do not.
+	clock.advance(time.Second)
+	if ok, _ := l.Allow("f", "alice", 2); !ok {
+		t.Fatal("refilled tokens not granted")
+	}
+	if ok, retry := l.Allow("f", "alice", 3); ok || retry != 1500*time.Millisecond {
+		t.Fatalf("3-item batch on empty bucket: ok=%v retry=%v, want refused in 1.5s", ok, retry)
+	}
+
+	// Refill caps at burst: a long idle stretch earns burst, not rate×dt.
+	clock.advance(time.Hour)
+	if ok, _ := l.Allow("f", "alice", 4); !ok {
+		t.Fatal("full burst after long idle refused")
+	}
+	if ok, _ := l.Allow("f", "alice", 1); ok {
+		t.Fatal("tokens beyond burst were accumulated")
+	}
+
+	// A charge larger than the burst can never succeed; the retry answer
+	// still names the full deficit's refill time.
+	clock.advance(time.Hour)
+	if ok, retry := l.Allow("f", "alice", 10); ok || retry != 3*time.Second {
+		t.Fatalf("over-burst batch: ok=%v retry=%v, want refused in 3s", ok, retry)
+	}
+
+	// Throttled charges consume nothing: the burst is still intact.
+	if ok, _ := l.Allow("f", "alice", 4); !ok {
+		t.Fatal("refused charge consumed tokens")
+	}
+
+	// Budgets are per client and per filter: fresh identities and fresh
+	// filters start with a full burst.
+	if ok, _ := l.Allow("f", "bob", 4); !ok {
+		t.Fatal("second client shares the first client's bucket")
+	}
+	if ok, _ := l.Allow("g", "alice", 4); !ok {
+		t.Fatal("second filter shares the first filter's bucket")
+	}
+}
+
+func TestLimiterConfigValidation(t *testing.T) {
+	bad := []RateLimitConfig{
+		{MutationsPerSec: -1},
+		{MutationsPerSec: 1, Burst: -2},
+		{Burst: 5}, // burst without a rate throttles nothing
+		{MutationsPerSec: 1, MaxClients: -3},
+	}
+	for _, cfg := range bad {
+		if err := newLimiter().configure(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	l := newLimiter()
+	l.watch("f")
+	if err := l.configure(RateLimitConfig{MutationsPerSec: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Burst defaults to one second of budget...
+	if ok, _ := l.Allow("f", "c", 5); !ok {
+		t.Error("default burst below one second of budget")
+	}
+	if ok, _ := l.Allow("f", "c", 1); ok {
+		t.Error("default burst above one second of budget")
+	}
+	// ...and configuration is one-shot.
+	if err := l.configure(RateLimitConfig{MutationsPerSec: 1}); err == nil {
+		t.Error("reconfiguration accepted")
+	}
+}
+
+// Without a configured budget the limiter is pure accounting: everything is
+// allowed, and the attribution table still fills.
+func TestLimiterAccountingOnly(t *testing.T) {
+	l := newLimiter()
+	l.watch("f")
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("f", "bulk", 10); !ok {
+			t.Fatal("accounting-only limiter refused a mutation")
+		}
+	}
+	rep := l.Clients("f")
+	if rep.Enabled {
+		t.Error("unconfigured limiter reports throttling enabled")
+	}
+	if len(rep.Clients) != 1 || rep.Clients[0].Client != "bulk" || rep.Clients[0].Allowed != 1000 {
+		t.Errorf("accounting table: %+v", rep.Clients)
+	}
+	st := l.FilterStats("f")
+	if st.AllowedMutations != 1000 || st.ThrottledMutations != 0 || st.Clients != 1 {
+		t.Errorf("aggregate: %+v", st)
+	}
+}
+
+// The accounting table is bounded: beyond MaxClients the least-recently
+// seen identity is evicted, with its counts folded into the aggregate so
+// identity churn loses no attribution total.
+func TestLimiterLRUEviction(t *testing.T) {
+	l, _ := newTestLimiter(t, RateLimitConfig{MutationsPerSec: 1, Burst: 2, MaxClients: 3})
+	for i := 0; i < 3; i++ {
+		l.Allow("f", fmt.Sprintf("c%d", i), 1)
+	}
+	l.Allow("f", "c0", 1) // touch c0: c1 becomes least recent
+	l.Allow("f", "c3", 1) // evicts c1
+	rep := l.Clients("f")
+	if len(rep.Clients) != 3 {
+		t.Fatalf("table holds %d clients, want 3", len(rep.Clients))
+	}
+	for _, cs := range rep.Clients {
+		if cs.Client == "c1" {
+			t.Error("least-recently-seen client survived eviction")
+		}
+	}
+	if rep.EvictedClients != 1 || rep.EvictedAllowed != 1 {
+		t.Errorf("eviction accounting: %+v", rep)
+	}
+	// The aggregate still totals every mutation ever allowed (5 singles).
+	if st := l.FilterStats("f"); st.AllowedMutations != 5 || st.EvictedClients != 1 {
+		t.Errorf("aggregate after eviction: %+v", st)
+	}
+
+	// Churning many identities through the table keeps it at the cap and
+	// preserves the exact total.
+	for i := 0; i < 500; i++ {
+		l.Allow("f", fmt.Sprintf("spoof-%d", i), 1)
+	}
+	rep = l.Clients("f")
+	if len(rep.Clients) != 3 {
+		t.Fatalf("churned table holds %d clients, want 3", len(rep.Clients))
+	}
+	var live uint64
+	for _, cs := range rep.Clients {
+		live += cs.Allowed + cs.Throttled
+	}
+	if total := live + rep.EvictedAllowed + rep.EvictedThrottled; total != 505 {
+		t.Errorf("attribution total %d after churn, want 505", total)
+	}
+}
+
+// Concurrent clients across several filters, with identity churn forcing
+// LRU eviction mid-traffic: under -race this exercises every lock, and the
+// allowed+throttled totals must exactly equal the charges submitted.
+func TestLimiterConcurrentAccounting(t *testing.T) {
+	l, _ := newTestLimiter(t, RateLimitConfig{MutationsPerSec: 1000, Burst: 50, MaxClients: 8})
+	const (
+		goroutines = 8
+		perG       = 300
+	)
+	filters := []string{"fa", "fb"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				filter := filters[i%len(filters)]
+				// A stable identity per goroutine plus a churning one, so
+				// eviction runs concurrently with charging.
+				id := fmt.Sprintf("worker-%d", g)
+				if i%5 == 0 {
+					id = fmt.Sprintf("churn-%d-%d", g, i)
+				}
+				l.Allow(filter, id, 1+i%3)
+				if i%50 == 0 {
+					l.Clients(filter)
+					l.FilterStats(filter)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var want uint64
+	for i := 0; i < perG; i++ {
+		want += uint64(1 + i%3)
+	}
+	want *= goroutines
+	var got uint64
+	for _, f := range filters {
+		st := l.FilterStats(f)
+		got += st.AllowedMutations + st.ThrottledMutations
+	}
+	if got != want {
+		t.Errorf("accounted %d mutations across filters, charged %d", got, want)
+	}
+}
+
+// rateTestServer boots a registry server with a frozen-clock rate limit.
+func rateTestServer(t *testing.T, cfg RateLimitConfig) (*httptest.Server, *Registry, *manualClock) {
+	t.Helper()
+	reg := NewRegistry()
+	clock := newManualClock()
+	reg.Limiter().now = clock.now
+	if err := reg.ConfigureRateLimit(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { reg.Close() }) //nolint:errcheck // memory-only
+	return ts, reg, clock
+}
+
+// postJSON posts raw JSON and returns status plus the Retry-After header.
+func postRaw(t *testing.T, url, body string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), string(buf[:n])
+}
+
+// Every mutation endpoint charges the client's per-filter budget — batches
+// per item — reads stay free, exhaustion answers 429 with an exact
+// Retry-After, and both the stats aggregate and the clients table attribute
+// the outcome. The clock is frozen, so the arithmetic is deterministic.
+func TestMutationEndpointsChargePerItem(t *testing.T) {
+	ts, _, _ := rateTestServer(t, RateLimitConfig{MutationsPerSec: 0.25, Burst: 10})
+	spec := `{"variant":"counting","shards":1,"shard_bits":256,"hash_count":4,"seed":3}`
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v2/filters/f", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v2/filters/f"
+
+	if code, _, body := postRaw(t, base+"/add", `{"item":"a"}`); code != http.StatusOK {
+		t.Fatalf("add: %d %s", code, body) // 9 tokens left
+	}
+	if code, _, _ := postRaw(t, base+"/add-batch", `{"items":["b","c","d","e"]}`); code != http.StatusOK {
+		t.Fatal("add-batch within budget refused") // 5 left
+	}
+	// Reads are free: they do not drain the bucket however many run.
+	for i := 0; i < 50; i++ {
+		if code, _, _ := postRaw(t, base+"/test", `{"item":"a"}`); code != http.StatusOK {
+			t.Fatal("test charged the mutation budget")
+		}
+	}
+	if code, _, _ := postRaw(t, base+"/test-batch", `{"items":["a","b"]}`); code != http.StatusOK {
+		t.Fatal("test-batch charged the mutation budget")
+	}
+	if code, _, _ := postRaw(t, base+"/remove", `{"item":"a"}`); code != http.StatusOK {
+		t.Fatal("remove within budget refused") // 4 left
+	}
+	// A refused removal (409) still spent its charge: the attempt was a
+	// mutation request, and §4.3 probing is exactly what gets accounted.
+	if code, _, _ := postRaw(t, base+"/remove", `{"item":"never-inserted-xyz"}`); code != http.StatusConflict {
+		t.Fatal("removal of absent item not refused") // 3 left
+	}
+	code, retry, body := postRaw(t, base+"/add-batch", `{"items":["f","g","h","i","j"]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("5-item batch on 3 tokens: %d %s", code, body)
+	}
+	// Deficit 2 at 0.25/s = 8s, exactly.
+	if retry != "8" {
+		t.Errorf("Retry-After %q, want 8", retry)
+	}
+	for i := 0; i < 3; i++ {
+		if code, _, _ := postRaw(t, base+"/add", fmt.Sprintf(`{"item":"k%d"}`, i)); code != http.StatusOK {
+			t.Fatal("remaining budget refused") // 0 left
+		}
+	}
+	if code, retry, _ = postRaw(t, base+"/add", `{"item":"z"}`); code != http.StatusTooManyRequests || retry != "4" {
+		t.Fatalf("spent bucket: status %d Retry-After %q, want 429/4", code, retry)
+	}
+	// Malformed requests cost nothing and never earn 429.
+	if code, _, _ := postRaw(t, base+"/add", `{"item":""}`); code != http.StatusBadRequest {
+		t.Error("empty item not rejected as 400")
+	}
+
+	// A digest push is a routing-state mutation: with the bucket empty it
+	// answers 429 too.
+	env, _, _ := getDigest(t, ts.URL, "f", "")
+	resp, err = http.Post(base+"/digest?peer=sib", "application/octet-stream", strings.NewReader(string(env)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("digest push on spent bucket: status %d, want 429", resp.StatusCode)
+	}
+
+	// Stats carry the aggregate; the clients endpoint attributes it.
+	var stats struct {
+		RateLimit RateLimitStats `json:"rate_limit"`
+	}
+	doJSON(t, "GET", base+"/stats", nil, &stats)
+	if !stats.RateLimit.Enabled || stats.RateLimit.AllowedMutations != 10 {
+		t.Errorf("stats rate_limit: %+v (want enabled, 10 allowed)", stats.RateLimit)
+	}
+	if stats.RateLimit.ThrottledMutations != 7 { // 5-batch + 1 add + 1 push
+		t.Errorf("stats throttled %d, want 7", stats.RateLimit.ThrottledMutations)
+	}
+	var clients ClientsReport
+	doJSON(t, "GET", base+"/clients", nil, &clients)
+	if len(clients.Clients) != 1 {
+		t.Fatalf("clients table: %+v", clients)
+	}
+	cs := clients.Clients[0]
+	if cs.Client != "127.0.0.1" || cs.Allowed != 10 || cs.Throttled != 7 {
+		t.Errorf("attribution: %+v, want 127.0.0.1 with 10 allowed / 7 throttled", cs)
+	}
+}
+
+// The /v1 shim's mutations charge the default filter's budgets — the
+// legacy surface is not a side door around rate limiting — and both API
+// generations spend from the same bucket.
+func TestV1ShimSharesDefaultBudget(t *testing.T) {
+	store, err := NewSharded(Config{Shards: 1, ShardBits: 256, HashCount: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	clock := newManualClock()
+	srv.Registry().Limiter().now = clock.now
+	if err := srv.Registry().ConfigureRateLimit(RateLimitConfig{MutationsPerSec: 0.5, Burst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	if code, _, _ := postRaw(t, ts.URL+"/v1/add", `{"item":"a"}`); code != http.StatusOK {
+		t.Fatal("v1 add within budget refused")
+	}
+	if code, _, _ := postRaw(t, ts.URL+"/v2/filters/default/add", `{"item":"b"}`); code != http.StatusOK {
+		t.Fatal("v2 default add within budget refused")
+	}
+	code, retry, _ := postRaw(t, ts.URL+"/v1/add", `{"item":"c"}`)
+	if code != http.StatusTooManyRequests || retry != "2" {
+		t.Fatalf("v1 add on a bucket spent across generations: %d retry %q, want 429/2", code, retry)
+	}
+	// Reads on the shim stay free.
+	if code, _, _ := postRaw(t, ts.URL+"/v1/test", `{"item":"a"}`); code != http.StatusOK {
+		t.Error("v1 test charged")
+	}
+	var clients ClientsReport
+	doJSON(t, "GET", ts.URL+"/v2/filters/default/clients", nil, &clients)
+	if len(clients.Clients) != 1 || clients.Clients[0].Allowed != 2 || clients.Clients[0].Throttled != 1 {
+		t.Errorf("cross-generation attribution: %+v", clients.Clients)
+	}
+}
+
+// Identity resolution: the transport address by default; header claims only
+// behind trust-proxy, and only well-formed ones.
+func TestClientIdentityResolution(t *testing.T) {
+	mk := func(remote string, hdr map[string]string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v2/filters/f/add", nil)
+		r.RemoteAddr = remote
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		return r
+	}
+	cases := []struct {
+		name       string
+		r          *http.Request
+		trustProxy bool
+		want       string
+	}{
+		{"remote addr", mk("10.1.2.3:555", nil), false, "10.1.2.3"},
+		{"headers ignored untrusted", mk("10.1.2.3:555", map[string]string{ClientIdentityHeader: "mallory"}), false, "10.1.2.3"},
+		{"client header trusted", mk("10.1.2.3:555", map[string]string{ClientIdentityHeader: "mallory"}), true, "mallory"},
+		{"client header beats xff", mk("10.1.2.3:555", map[string]string{ClientIdentityHeader: "m", "X-Forwarded-For": "9.9.9.9"}), true, "m"},
+		{"xff rightmost (nearest-proxy) hop", mk("10.1.2.3:555", map[string]string{"X-Forwarded-For": "evil-claim, 8.8.8.8"}), true, "8.8.8.8"},
+		{"xff single hop", mk("10.1.2.3:555", map[string]string{"X-Forwarded-For": "9.9.9.9"}), true, "9.9.9.9"},
+		{"control chars fall through", mk("10.1.2.3:555", map[string]string{ClientIdentityHeader: "a\x01b"}), true, "10.1.2.3"},
+		{"oversized falls through", mk("10.1.2.3:555", map[string]string{ClientIdentityHeader: strings.Repeat("x", 300)}), true, "10.1.2.3"},
+		{"ipv6 remote", mk("[::1]:555", nil), true, "::1"},
+	}
+	for _, tc := range cases {
+		if got := clientIdentity(tc.r, tc.trustProxy); got != tc.want {
+			t.Errorf("%s: identity %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// End to end: a -trust-proxy server separates header-claimed identities
+// into distinct buckets and attributes them by name.
+func TestTrustProxyIdentityHTTP(t *testing.T) {
+	ts, _, _ := rateTestServer(t, RateLimitConfig{MutationsPerSec: 0.25, Burst: 2, TrustProxy: true})
+	doJSON(t, "PUT", ts.URL+"/v2/filters/f", naiveSpec(1), nil)
+	add := func(identity, item string) int {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/filters/f/add",
+			strings.NewReader(fmt.Sprintf(`{"item":%q}`, item)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if identity != "" {
+			req.Header.Set(ClientIdentityHeader, identity)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for i := 0; i < 2; i++ {
+		if code := add("mallory", fmt.Sprintf("m%d", i)); code != http.StatusOK {
+			t.Fatal("mallory's burst refused")
+		}
+	}
+	if code := add("mallory", "m2"); code != http.StatusTooManyRequests {
+		t.Error("mallory's third add not throttled")
+	}
+	// A different claimed identity — and the bare transport address — still
+	// have their own budgets.
+	if code := add("alice", "a0"); code != http.StatusOK {
+		t.Error("alice throttled by mallory's spending")
+	}
+	if code := add("", "r0"); code != http.StatusOK {
+		t.Error("transport-identity client throttled by header identities")
+	}
+	var clients ClientsReport
+	doJSON(t, "GET", ts.URL+"/v2/filters/f/clients", nil, &clients)
+	if len(clients.Clients) != 3 {
+		t.Fatalf("identities tracked: %+v", clients.Clients)
+	}
+	// Most-throttled first: the offender tops the table.
+	if clients.Clients[0].Client != "mallory" || clients.Clients[0].Throttled != 1 {
+		t.Errorf("offender not named first: %+v", clients.Clients)
+	}
+}
+
+// Deleting a filter discards its accounting; a successor filter under the
+// same name starts clean, and a mutation racing the delete cannot
+// resurrect the dropped table.
+func TestLimiterDroppedOnDelete(t *testing.T) {
+	ts, reg, _ := rateTestServer(t, RateLimitConfig{MutationsPerSec: 1000, Burst: 1000})
+	doJSON(t, "PUT", ts.URL+"/v2/filters/f", naiveSpec(1), nil)
+	postRaw(t, ts.URL+"/v2/filters/f/add", `{"item":"a"}`)
+	if st := reg.Limiter().FilterStats("f"); st.AllowedMutations != 1 {
+		t.Fatalf("pre-delete accounting: %+v", st)
+	}
+	if err := reg.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.Limiter().FilterStats("f"); st.AllowedMutations != 0 {
+		t.Errorf("accounting survived filter deletion: %+v", st)
+	}
+	// An in-flight charge landing after the drop (a request that resolved
+	// the filter before Delete) is allowed without recording — it must not
+	// re-create the table and leak ghost counts into a successor filter.
+	if ok, _ := reg.Limiter().Allow("f", "straggler", 1); !ok {
+		t.Error("straggler mutation on a deleted filter throttled")
+	}
+	if st := reg.Limiter().FilterStats("f"); st.AllowedMutations != 0 || st.Clients != 0 {
+		t.Errorf("straggler resurrected the dropped table: %+v", st)
+	}
+	// A successor filter of the same name starts with a fresh table.
+	doJSON(t, "PUT", ts.URL+"/v2/filters/f", naiveSpec(1), nil)
+	postRaw(t, ts.URL+"/v2/filters/f/add", `{"item":"b"}`)
+	if st := reg.Limiter().FilterStats("f"); st.AllowedMutations != 1 {
+		t.Errorf("successor filter inherited stale accounting: %+v", st)
+	}
+}
+
+// A rejected digest push must not cost the pusher budget: the charge is
+// taken before the envelope can be parsed, so failures refund it — the
+// "malformed requests cost nothing" rule, restored after the fact.
+func TestDigestPushRefundsOnFailure(t *testing.T) {
+	ts, _, _ := rateTestServer(t, RateLimitConfig{MutationsPerSec: 0.25, Burst: 2})
+	doJSON(t, "PUT", ts.URL+"/v2/filters/f", naiveSpec(1), nil)
+	base := ts.URL + "/v2/filters/f"
+	// Two corrupt pushes against a burst of 2: each answers 400 and hands
+	// its charge back.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/digest?peer=sib", "application/octet-stream", strings.NewReader("garbage"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("corrupt push: status %d, want 400", resp.StatusCode)
+		}
+	}
+	// The full burst is still available for real mutations.
+	for i := 0; i < 2; i++ {
+		if code, _, _ := postRaw(t, base+"/add", fmt.Sprintf(`{"item":"a%d"}`, i)); code != http.StatusOK {
+			t.Fatalf("add %d refused: corrupt pushes consumed the budget", i)
+		}
+	}
+	var clients ClientsReport
+	doJSON(t, "GET", base+"/clients", nil, &clients)
+	if len(clients.Clients) != 1 || clients.Clients[0].Allowed != 2 {
+		t.Errorf("refund accounting: %+v (want 2 allowed — the failed pushes refunded)", clients.Clients)
+	}
+}
+
+// A pathologically small rate must clamp the Retry-After arithmetic
+// instead of overflowing time.Duration into nonsense.
+func TestRetryAfterClampedForTinyRates(t *testing.T) {
+	l, _ := newTestLimiter(t, RateLimitConfig{MutationsPerSec: 1e-12, Burst: 1})
+	if ok, _ := l.Allow("f", "c", 1); !ok {
+		t.Fatal("burst refused")
+	}
+	ok, retry := l.Allow("f", "c", 1)
+	if ok {
+		t.Fatal("second charge allowed")
+	}
+	if retry <= 0 {
+		t.Fatalf("Retry-After overflowed: %v", retry)
+	}
+	if want := time.Duration(maxRetrySeconds) * time.Second; retry != want {
+		t.Errorf("Retry-After %v, want the clamp %v", retry, want)
+	}
+}

@@ -121,6 +121,11 @@ type Registry struct {
 	// refresh work starts when the filter is published and stops inside
 	// Delete (and Close), so no goroutine outlives its filter.
 	peers *Peers
+	// limiter is the per-client mutation rate-limit and accounting
+	// subsystem. Always present — accounting runs on every registry so
+	// pollution can be attributed; throttling engages only once
+	// ConfigureRateLimit installs a budget.
+	limiter *Limiter
 }
 
 // NewRegistry returns an empty registry.
@@ -129,6 +134,7 @@ func NewRegistry() *Registry {
 		filters:  make(map[string]*Filter),
 		reserved: make(map[string]uint64),
 		peers:    newPeers(),
+		limiter:  newLimiter(),
 	}
 }
 
@@ -139,6 +145,14 @@ func (r *Registry) Peers() *Peers { return r.peers }
 // current and future filter periodically fetches each peer's same-named
 // filter's digest. One-shot; call before serving traffic.
 func (r *Registry) ConfigurePeers(cfg PeerConfig) error { return r.peers.configure(cfg) }
+
+// Limiter returns the mutation rate-limit and accounting subsystem.
+func (r *Registry) Limiter() *Limiter { return r.limiter }
+
+// ConfigureRateLimit installs per-client mutation budgets (and accounting
+// bounds) for every filter in the registry. One-shot; call before serving
+// traffic.
+func (r *Registry) ConfigureRateLimit(cfg RateLimitConfig) error { return r.limiter.configure(cfg) }
 
 // storageBits resolves a defaulted Config's total filter storage in bits
 // (shards × shard_bits × counter width), rejecting any geometry over
@@ -277,8 +291,10 @@ func (r *Registry) createReserved(name string, cfg Config, bits uint64, snap []b
 		f.persist = p
 	}
 	// Watch before publishing: the name is still reserved, so no Delete can
-	// race in between and orphan a just-started refresh loop.
+	// race in between and orphan a just-started refresh loop (or a
+	// just-provisioned accounting table).
 	r.peers.watch(name)
+	r.limiter.watch(name)
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.filters[name] = f
@@ -384,6 +400,7 @@ func (r *Registry) Adopt(name string, store *Sharded) (*Filter, error) {
 		f.persist = p
 	}
 	r.peers.watch(name) // before publish: the reservation shields the race with Delete
+	r.limiter.watch(name)
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.bits += bits
@@ -427,6 +444,7 @@ func (r *Registry) Delete(name string) error {
 	}
 	r.mu.Unlock()
 	r.peers.unwatch(name)
+	r.limiter.drop(name)
 	if f.persist != nil {
 		f.persist.Close() //nolint:errcheck // directory is removed next
 		err := f.persist.remove()
@@ -505,6 +523,7 @@ func (r *Registry) loadPersisted(name string) error {
 	store.SetJournal(p)
 	f := &Filter{name: name, store: store, bits: bits, persist: p}
 	r.peers.watch(name) // before publish: the reservation shields the race with Delete
+	r.limiter.watch(name)
 	r.mu.Lock()
 	delete(r.reserved, name)
 	r.filters[name] = f

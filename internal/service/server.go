@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"evilbloom/internal/cachedigest"
 	"evilbloom/internal/core"
@@ -321,6 +324,15 @@ func filterInfo(f *Filter) FilterInfo {
 //	POST   /v2/filters/{name}/route        {"item": s} -> RouteResponse
 //	GET    /v2/filters/{name}/peers        -> {"peers": [PeerStatus...]}
 //	POST   /v2/filters/{name}/peers/refresh   fetch every configured peer now
+//	GET    /v2/filters/{name}/clients      -> ClientsReport (per-client mutation accounting)
+//
+// Every mutation (add, add-batch, remove, remove-batch, digest push) is
+// charged to the requesting client's per-filter budget; batches charge per
+// item. With rate limiting configured (Registry.ConfigureRateLimit,
+// `evilbloom serve -rate-mutations`) an exhausted budget answers 429 with a
+// Retry-After header and nothing is applied. Accounting runs even without a
+// budget, so the clients endpoint attributes pollution on every server; the
+// stats endpoint carries the aggregate under "rate_limit".
 //
 // remove/remove-batch need the Remover capability (variant=counting) and
 // answer 405 with a capability error otherwise; a single remove of an item
@@ -354,10 +366,10 @@ type Server struct {
 // NewRegistryServer wraps a filter registry in the full v1+v2 HTTP API.
 func NewRegistryServer(reg *Registry) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/add", s.v1(handleAdd))
-	s.mux.HandleFunc("/v1/test", s.v1(handleTest))
-	s.mux.HandleFunc("/v1/add-batch", s.v1(handleAddBatch))
-	s.mux.HandleFunc("/v1/test-batch", s.v1(handleTestBatch))
+	s.mux.HandleFunc("/v1/add", s.v1(s.handleAdd))
+	s.mux.HandleFunc("/v1/test", s.v1(s.handleTest))
+	s.mux.HandleFunc("/v1/add-batch", s.v1(s.handleAddBatch))
+	s.mux.HandleFunc("/v1/test-batch", s.v1(s.handleTestBatch))
 	s.mux.HandleFunc("/v1/stats", s.handleStatsV1)
 	s.mux.HandleFunc("/v1/info", s.handleInfoV1)
 	s.mux.HandleFunc("/v2/filters", s.handleFilters)
@@ -405,14 +417,17 @@ func (s *Server) defaultStore(w http.ResponseWriter) (*Sharded, bool) {
 	return f.Store(), true
 }
 
-// v1 adapts a store-level item handler to the /v1 shim.
-func (s *Server) v1(h func(http.ResponseWriter, *http.Request, *Sharded)) http.HandlerFunc {
+// v1 adapts an item handler to the /v1 shim. The filter name rides along
+// so the shim's mutations charge the same per-client budgets as the
+// default filter's /v2 endpoints — legacy clients get no side door around
+// rate limiting.
+func (s *Server) v1(h func(http.ResponseWriter, *http.Request, string, *Sharded)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.defaultStore(w)
 		if !ok {
 			return
 		}
-		h(w, r, st)
+		h(w, r, DefaultFilterName, st)
 	}
 }
 
@@ -552,23 +567,34 @@ func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
 	st := f.Store()
 	switch op := r.PathValue("op"); op {
 	case "add":
-		handleAdd(w, r, st)
+		s.handleAdd(w, r, f.Name(), st)
 	case "test":
-		handleTest(w, r, st)
+		s.handleTest(w, r, f.Name(), st)
 	case "add-batch":
-		handleAddBatch(w, r, st)
+		s.handleAddBatch(w, r, f.Name(), st)
 	case "test-batch":
-		handleTestBatch(w, r, st)
+		s.handleTestBatch(w, r, f.Name(), st)
 	case "remove":
-		handleRemove(w, r, st)
+		s.handleRemove(w, r, f.Name(), st)
 	case "remove-batch":
-		handleRemoveBatch(w, r, st)
+		s.handleRemoveBatch(w, r, f.Name(), st)
 	case "stats":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, st.Stats())
+		// The filter's own statistics plus the rate-limit aggregate, so one
+		// scrape shows both the damage and who was allowed to do it.
+		writeJSON(w, http.StatusOK, struct {
+			Stats
+			RateLimit RateLimitStats `json:"rate_limit"`
+		}{st.Stats(), s.reg.Limiter().FilterStats(f.Name())})
+	case "clients":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.reg.Limiter().Clients(f.Name()))
 	case "info":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -590,7 +616,32 @@ func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleAdd(w http.ResponseWriter, r *http.Request, st *Sharded) {
+// allowMutation charges n mutations on filter to the requesting client,
+// answering 429 with a Retry-After itself when the budget is exhausted.
+// The charge happens after the request is validated (malformed requests
+// cost nothing) and before any state changes.
+func (s *Server) allowMutation(w http.ResponseWriter, r *http.Request, filter string, n int) bool {
+	lim := s.reg.Limiter()
+	ok, retry := lim.Allow(filter, clientIdentity(r, lim.TrustProxy()), n)
+	if !ok {
+		writeThrottled(w, filter, n, retry)
+	}
+	return ok
+}
+
+// writeThrottled answers an exhausted mutation budget: 429 plus the
+// Retry-After the limiter computed, floored at one second.
+func writeThrottled(w http.ResponseWriter, filter string, n int, retry time.Duration) {
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("mutation budget exhausted for filter %q (%d mutation(s) requested); retry after %ds", filter, n, secs))
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
@@ -598,11 +649,14 @@ func handleAdd(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	if !checkItem(w, req.Item) {
 		return
 	}
+	if !s.allowMutation(w, r, name, 1) {
+		return
+	}
 	st.Add([]byte(req.Item))
 	writeJSON(w, http.StatusOK, addResponse{Added: 1, Count: st.Count()})
 }
 
-func handleTest(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request, _ string, st *Sharded) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
@@ -613,7 +667,7 @@ func handleTest(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	writeJSON(w, http.StatusOK, testResponse{Present: st.Test([]byte(req.Item))})
 }
 
-func handleAddBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
@@ -622,11 +676,16 @@ func handleAddBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	if !ok {
 		return
 	}
+	// Batches charge per item: the pollution a batch can do scales with its
+	// size, so a 10000-item batch must not cost what a single add does.
+	if !s.allowMutation(w, r, name, len(items)) {
+		return
+	}
 	st.AddBatch(items)
 	writeJSON(w, http.StatusOK, addResponse{Added: len(items), Count: st.Count()})
 }
 
-func handleTestBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleTestBatch(w http.ResponseWriter, r *http.Request, _ string, st *Sharded) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
@@ -639,12 +698,15 @@ func handleTestBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	writeJSON(w, http.StatusOK, testBatchResponse{Present: present})
 }
 
-func handleRemove(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
 	}
 	if !checkItem(w, req.Item) {
+		return
+	}
+	if !s.allowMutation(w, r, name, 1) {
 		return
 	}
 	removed, err := st.Remove([]byte(req.Item))
@@ -658,13 +720,16 @@ func handleRemove(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	writeJSON(w, http.StatusOK, removeResponse{Removed: 1, Count: st.Count()})
 }
 
-func handleRemoveBatch(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleRemoveBatch(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
 	}
 	items, ok := checkBatch(w, req.Items)
 	if !ok {
+		return
+	}
+	if !s.allowMutation(w, r, name, len(items)) {
 		return
 	}
 	removed, err := st.RemoveBatch(items)
@@ -753,11 +818,16 @@ func digestETag(st *Sharded, gen uint64) string {
 
 func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, st *Sharded) {
 	// The conditional check reads only the O(shards) generation counter;
-	// an unchanged filter never pays for digest serialization.
-	if match := r.Header.Get("If-None-Match"); match != "" && match == digestETag(st, st.Generation()) {
-		w.Header().Set("ETag", match)
-		w.WriteHeader(http.StatusNotModified)
-		return
+	// an unchanged filter never pays for digest serialization. Matching is
+	// RFC 9110 If-None-Match semantics, not string equality: intermediaries
+	// legitimately send `*`, weak `W/"..."` forms and comma-joined lists of
+	// every tag they hold, and all of them must be able to earn the 304.
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		if current := digestETag(st, st.Generation()); etagMatch(match, current) {
+			w.Header().Set("ETag", current)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 	}
 	blob, gen, err := st.DigestEnvelope()
 	switch {
@@ -781,8 +851,34 @@ func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, f *Fil
 		writeError(w, http.StatusBadRequest, "peer query parameter required: which sibling does this digest describe?")
 		return
 	}
+	// Labels become map keys echoed back through the peers JSON, so they
+	// obey the same length/charset rule as filter names — an arbitrary
+	// control-character label is 400, not a stored key.
+	if !ValidFilterName(label) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid peer label %q: labels follow the filter-name rule (%s)", label, filterName))
+		return
+	}
+	// A pushed digest mutates this node's routing state, so it spends from
+	// the pusher's mutation budget like any other write. Unlike add/remove,
+	// the envelope can only be validated inside Push, so the charge is
+	// taken up front and refunded on any failure — a rejected push must not
+	// have cost the pusher budget or shown up as an allowed mutation.
+	// (One mutation per push, whatever the digest's size: a digest's
+	// routing leverage is bounded by the separate MaxPushedPeers /
+	// MaxPushedDigestBits retention budget, and pricing the §7 poison out
+	// of reach is the per-peer-authentication rung above this one.)
+	lim := s.reg.Limiter()
+	client := clientIdentity(r, lim.TrustProxy())
+	if ok, retry := lim.Allow(f.Name(), client, 1); !ok {
+		writeThrottled(w, f.Name(), 1, retry)
+		return
+	}
 	status, err := s.reg.Peers().Push(f.Name(), label,
 		http.MaxBytesReader(w, r.Body, int64(MaxSnapshotBytes)))
+	if err != nil {
+		lim.Refund(f.Name(), client, 1)
+	}
 	switch {
 	case errors.Is(err, cachedigest.ErrEnvelopeUnusable), errors.Is(err, ErrPushedDigestLimit):
 		writeError(w, http.StatusConflict, err.Error())

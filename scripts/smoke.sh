@@ -22,6 +22,7 @@ DATA="$(dirname "$BIN")/data"
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
   [[ -n "${SERVER_B_PID:-}" ]] && kill "$SERVER_B_PID" 2>/dev/null || true
+  [[ -n "${SERVER_C_PID:-}" ]] && kill "$SERVER_C_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -94,7 +95,11 @@ say "compacting the smoke filter (snapshot + log rotation)"
 curl -sf -X POST "$BASE/v2/filters/smoke/compact" | grep -q '"compacted":true' || fail "compact failed"
 say "adding one post-compact item so the restart replays snapshot + log"
 curl -sf -X POST "$BASE/v2/filters/smoke/add" -d '{"item":"post-compact"}' | grep -q '"added":1' || fail "post-compact add failed"
-STATS_BEFORE=$(curl -sf "$BASE/v2/filters/smoke/stats")
+# Filter state survives restarts byte-identically; the in-memory rate-limit
+# accounting (the flat "rate_limit" object in stats) deliberately does not,
+# so it is stripped from the comparison.
+filter_stats() { curl -sf "$BASE/v2/filters/smoke/stats" | sed 's/"rate_limit":{[^}]*}//'; }
+STATS_BEFORE=$(filter_stats)
 
 say "SIGTERM: graceful drain and durable-state flush"
 kill -TERM "$SERVER_PID"
@@ -108,7 +113,7 @@ wait_ready
 grep -q "recovered 2 filter(s)" "$LOG" || fail "restart did not recover both filters"
 
 say "verifying stats survived the restart byte-identically"
-STATS_AFTER=$(curl -sf "$BASE/v2/filters/smoke/stats")
+STATS_AFTER=$(filter_stats)
 [[ "$STATS_BEFORE" == "$STATS_AFTER" ]] || fail "stats changed across restart:
   before: $STATS_BEFORE
   after:  $STATS_AFTER"
@@ -204,5 +209,68 @@ say "$GHOSTS_AFTER/20 ghost probes misdirected after pollution (§7: 79% vs 40%)
 say "stopping peer server B"
 kill -TERM "$SERVER_B_PID"
 wait "$SERVER_B_PID" || fail "server B exited non-zero on SIGTERM"
+
+# ---------------------------------------------------------------------------
+# Rate-limited mutation plane: a third server throttles per-client mutations
+# (-rate-mutations, practically zero refill so the arithmetic is exact). A
+# burst of ghost adds spends the budget, the overflow answers 429 with a
+# Retry-After, and the accounting endpoint names the offending client.
+
+say "=== rate-limited mutation plane ==="
+C_ADDR="127.0.0.1:${SMOKE_PORT3:-18381}"
+C_BASE="http://$C_ADDR"
+LOG_C="$(dirname "$BIN")/serve-c.log"
+
+say "starting rate-limited server C on $C_ADDR (-rate-mutations 0.01 -rate-burst 5)"
+"$BIN" serve -addr "$C_ADDR" -rate-mutations 0.01 -rate-burst 5 >"$LOG_C" 2>&1 &
+SERVER_C_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$C_BASE/v1/info" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_C_PID" 2>/dev/null || { LOG="$LOG_C" fail "server C exited during startup"; }
+  sleep 0.1
+done
+curl -sf "$C_BASE/v1/info" >/dev/null || fail "server C never came up"
+
+say "bursting 12 ghost adds at the default filter"
+OK_COUNT=0
+THROTTLED=0
+RETRY_SEEN=""
+for i in $(seq 1 12); do
+  HDRS="$(dirname "$BIN")/rate-hdrs.txt"
+  CODE=$(curl -s -D "$HDRS" -o /dev/null -w '%{http_code}' \
+    -X POST "$C_BASE/v2/filters/default/add" -d "{\"item\":\"burst-ghost-$i\"}")
+  case "$CODE" in
+    200) OK_COUNT=$((OK_COUNT + 1)) ;;
+    429)
+      THROTTLED=$((THROTTLED + 1))
+      grep -qi '^retry-after: ' "$HDRS" && RETRY_SEEN=yes
+      ;;
+    *) fail "burst add $i answered $CODE" ;;
+  esac
+done
+say "burst outcome: $OK_COUNT accepted, $THROTTLED throttled"
+[[ "$OK_COUNT" == "5" ]] || fail "burst allowed $OK_COUNT adds, want exactly the burst of 5"
+[[ "$THROTTLED" == "7" ]] || fail "burst throttled $THROTTLED adds, want 7"
+[[ "$RETRY_SEEN" == "yes" ]] || fail "429 answers carried no Retry-After header"
+
+say "the v1 shim shares the same spent budget"
+V1_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$C_BASE/v1/add" -d '{"item":"v1-ghost"}')
+[[ "$V1_CODE" == "429" ]] || fail "v1 add on a spent budget answered $V1_CODE, want 429"
+
+say "the accounting endpoint names the offender"
+CLIENTS=$(curl -sf "$C_BASE/v2/filters/default/clients")
+echo "$CLIENTS" | grep -q '"client":"127.0.0.1"' || fail "offender not named: $CLIENTS"
+echo "$CLIENTS" | grep -q '"allowed":5' || fail "allowed count wrong: $CLIENTS"
+echo "$CLIENTS" | grep -q '"throttled":8' || fail "throttled count wrong: $CLIENTS"
+curl -sf "$C_BASE/v2/filters/default/stats" | grep -q '"throttled_mutations":8' \
+  || fail "stats missing the throttle aggregate"
+
+say "reads stay free on a spent budget"
+curl -sf -X POST "$C_BASE/v2/filters/default/test" -d '{"item":"burst-ghost-1"}' \
+  | grep -q '"present"' || fail "test endpoint throttled"
+
+say "stopping rate-limited server C"
+kill -TERM "$SERVER_C_PID"
+wait "$SERVER_C_PID" || fail "server C exited non-zero on SIGTERM"
 
 say "OK"
