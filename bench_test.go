@@ -15,9 +15,17 @@
 // Ablations (DESIGN.md §4): BenchmarkAblation*.
 //
 // Service layer (§8 served live): BenchmarkServiceShardedVsSynced compares
-// the sharded striped-lock store against the single-mutex Synced wrapper
-// under parallel mixed load; internal/service's own bench_test.go has the
-// full matrix (stripe counts, hardened hashing, monitored workloads).
+// the sharded striped-lock store against the single-mutex Synced wrapper —
+// plus the lock-free read path against its RLock baseline and the blocked
+// (cache-line-local) variant — under parallel mixed load; internal/service's
+// own bench_test.go has the full matrix (stripe counts, hardened hashing,
+// monitored workloads).
+//
+// Results feed the committed BENCH_<date>.json in the same schema the HTTP
+// load generator writes:
+//
+//	go test -bench . -run '^$' | evilbloom bench-import
+//	evilbloom bench-verify BENCH_<date>.json
 package evilbloom
 
 import (
@@ -639,8 +647,9 @@ func BenchmarkServiceShardedVsSynced(b *testing.B) {
 			func(it []byte) bool { mu.Lock(); ok := filter.Test(it); mu.Unlock(); return ok },
 			func() { mu.Lock(); _ = filter.Weight(); mu.Unlock() })
 	})
-	b.Run("sharded-16", func(b *testing.B) {
+	newSharded := func(b *testing.B, variant service.Variant) *service.Sharded {
 		s, err := service.NewSharded(service.Config{
+			Variant:   variant,
 			Shards:    16,
 			ShardBits: totalBits / 16,
 			HashCount: k,
@@ -651,6 +660,23 @@ func BenchmarkServiceShardedVsSynced(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		return s
+	}
+	b.Run("sharded-16", func(b *testing.B) {
+		s := newSharded(b, service.VariantBloom)
+		run(b, s.Add, s.Test, func() { s.Stats() })
+	})
+	// The RLock baseline for the lock-free read path: identical store and
+	// load, Test forced back under the striped read lock.
+	b.Run("sharded-16-rlock-reads", func(b *testing.B) {
+		s := newSharded(b, service.VariantBloom)
+		s.SetLockFreeReads(false)
+		run(b, s.Add, s.Test, func() { s.Stats() })
+	})
+	// The blocked variant: all k probes of an item inside one 512-bit block,
+	// one cache miss per operation instead of up to k.
+	b.Run("blocked-16", func(b *testing.B) {
+		s := newSharded(b, service.VariantBlocked)
 		run(b, s.Add, s.Test, func() { s.Stats() })
 	})
 }

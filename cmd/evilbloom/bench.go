@@ -1,0 +1,443 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"evilbloom/internal/benchfmt"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// bench-serve: an HTTP load generator for the registry — N connections,
+// each shipping pipelined (batched) mixed add/test/remove requests, with
+// per-request latency percentiles and aggregate throughput reported in the
+// shared benchfmt schema. By default it spins up an in-process registry
+// server on a loopback port so one command measures the full HTTP path;
+// -url points it at an already-running server instead.
+
+// benchServeFlags collects the bench-serve knobs.
+type benchServeFlags struct {
+	fs         *flag.FlagSet
+	conns      *int
+	pipeline   *int
+	duration   *time.Duration
+	mix        *string
+	variant    *string
+	shards     *int
+	shardBits  *uint64
+	hashCount  *int
+	seed       *uint64
+	items      *int
+	url        *string
+	rlockReads *bool
+	name       *string
+	out        *string
+}
+
+func newBenchServeFlagSet() *benchServeFlags {
+	fs := flag.NewFlagSet("bench-serve", flag.ContinueOnError)
+	return &benchServeFlags{
+		fs:         fs,
+		conns:      fs.Int("conns", 8, "concurrent client connections"),
+		pipeline:   fs.Int("pipeline", 16, "items per request (batch depth; the pipelined unit)"),
+		duration:   fs.Duration("duration", 3*time.Second, "measurement duration"),
+		mix:        fs.String("mix", "test=0.9,add=0.1,remove=0", "operation mix as op=weight pairs"),
+		variant:    fs.String("variant", "bloom", "filter backend: bloom, counting or blocked"),
+		shards:     fs.Int("shards", 8, "shard count (power of two)"),
+		shardBits:  fs.Uint64("shard-bits", 1<<20, "bits per shard (blocked rounds up to a multiple of 512)"),
+		hashCount:  fs.Int("hashes", 4, "hash functions per item (k)"),
+		seed:       fs.Uint64("seed", 42, "deterministic seed for the filter and the workload"),
+		items:      fs.Int("items", 50000, "distinct items in the workload pool"),
+		url:        fs.String("url", "", "benchmark an already-running server at this base URL instead of in-process"),
+		rlockReads: fs.Bool("rlock-reads", false, "disable the lock-free read path (RLock baseline; in-process only)"),
+		name:       fs.String("name", "", "run name in the report (default serve/<variant>/mixed[+rlock])"),
+		out:        fs.String("out", "", "report path to merge into (default BENCH_<today>.json)"),
+	}
+}
+
+// opMix is a normalized operation mix with cumulative thresholds for
+// sampling: a uniform draw in [0,1) lands in an op's slot.
+type opMix struct {
+	ops  []string
+	cums []float64
+}
+
+func parseMix(s string) (opMix, error) {
+	weights := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return opMix{}, fmt.Errorf("mix entry %q is not op=weight", part)
+		}
+		switch k {
+		case "test", "add", "remove":
+		default:
+			return opMix{}, fmt.Errorf("unknown op %q in mix (want test, add or remove)", k)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return opMix{}, fmt.Errorf("bad weight %q for op %q", v, k)
+		}
+		if _, dup := weights[k]; dup {
+			return opMix{}, fmt.Errorf("op %q repeated in mix", k)
+		}
+		weights[k] = w
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return opMix{}, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	// Deterministic op order keeps the threshold layout stable across runs.
+	names := make([]string, 0, len(weights))
+	for k, w := range weights {
+		if w > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	m := opMix{}
+	var cum float64
+	for _, k := range names {
+		cum += weights[k] / total
+		m.ops = append(m.ops, k)
+		m.cums = append(m.cums, cum)
+	}
+	m.cums[len(m.cums)-1] = 1 // guard against float drift
+	return m, nil
+}
+
+func (m opMix) pick(r *rand.Rand) string {
+	f := r.Float64()
+	for i, c := range m.cums {
+		if f < c {
+			return m.ops[i]
+		}
+	}
+	return m.ops[len(m.ops)-1]
+}
+
+func (m opMix) has(op string) bool {
+	for _, o := range m.ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// benchWorker is one connection's state: its own RNG stream (decorrelated
+// by worker id) and its latency samples.
+type benchWorker struct {
+	rng     *rand.Rand
+	samples []int64
+	ops     uint64
+	err     error
+}
+
+func cmdBenchServe(args []string) error {
+	v := newBenchServeFlagSet()
+	if err := v.fs.Parse(args); err != nil {
+		return err
+	}
+	if v.fs.NArg() > 0 {
+		return fmt.Errorf("bench-serve takes no positional arguments, got %q", v.fs.Args())
+	}
+	if *v.conns < 1 {
+		return fmt.Errorf("-conns must be at least 1")
+	}
+	if *v.pipeline < 1 || *v.pipeline > service.MaxBatch {
+		return fmt.Errorf("-pipeline must be in [1, %d]", service.MaxBatch)
+	}
+	if *v.items < 1 {
+		return fmt.Errorf("-items must be at least 1")
+	}
+	if *v.duration <= 0 {
+		return fmt.Errorf("-duration must be positive")
+	}
+	mix, err := parseMix(*v.mix)
+	if err != nil {
+		return fmt.Errorf("bad -mix: %w", err)
+	}
+	variant, err := service.ParseVariant(*v.variant)
+	if err != nil {
+		return err
+	}
+	if mix.has("remove") && variant != service.VariantCounting {
+		return fmt.Errorf("mix includes remove but the %v variant cannot delete; use -variant counting or remove=0", variant)
+	}
+
+	base := strings.TrimRight(*v.url, "/")
+	filterURL := ""
+	if base == "" {
+		// In-process server on a loopback port: the benchmark still crosses
+		// the real HTTP stack (serialization, routing, rate accounting),
+		// just without a network in the middle.
+		reg := service.NewRegistry()
+		cfg := service.Config{
+			Variant:   variant,
+			Shards:    *v.shards,
+			ShardBits: *v.shardBits,
+			HashCount: *v.hashCount,
+			Seed:      *v.seed,
+			RouteKey:  []byte("fedcba9876543210"),
+		}
+		f, err := reg.Create("bench", cfg)
+		if err != nil {
+			return err
+		}
+		if *v.rlockReads {
+			f.Store().SetLockFreeReads(false)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+		filterURL = base + "/v2/filters/bench"
+	} else {
+		if *v.rlockReads {
+			return fmt.Errorf("-rlock-reads needs the in-process server (it flips an internal knob); drop -url")
+		}
+		// Against an external server, create the filter over the wire; an
+		// existing filter of the same name is reused as-is.
+		filterURL = base + "/v2/filters/bench"
+		spec, _ := json.Marshal(map[string]any{
+			"variant": variant.String(), "shards": *v.shards,
+			"shard_bits": *v.shardBits, "hash_count": *v.hashCount, "seed": *v.seed,
+		})
+		req, err := http.NewRequest(http.MethodPut, filterURL, bytes.NewReader(spec))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return fmt.Errorf("creating filter at %s: %w", filterURL, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("creating filter at %s: unexpected status %s", filterURL, resp.Status)
+		}
+	}
+
+	pool := urlgen.New(int64(*v.seed)).URLs(*v.items)
+
+	transport := &http.Transport{
+		MaxIdleConns:        *v.conns * 2,
+		MaxIdleConnsPerHost: *v.conns * 2,
+	}
+	defer transport.CloseIdleConnections()
+
+	fmt.Printf("bench-serve: %d conns × pipeline %d, mix %s, variant %v, %v at %s\n",
+		*v.conns, *v.pipeline, *v.mix, variant, *v.duration, base)
+
+	workers := make([]benchWorker, *v.conns)
+	deadline := time.Now().Add(*v.duration)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(bw *benchWorker, id int) {
+			defer wg.Done()
+			// 7919 (a prime) decorrelates the per-worker streams from the
+			// pool generator and from each other.
+			bw.rng = rand.New(rand.NewSource(int64(*v.seed) + int64(id)*7919))
+			client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+			batch := make([]string, *v.pipeline)
+			for time.Now().Before(deadline) {
+				op := mix.pick(bw.rng)
+				for i := range batch {
+					batch[i] = pool[bw.rng.Intn(len(pool))]
+				}
+				body, err := json.Marshal(map[string][]string{"items": batch})
+				if err != nil {
+					bw.err = err
+					return
+				}
+				start := time.Now()
+				resp, err := client.Post(filterURL+"/"+op+"-batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					bw.err = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					bw.err = fmt.Errorf("%s-batch: unexpected status %s", op, resp.Status)
+					return
+				}
+				bw.samples = append(bw.samples, time.Since(start).Nanoseconds())
+				bw.ops += uint64(len(batch))
+			}
+		}(&workers[w], w)
+	}
+	started := time.Now()
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	var samples []int64
+	var ops uint64
+	for i := range workers {
+		if workers[i].err != nil {
+			return fmt.Errorf("worker %d: %w", i, workers[i].err)
+		}
+		samples = append(samples, workers[i].samples...)
+		ops += workers[i].ops
+	}
+	if ops == 0 {
+		return fmt.Errorf("no operations completed within %v", *v.duration)
+	}
+	lat := benchfmt.Quantiles(samples)
+	opsPerSec := float64(ops) / elapsed.Seconds()
+
+	name := *v.name
+	if name == "" {
+		name = "serve/" + variant.String() + "/mixed"
+		if *v.rlockReads {
+			name += "+rlock"
+		}
+	}
+	run := benchfmt.Run{
+		Name:   name,
+		Source: "bench-serve",
+		Config: map[string]string{
+			"variant":    variant.String(),
+			"conns":      strconv.Itoa(*v.conns),
+			"pipeline":   strconv.Itoa(*v.pipeline),
+			"duration":   v.duration.String(),
+			"mix":        *v.mix,
+			"shards":     strconv.Itoa(*v.shards),
+			"shard_bits": strconv.FormatUint(*v.shardBits, 10),
+			"hashes":     strconv.Itoa(*v.hashCount),
+			"seed":       strconv.FormatUint(*v.seed, 10),
+			"lock_free":  strconv.FormatBool(!*v.rlockReads),
+		},
+		Ops:       ops,
+		OpsPerSec: opsPerSec,
+		Latency:   &lat,
+	}
+
+	date := time.Now().Format("2006-01-02")
+	out := *v.out
+	if out == "" {
+		out = "BENCH_" + date + ".json"
+	}
+	report, err := benchfmt.Load(out, date)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", out, err)
+	}
+	report.Add(run)
+	if err := report.Save(out); err != nil {
+		return fmt.Errorf("writing %s: %w", out, err)
+	}
+
+	fmt.Printf("%s: %d ops in %v = %.0f ops/s; latency p50 %v p90 %v p99 %v max %v (per %d-item request)\n",
+		name, ops, elapsed.Round(time.Millisecond), opsPerSec,
+		time.Duration(lat.P50), time.Duration(lat.P90), time.Duration(lat.P99), time.Duration(lat.Max),
+		*v.pipeline)
+	fmt.Printf("report: %s (%d runs)\n", out, len(report.Runs))
+	return nil
+}
+
+// bench-import: convert `go test -bench` output (stdin, or a file argument)
+// into the same report schema bench-serve writes, so micro-benchmark ns/op
+// and service-level latency live in one committed file.
+func cmdBenchImport(args []string) error {
+	fs := flag.NewFlagSet("bench-import", flag.ContinueOnError)
+	out := fs.String("out", "", "report path to merge into (default BENCH_<today>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rd io.Reader = os.Stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	default:
+		return fmt.Errorf("bench-import takes at most one input file, got %q", fs.Args())
+	}
+	runs, err := benchfmt.ParseGoBench(rd)
+	if err != nil {
+		return err
+	}
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	report, err := benchfmt.Load(path, date)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	for _, r := range runs {
+		report.Add(r)
+	}
+	if err := report.Save(path); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("imported %d go-test runs into %s (%d runs total)\n", len(runs), path, len(report.Runs))
+	return nil
+}
+
+// bench-verify: strict schema validation of a report file — CI's gate on
+// every emitted BENCH_*.json.
+func cmdBenchVerify(args []string) error {
+	fs := flag.NewFlagSet("bench-verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: evilbloom bench-verify <report.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := benchfmt.Decode(f)
+	if err != nil {
+		return err
+	}
+	if err := report.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid %s report, %d runs, dated %s\n", fs.Arg(0), report.Schema, len(report.Runs), report.Date)
+	for _, r := range report.Runs {
+		if r.Latency != nil {
+			fmt.Printf("  %-40s %12.0f ops/s  p50 %v  p99 %v\n", r.Name, r.OpsPerSec,
+				time.Duration(r.Latency.P50), time.Duration(r.Latency.P99))
+		} else {
+			fmt.Printf("  %-40s %12.0f ops/s  %.1f ns/op\n", r.Name, r.OpsPerSec, r.NsPerOp)
+		}
+	}
+	return nil
+}

@@ -11,8 +11,11 @@
 //	evilbloom squid     two-proxy cache-digest pollution experiment
 //	evilbloom params    average-case vs worst-case parameter designs (§8.1)
 //	evilbloom overflow  §6.2 counter-overflow attack demonstration
-//	evilbloom serve     multi-filter service over HTTP: named bloom/counting
-//	                    filters (§8 and §4.3 made live)
+//	evilbloom serve     multi-filter service over HTTP: named bloom/counting/
+//	                    blocked filters (§8 and §4.3 made live)
+//	evilbloom bench-serve   HTTP load benchmark against a live registry
+//	evilbloom bench-import  fold `go test -bench` output into the bench report
+//	evilbloom bench-verify  validate a BENCH_*.json report
 //
 // Every experiment subcommand prints the paper's reference values next to
 // the measured ones. All runs are deterministic for a fixed -seed.
@@ -73,6 +76,12 @@ func run(args []string) error {
 		return cmdHLL(rest)
 	case "serve":
 		return cmdServe(rest)
+	case "bench-serve":
+		return cmdBenchServe(rest)
+	case "bench-import":
+		return cmdBenchImport(rest)
+	case "bench-verify":
+		return cmdBenchVerify(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -97,8 +106,13 @@ subcommands:
   params    worst-case vs average-case design (paper §8.1)
   overflow  counter-overflow attack (paper §6.2)
   hll       adversarial probabilistic counting (paper §10 extension)
-  serve     multi-filter HTTP service: named bloom/counting filters, naive
-            or hardened, with remove endpoints (§8 and §4.3 live)
+  serve     multi-filter HTTP service: named bloom/counting/blocked filters,
+            naive or hardened, with remove endpoints (§8 and §4.3 live)
+  bench-serve   HTTP load benchmark against a live registry (in-process by
+                default): pipelined mixed add/test/remove, p50/p99 latency
+                and ops/s, merged into BENCH_<date>.json
+  bench-import  convert `+"`go test -bench`"+` output into the same report
+  bench-verify  validate a BENCH_*.json report against the schema
 `)
 }
 

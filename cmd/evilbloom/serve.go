@@ -60,7 +60,7 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	v := &serveFlags{
 		addr:         fs.String("addr", "127.0.0.1:8379", "listen address"),
-		variant:      fs.String("variant", "bloom", "default filter backend: bloom or counting (removable)"),
+		variant:      fs.String("variant", "bloom", "default filter backend: bloom, counting (removable) or blocked (cache-line-local)"),
 		shards:       fs.Int("shards", 8, "shard count (power of two)"),
 		capacity:     fs.Uint64("capacity", 1<<20, "total anticipated insertions"),
 		fpr:          fs.Float64("fpr", 1.0/1024, "target false-positive probability"),
@@ -108,7 +108,7 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 	}
 
 	// Variant-dependent flags: counters exist only on the counting backend.
-	if variant == service.VariantBloom {
+	if variant != service.VariantCounting {
 		var rejected []string
 		for _, name := range []string{"counter-width", "overflow"} {
 			if set[name] {
@@ -116,7 +116,7 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 			}
 		}
 		if len(rejected) > 0 {
-			return service.Config{}, fmt.Errorf("%s need(s) -variant counting; a bloom filter has no counters", strings.Join(rejected, ", "))
+			return service.Config{}, fmt.Errorf("%s need(s) -variant counting; a %v filter has no counters", strings.Join(rejected, ", "), variant)
 		}
 	}
 

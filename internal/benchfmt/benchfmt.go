@@ -1,0 +1,284 @@
+// Package benchfmt defines the machine-readable benchmark report the repo's
+// two measurement paths share: the `evilbloom bench-serve` HTTP load
+// generator writes runs directly, and `evilbloom bench-import` converts
+// `go test -bench` output into the same shape. One schema means the
+// committed BENCH_<date>.json can carry service-level latency numbers and
+// micro-benchmark ns/op side by side, and CI can validate either with the
+// same strict checker (`evilbloom bench-verify`).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema is the identifier every report must carry; bump the suffix on any
+// incompatible shape change.
+const Schema = "evilbloom-bench/v1"
+
+// Report is one benchmark report file.
+type Report struct {
+	// Schema must equal the package Schema constant.
+	Schema string `json:"schema"`
+	// Date is the measurement day, YYYY-MM-DD.
+	Date string `json:"date"`
+	// Host records where the numbers were taken; cross-host comparisons of
+	// absolute numbers are meaningless without it.
+	Host Host `json:"host"`
+	// Runs holds one entry per benchmark, in insertion order.
+	Runs []Run `json:"runs"`
+}
+
+// Host identifies the measuring machine and toolchain.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+}
+
+// Run is one benchmark's result. Exactly one of Latency (service-level
+// runs, wall-clock percentiles per request) or NsPerOp (go-test
+// micro-benchmarks) is expected; OpsPerSec is always present.
+type Run struct {
+	// Name identifies the run, e.g. "serve/blocked/mixed" or
+	// "BenchmarkParallelMixed/sharded-16".
+	Name string `json:"name"`
+	// Source is "bench-serve" or "go-test".
+	Source string `json:"source"`
+	// Config carries the knobs that produced the number (variant, conns,
+	// pipeline depth, mix, geometry, lock-free on/off, ...).
+	Config map[string]string `json:"config,omitempty"`
+	// Ops is the total operations completed (items, for batched requests).
+	Ops uint64 `json:"ops"`
+	// OpsPerSec is Ops divided by measured wall time.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// NsPerOp is the go-test per-operation time; zero for bench-serve runs.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// Latency holds per-request wall-clock percentiles for bench-serve
+	// runs; nil for go-test runs.
+	Latency *Latency `json:"latency_ns,omitempty"`
+}
+
+// Latency is a set of per-request latency percentiles in nanoseconds.
+type Latency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// New builds an empty report stamped with the given date and this process's
+// host facts.
+func New(date string) *Report {
+	return &Report{
+		Schema: Schema,
+		Date:   date,
+		Host: Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			CPUs:      runtime.NumCPU(),
+		},
+		Runs: nil,
+	}
+}
+
+// Add appends a run, replacing any existing run of the same name so
+// re-running a benchmark updates the report instead of duplicating entries.
+func (r *Report) Add(run Run) {
+	for i := range r.Runs {
+		if r.Runs[i].Name == run.Name {
+			r.Runs[i] = run
+			return
+		}
+	}
+	r.Runs = append(r.Runs, run)
+}
+
+// Validate checks the report strictly: schema identifier, date shape, and
+// per-run invariants (non-empty name, known source, positive throughput,
+// ordered percentiles). CI runs this over every emitted report, so a
+// malformed writer fails the build rather than committing garbage numbers.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	if _, err := time.Parse("2006-01-02", r.Date); err != nil {
+		return fmt.Errorf("benchfmt: date %q is not YYYY-MM-DD", r.Date)
+	}
+	if r.Host.GoVersion == "" || r.Host.GOOS == "" || r.Host.GOARCH == "" || r.Host.CPUs <= 0 {
+		return fmt.Errorf("benchfmt: incomplete host record %+v", r.Host)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("benchfmt: report has no runs")
+	}
+	seen := make(map[string]bool, len(r.Runs))
+	for i, run := range r.Runs {
+		if err := run.validate(); err != nil {
+			return fmt.Errorf("benchfmt: run %d (%q): %w", i, run.Name, err)
+		}
+		if seen[run.Name] {
+			return fmt.Errorf("benchfmt: duplicate run name %q", run.Name)
+		}
+		seen[run.Name] = true
+	}
+	return nil
+}
+
+func (run Run) validate() error {
+	if run.Name == "" {
+		return fmt.Errorf("empty name")
+	}
+	switch run.Source {
+	case "bench-serve", "go-test":
+	default:
+		return fmt.Errorf("unknown source %q (want bench-serve or go-test)", run.Source)
+	}
+	if run.Ops == 0 {
+		return fmt.Errorf("zero ops")
+	}
+	if run.OpsPerSec <= 0 {
+		return fmt.Errorf("non-positive ops_per_sec %v", run.OpsPerSec)
+	}
+	if run.NsPerOp < 0 {
+		return fmt.Errorf("negative ns_per_op %v", run.NsPerOp)
+	}
+	if l := run.Latency; l != nil {
+		if l.P50 <= 0 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+			return fmt.Errorf("disordered latency percentiles %+v", *l)
+		}
+	}
+	return nil
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode reads a report; it does not validate (use Validate).
+func Decode(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return &r, nil
+}
+
+// Load reads the report at path, or returns a fresh one stamped with date
+// when the file does not exist — the merge-or-create behaviour both
+// bench-serve and bench-import want.
+func Load(path, date string) (*Report, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return New(date), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Save validates and writes the report to path (0644, truncating).
+func (r *Report) Save(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Quantiles reduces a sample set of per-request latencies (nanoseconds) to
+// the report's percentile summary. The samples are sorted in place. The
+// nearest-rank convention (ceil(p·n), 1-indexed) keeps every reported value
+// an actually-observed latency.
+func Quantiles(samples []int64) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(p float64) int64 {
+		i := int(p*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return Latency{
+		P50: rank(0.50),
+		P90: rank(0.90),
+		P99: rank(0.99),
+		Max: samples[len(samples)-1],
+	}
+}
+
+// goBenchLine matches one `go test -bench` result line:
+//
+//	BenchmarkParallelMixed/sharded-16-8   \t  2177628 \t  550.1 ns/op [\t extra...]
+//
+// The trailing -N CPU suffix stays part of the name (it is part of go's
+// benchmark identity too).
+var goBenchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// ParseGoBench extracts benchmark results from `go test -bench` output.
+// Non-benchmark lines (goos/goarch headers, PASS, ok) are skipped; a stream
+// with no benchmark lines at all is an error, because it usually means the
+// caller piped in the wrong thing.
+func ParseGoBench(rd io.Reader) ([]Run, error) {
+	var runs []Run
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := goBenchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		nsPerOp, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || nsPerOp <= 0 {
+			return nil, fmt.Errorf("benchfmt: bad ns/op in %q", sc.Text())
+		}
+		runs = append(runs, Run{
+			Name:      m[1],
+			Source:    "go-test",
+			Ops:       iters,
+			OpsPerSec: 1e9 / nsPerOp,
+			NsPerOp:   nsPerOp,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark result lines found in input")
+	}
+	return runs, nil
+}

@@ -1,0 +1,174 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := New("2026-08-08")
+	r.Add(Run{
+		Name:      "serve/bloom/mixed",
+		Source:    "bench-serve",
+		Config:    map[string]string{"variant": "bloom", "conns": "8"},
+		Ops:       100000,
+		OpsPerSec: 250000,
+		Latency:   &Latency{P50: 90000, P90: 120000, P99: 400000, Max: 900000},
+	})
+	r.Add(Run{
+		Name:      "BenchmarkParallelMixed/sharded-16-8",
+		Source:    "go-test",
+		Ops:       2177628,
+		OpsPerSec: 1e9 / 550.1,
+		NsPerOp:   550.1,
+	})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].Name != "serve/bloom/mixed" {
+		t.Fatalf("round trip mangled runs: %+v", got.Runs)
+	}
+	if *got.Runs[0].Latency != *r.Runs[0].Latency {
+		t.Fatalf("latency round trip: %+v != %+v", got.Runs[0].Latency, r.Runs[0].Latency)
+	}
+}
+
+func TestAddReplacesSameName(t *testing.T) {
+	r := sampleReport()
+	r.Add(Run{Name: "serve/bloom/mixed", Source: "bench-serve", Ops: 1, OpsPerSec: 1})
+	if len(r.Runs) != 2 {
+		t.Fatalf("Add duplicated instead of replacing: %d runs", len(r.Runs))
+	}
+	if r.Runs[0].Ops != 1 {
+		t.Fatalf("Add did not replace the run: %+v", r.Runs[0])
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	break1 := func(f func(*Report)) *Report {
+		r := sampleReport()
+		f(r)
+		return r
+	}
+	cases := map[string]*Report{
+		"wrong schema":       break1(func(r *Report) { r.Schema = "v2" }),
+		"bad date":           break1(func(r *Report) { r.Date = "08/08/2026" }),
+		"no runs":            break1(func(r *Report) { r.Runs = nil }),
+		"empty name":         break1(func(r *Report) { r.Runs[0].Name = "" }),
+		"unknown source":     break1(func(r *Report) { r.Runs[0].Source = "vibes" }),
+		"zero ops":           break1(func(r *Report) { r.Runs[0].Ops = 0 }),
+		"zero throughput":    break1(func(r *Report) { r.Runs[0].OpsPerSec = 0 }),
+		"disordered tiles":   break1(func(r *Report) { r.Runs[0].Latency.P50 = r.Runs[0].Latency.Max + 1 }),
+		"duplicate names":    break1(func(r *Report) { r.Runs[1].Name = r.Runs[0].Name }),
+		"incomplete host":    break1(func(r *Report) { r.Host.GOARCH = "" }),
+		"negative ns_per_op": break1(func(r *Report) { r.Runs[1].NsPerOp = -1 }),
+	}
+	for name, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema":"evilbloom-bench/v1","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-08.json")
+	fresh, err := Load(path, "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Runs) != 0 || fresh.Date != "2026-08-08" {
+		t.Fatalf("missing file should load as a fresh report, got %+v", fresh)
+	}
+	// An empty report must refuse to save (no runs) ...
+	if err := fresh.Save(path); err == nil {
+		t.Fatal("saved a report with no runs")
+	}
+	// ... and a populated one round-trips through disk.
+	fresh.Add(sampleReport().Runs[0])
+	if err := fresh.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path, "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Name != "serve/bloom/mixed" {
+		t.Fatalf("disk round trip mangled runs: %+v", back.Runs)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	if got := Quantiles(nil); got != (Latency{}) {
+		t.Fatalf("empty samples: %+v", got)
+	}
+	samples := make([]int64, 100)
+	for i := range samples {
+		samples[i] = int64(100 - i) // reversed: Quantiles must sort
+	}
+	got := Quantiles(samples)
+	want := Latency{P50: 50, P90: 90, P99: 99, Max: 100}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if got := Quantiles([]int64{7}); got != (Latency{P50: 7, P90: 7, P99: 7, Max: 7}) {
+		t.Fatalf("single sample: %+v", got)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: evilbloom/internal/service
+BenchmarkParallelMixed/sharded-16-8         	 2177628	       550.1 ns/op
+BenchmarkVariantMixed/blocked-8             	 1000000	      1001 ns/op	     128 B/op
+PASS
+ok  	evilbloom/internal/service	3.2s
+`
+	runs, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d runs, want 2: %+v", len(runs), runs)
+	}
+	if runs[0].Name != "BenchmarkParallelMixed/sharded-16-8" || runs[0].NsPerOp != 550.1 || runs[0].Ops != 2177628 {
+		t.Fatalf("run 0: %+v", runs[0])
+	}
+	if runs[1].NsPerOp != 1001 {
+		t.Fatalf("run 1: %+v", runs[1])
+	}
+	r := New("2026-08-08")
+	for _, run := range runs {
+		r.Add(run)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("parsed runs do not validate: %v", err)
+	}
+	if _, err := ParseGoBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("benchmark-free input accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 const wordBits = 64
@@ -60,6 +61,52 @@ func (b *BitSet) Test(i uint64) bool {
 		return false
 	}
 	return b.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Atomic accessors. A BitSet has no lock of its own; these exist for callers
+// that layer their own mutual exclusion over *writes* but want *reads* to
+// proceed with no lock at all (the service's lock-free membership path).
+// The contract: while any goroutine may call TestAtomic concurrently, all
+// mutations must be serialized externally AND must go through the atomic
+// write methods — a plain Set racing a TestAtomic is a data race. Writes
+// stay single-writer, so the atomic stores need no compare-and-swap.
+
+// SetAtomic is Set with an atomic word store, for bit vectors that are read
+// lock-free while a serialized writer mutates them.
+func (b *BitSet) SetAtomic(i uint64) bool {
+	if i >= b.size {
+		return false
+	}
+	w, mask := i/wordBits, uint64(1)<<(i%wordBits)
+	old := atomic.LoadUint64(&b.words[w])
+	if old&mask != 0 {
+		return false
+	}
+	atomic.StoreUint64(&b.words[w], old|mask)
+	return true
+}
+
+// TestAtomic is Test with an atomic word load — safe to call with no lock
+// held while a serialized writer uses SetAtomic/StoreFrom.
+func (b *BitSet) TestAtomic(i uint64) bool {
+	if i >= b.size {
+		return false
+	}
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(i%wordBits)) != 0
+}
+
+// StoreFrom overwrites b's contents with o's, word by word with atomic
+// stores, without replacing the backing array — so lock-free readers holding
+// the old view never observe a torn word or a dangling slice. Sizes must
+// match exactly.
+func (b *BitSet) StoreFrom(o *BitSet) error {
+	if b.size != o.size {
+		return fmt.Errorf("bitset: storing %d bits into a %d-bit set", o.size, b.size)
+	}
+	for i, w := range o.words {
+		atomic.StoreUint64(&b.words[i], w)
+	}
+	return nil
 }
 
 // Weight returns the Hamming weight w_H(z): the number of set bits.

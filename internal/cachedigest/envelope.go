@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"evilbloom/internal/bitset"
+	"evilbloom/internal/core"
 	"evilbloom/internal/hashes"
 )
 
@@ -25,7 +26,7 @@ import (
 //	0       8     magic "EVBDIGE1"
 //	8       2     format version (little-endian, currently 1)
 //	10      1     index family (1 murmur3 double hashing, 2 MD5-split)
-//	11      1     source variant (0 bloom, 1 counting) — informational
+//	11      1     source variant (0 bloom, 1 counting, 2 blocked)
 //	12      4     reserved (zero)
 //	16      8     generation (source mutation counter, the ETag basis)
 //	24      8     index seed (murmur3 family; zero for MD5-split)
@@ -103,12 +104,23 @@ var (
 	ErrEnvelopeUnusable = errors.New("cachedigest: digest envelope unusable by a peer")
 )
 
+// SourceVariantBlocked is the source-variant byte of a blocked Bloom filter
+// (the values mirror the service's Variant enum: 0 bloom, 1 counting,
+// 2 blocked). It is the one variant a peer must treat specially: the
+// exporter confines an item's k probe bits to the 512-bit block its first
+// index selects, so digest evaluation applies core.BlockedPosition to each
+// index instead of testing it raw. Bloom and counting digests share plain
+// positional semantics.
+const SourceVariantBlocked = 2
+
 // EnvelopeInfo is the decoded fixed header of a digest envelope.
 type EnvelopeInfo struct {
 	// Family names the index derivation scheme.
 	Family Family
 	// SourceVariant records the exporting filter's backend (0 bloom,
-	// 1 counting); membership semantics are identical either way.
+	// 1 counting, 2 blocked). Bloom and counting digests answer membership
+	// identically; a blocked digest is evaluated through the block-local
+	// probe mapping (see SourceVariantBlocked).
 	SourceVariant byte
 	// Generation is the source filter's mutation counter at export time.
 	Generation uint64
@@ -167,8 +179,12 @@ func DecodeEnvelopeInfo(hdr []byte) (EnvelopeInfo, error) {
 		PayloadLen:    binary.LittleEndian.Uint64(hdr[80:]),
 	}
 	copy(e.RouteKey[:], hdr[64:80])
-	if e.SourceVariant > 1 {
+	if e.SourceVariant > SourceVariantBlocked {
 		return e, fmt.Errorf("%w: unknown source variant %d", ErrEnvelopeCorrupt, e.SourceVariant)
+	}
+	if e.SourceVariant == SourceVariantBlocked && e.ShardBits%core.BlockBits != 0 {
+		return e, fmt.Errorf("%w: blocked-source digest with shard size %d not a multiple of %d",
+			ErrEnvelopeCorrupt, e.ShardBits, uint64(core.BlockBits))
 	}
 	if e.Shards < 1 || e.Shards > maxEnvelopeShards || e.Shards&(e.Shards-1) != 0 {
 		return e, fmt.Errorf("%w: shard count %d is not a power of two in [1,%d]", ErrEnvelopeCorrupt, e.Shards, maxEnvelopeShards)
@@ -332,10 +348,22 @@ func (d *PeerDigest) Test(item []byte) bool {
 	sc := d.pool.Get().(*digestScratch)
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
 	ok := true
-	for _, i := range sc.idx {
-		if !shard.Test(i) {
-			ok = false
-			break
+	if d.info.SourceVariant == SourceVariantBlocked {
+		// A blocked exporter confined the item's bits to the 512-bit block
+		// its first index selects; evaluate the digest through the same
+		// mapping or every multi-probe lookup would miss.
+		for _, i := range sc.idx {
+			if !shard.Test(core.BlockedPosition(sc.idx[0], i)) {
+				ok = false
+				break
+			}
+		}
+	} else {
+		for _, i := range sc.idx {
+			if !shard.Test(i) {
+				ok = false
+				break
+			}
 		}
 	}
 	d.pool.Put(sc)

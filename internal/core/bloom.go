@@ -80,6 +80,21 @@ func (b *Bloom) AddIndexes(idx []uint64) int {
 	return fresh
 }
 
+// AddIndexesAtomic is AddIndexes with atomic bit stores: for callers that
+// serialize writers under a lock but serve TestIndexesAtomic readers with no
+// lock at all. The insertion count is not read on that lock-free path, so it
+// stays a plain increment under the writer's lock.
+func (b *Bloom) AddIndexesAtomic(idx []uint64) int {
+	fresh := 0
+	for _, i := range idx {
+		if b.bits.SetAtomic(i) {
+			fresh++
+		}
+	}
+	b.n++
+	return fresh
+}
+
 // Test implements Filter.
 func (b *Bloom) Test(item []byte) bool {
 	b.scratch = b.fam.Indexes(b.scratch[:0], item)
@@ -90,6 +105,17 @@ func (b *Bloom) Test(item []byte) bool {
 func (b *Bloom) TestIndexes(idx []uint64) bool {
 	for _, i := range idx {
 		if !b.bits.Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexesAtomic is TestIndexes with atomic bit loads — callable with no
+// lock held while a serialized writer mutates through the atomic paths.
+func (b *Bloom) TestIndexesAtomic(idx []uint64) bool {
+	for _, i := range idx {
+		if !b.bits.TestAtomic(i) {
 			return false
 		}
 	}
@@ -168,7 +194,9 @@ func (b *Bloom) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores state written by MarshalBinary into a filter that
 // must already have the same geometry (m). The filter is only modified on
-// success.
+// success. The existing bit vector is overwritten in place with atomic word
+// stores rather than swapped for a new allocation: lock-free readers hold a
+// reference to the vector, so its identity must survive a restore.
 func (b *Bloom) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("core: truncated bloom snapshot: %d bytes", len(data))
@@ -181,8 +209,7 @@ func (b *Bloom) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: snapshot geometry (m=%d) does not match filter (m=%d)", bits.Size(), b.fam.M())
 	}
 	b.n = binary.LittleEndian.Uint64(data)
-	b.bits = bits
-	return nil
+	return b.bits.StoreFrom(bits)
 }
 
 // Synced wraps a Filter with a mutex for concurrent use (the crawler's dedup

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"evilbloom/internal/bitset"
 	"evilbloom/internal/hashes"
@@ -110,6 +111,32 @@ func (c *Counting) AddIndexes(idx []uint64) (fresh, overflowed int) {
 	return fresh, overflowed
 }
 
+// AddIndexesAtomic is AddIndexes with atomic counter stores: for callers
+// that serialize writers under a lock but serve TestIndexesAtomic readers
+// with no lock at all. The writer's own reads stay plain (writes are
+// single-writer by contract); only the stores racing lock-free loads are
+// atomic. Insertion and overflow counts are not read on the lock-free path.
+func (c *Counting) AddIndexesAtomic(idx []uint64) (fresh, overflowed int) {
+	for _, i := range idx {
+		v := c.counters.get(i)
+		if v == 0 {
+			fresh++
+		}
+		if v == c.counters.max() {
+			overflowed++
+			c.overflow++
+			if c.policy == Saturate {
+				continue
+			}
+			c.counters.setAtomic(i, 0) // wrap: roll over, erasing evidence
+			continue
+		}
+		c.counters.setAtomic(i, v+1)
+	}
+	c.n++
+	return fresh, overflowed
+}
+
 // Remove decrements the counters of item. It returns an error (leaving any
 // already-decremented counters modified, as real implementations do) if some
 // counter is already zero — the footprint of a false-negative-inducing
@@ -173,6 +200,29 @@ func (c *Counting) RemoveIndexes(idx []uint64) (zeroed int, err error) {
 	return zeroed, nil
 }
 
+// RemoveIndexesAtomic is RemoveIndexes with atomic counter stores; see
+// AddIndexesAtomic for the locking contract.
+func (c *Counting) RemoveIndexesAtomic(idx []uint64) (zeroed int, err error) {
+	if c.n > 0 {
+		c.n--
+	}
+	for pos, i := range idx {
+		v := c.counters.get(i)
+		switch {
+		case v == 0:
+			return zeroed, fmt.Errorf("core: removing item whose counter %d (position %d) is already zero", i, pos)
+		case v == c.counters.max() && c.policy == Saturate:
+			// Pinned: cannot safely decrement.
+		default:
+			c.counters.setAtomic(i, v-1)
+			if v == 1 {
+				zeroed++
+			}
+		}
+	}
+	return zeroed, nil
+}
+
 // Test implements Filter.
 func (c *Counting) Test(item []byte) bool {
 	c.scratch = c.fam.Indexes(c.scratch[:0], item)
@@ -183,6 +233,25 @@ func (c *Counting) Test(item []byte) bool {
 func (c *Counting) TestIndexes(idx []uint64) bool {
 	for _, i := range idx {
 		if c.counters.get(i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomicReads reports whether this filter's counters can be read torn-free
+// with single atomic word loads: true exactly when the width divides the
+// word size, so no counter ever straddles two words. Widths 1, 2, 4, 8 and
+// 16 qualify; a straddling width would let a lock-free reader observe half
+// of a two-word counter update.
+func (c *Counting) AtomicReads() bool { return 64%c.counters.width == 0 }
+
+// TestIndexesAtomic is TestIndexes with atomic counter loads — callable with
+// no lock held while a serialized writer mutates through the atomic paths.
+// Only valid when AtomicReads() is true.
+func (c *Counting) TestIndexesAtomic(idx []uint64) bool {
+	for _, i := range idx {
+		if c.counters.getAtomic(i) == 0 {
 			return false
 		}
 	}
@@ -320,8 +389,11 @@ func (c *Counting) UnmarshalBinary(data []byte) error {
 	c.policy = policy
 	c.n = binary.LittleEndian.Uint64(data[10:])
 	c.overflow = binary.LittleEndian.Uint64(data[18:])
+	// Atomic in-place stores: a restore runs under the caller's write
+	// exclusion, but lock-free readers may be loading these words with no
+	// lock at all.
 	for i := range c.counters.words {
-		c.counters.words[i] = binary.LittleEndian.Uint64(data[countingSnapshotHeader+8*i:])
+		atomic.StoreUint64(&c.counters.words[i], binary.LittleEndian.Uint64(data[countingSnapshotHeader+8*i:]))
 	}
 	return nil
 }
@@ -376,5 +448,40 @@ func (p *packedCounters) set(i uint64, v uint64) {
 		rem := off + uint64(p.width) - 64
 		loMask := uint64(1)<<rem - 1
 		p.words[word+1] = p.words[word+1]&^loMask | v>>(uint64(p.width)-rem)
+	}
+}
+
+// getAtomic is get with atomic word loads. Torn-free only for widths that
+// divide 64 (the counter then lives in one word); a straddling counter is
+// read with two loads that a concurrent setAtomic could interleave, which is
+// why Counting.AtomicReads gates the lock-free path on the width.
+func (p *packedCounters) getAtomic(i uint64) uint64 {
+	if i >= p.m {
+		return 0
+	}
+	bit := i * uint64(p.width)
+	word, off := bit/64, bit%64
+	v := atomic.LoadUint64(&p.words[word]) >> off
+	if off+uint64(p.width) > 64 {
+		v |= atomic.LoadUint64(&p.words[word+1]) << (64 - off)
+	}
+	return v & p.max()
+}
+
+// setAtomic is set with atomic word stores: the read-modify-write stays a
+// plain read (writers are serialized by the caller), only the store racing
+// lock-free atomic loads is atomic.
+func (p *packedCounters) setAtomic(i uint64, v uint64) {
+	if i >= p.m {
+		return
+	}
+	v &= p.max()
+	bit := i * uint64(p.width)
+	word, off := bit/64, bit%64
+	atomic.StoreUint64(&p.words[word], p.words[word]&^(p.max()<<off)|v<<off)
+	if off+uint64(p.width) > 64 {
+		rem := off + uint64(p.width) - 64
+		loMask := uint64(1)<<rem - 1
+		atomic.StoreUint64(&p.words[word+1], p.words[word+1]&^loMask|v>>(uint64(p.width)-rem))
 	}
 }

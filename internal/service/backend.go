@@ -73,13 +73,30 @@ type overflowReporter interface {
 
 // digestSource is the capability behind the §7 cache-digest exchange: a
 // backend that can project its occupancy down to a plain bit vector, the
-// shape a digest travels in. Both shipped variants implement it (a bloom
-// backend clones its bits, a counting backend masks its non-zero counters),
-// so a digest can be exported from any live filter variant.
+// shape a digest travels in. Every shipped variant implements it (bloom and
+// blocked backends clone their bits, a counting backend masks its non-zero
+// counters), so a digest can be exported from any live filter variant.
 type digestSource interface {
 	// OccupancyBits returns a private copy of the occupancy pattern:
 	// position i set iff the backend counts position i occupied.
 	OccupancyBits() *bitset.BitSet
+}
+
+// atomicReader is the lock-free membership capability: a backend whose
+// occupancy is readable with bare atomic word loads, no shard lock held,
+// while serialized writers mutate through atomic stores. The shard layer
+// routes Test through it when LockFreeReads reports true, skipping the
+// striped RLock entirely — membership tests are pure loads, so the read
+// path's only synchronization becomes the cache-coherence traffic of the
+// loads themselves. Mutations keep the shard write lock regardless: weight,
+// generation and journal accounting all live there.
+type atomicReader interface {
+	// LockFreeReads reports whether the backend's geometry permits torn-free
+	// atomic reads (a packed counter straddling a word boundary does not).
+	LockFreeReads() bool
+	// TestIndexesAtomic is TestIndexes with atomic loads, callable with no
+	// lock held.
+	TestIndexesAtomic(idx []uint64) bool
 }
 
 // ErrNotRemovable answers removal requests against a backend without the
@@ -95,6 +112,11 @@ const (
 	// VariantCounting is the §4.3/§6 counting filter: small counters per
 	// position, deletion supported, overflow policy configurable.
 	VariantCounting
+	// VariantBlocked is the cache-line-local blocked Bloom filter: all k
+	// probe bits of an item land in one 512-bit block, so an operation costs
+	// one cache miss instead of up to k. No deletion; shard size rounds up
+	// to a whole number of blocks.
+	VariantBlocked
 )
 
 // String implements fmt.Stringer.
@@ -104,29 +126,45 @@ func (v Variant) String() string {
 		return "bloom"
 	case VariantCounting:
 		return "counting"
+	case VariantBlocked:
+		return "blocked"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
 }
 
-// ParseVariant resolves "bloom" or "counting"; the empty string is the bloom
-// default so wire specs may omit it.
+// ParseVariant resolves "bloom", "counting" or "blocked"; the empty string
+// is the bloom default so wire specs may omit it.
 func ParseVariant(s string) (Variant, error) {
 	switch s {
 	case "", "bloom":
 		return VariantBloom, nil
 	case "counting":
 		return VariantCounting, nil
+	case "blocked":
+		return VariantBlocked, nil
 	default:
-		return 0, fmt.Errorf("service: unknown variant %q (want bloom or counting)", s)
+		return 0, fmt.Errorf("service: unknown variant %q (want bloom, counting or blocked)", s)
 	}
 }
 
-// bloomBackend adapts *core.Bloom to Backend + Snapshotter. AddIndexes,
-// TestIndexes, Count, Weight, M and K promote straight through.
+// bloomBackend adapts *core.Bloom to Backend + Snapshotter + atomicReader.
+// TestIndexes, Count, Weight, M and K promote straight through; AddIndexes
+// is pinned to the atomic-store path because the shard layer serves
+// lock-free readers against these bits — a plain store racing an atomic
+// load is a data race, so every service-side mutation goes through core's
+// atomic variants.
 type bloomBackend struct {
 	*core.Bloom
 }
+
+func (b bloomBackend) AddIndexes(idx []uint64) int {
+	return b.Bloom.AddIndexesAtomic(idx)
+}
+
+// LockFreeReads implements atomicReader: a bit vector always reads torn-free
+// one word at a time.
+func (b bloomBackend) LockFreeReads() bool { return true }
 
 func (b bloomBackend) Snapshot() ([]byte, error) {
 	return b.Bloom.MarshalBinary()
@@ -134,6 +172,27 @@ func (b bloomBackend) Snapshot() ([]byte, error) {
 
 func (b bloomBackend) Restore(data []byte) error {
 	return b.Bloom.UnmarshalBinary(data)
+}
+
+// blockedBackend adapts *core.Blocked the same way; the block-local index
+// mapping is core's concern, invisible to the shard layer.
+type blockedBackend struct {
+	*core.Blocked
+}
+
+func (b blockedBackend) AddIndexes(idx []uint64) int {
+	return b.Blocked.AddIndexesAtomic(idx)
+}
+
+// LockFreeReads implements atomicReader.
+func (b blockedBackend) LockFreeReads() bool { return true }
+
+func (b blockedBackend) Snapshot() ([]byte, error) {
+	return b.Blocked.MarshalBinary()
+}
+
+func (b blockedBackend) Restore(data []byte) error {
+	return b.Blocked.UnmarshalBinary(data)
 }
 
 // countingBackend adapts *core.Counting to Backend + Remover + Snapshotter;
@@ -144,7 +203,7 @@ type countingBackend struct {
 }
 
 func (c countingBackend) AddIndexes(idx []uint64) int {
-	fresh, overflowed := c.Counting.AddIndexes(idx)
+	fresh, overflowed := c.Counting.AddIndexesAtomic(idx)
 	if c.Policy() == core.Wrap {
 		// Every wrap event rolls an occupied (max-valued) counter over to
 		// zero, erasing one occupied position.
@@ -152,6 +211,15 @@ func (c countingBackend) AddIndexes(idx []uint64) int {
 	}
 	return fresh // saturated counters stay occupied
 }
+
+func (c countingBackend) RemoveIndexes(idx []uint64) (int, error) {
+	return c.Counting.RemoveIndexesAtomic(idx)
+}
+
+// LockFreeReads implements atomicReader: true exactly when no counter
+// straddles a word boundary (width divides 64), so a single atomic load
+// reads a counter torn-free.
+func (c countingBackend) LockFreeReads() bool { return c.AtomicReads() }
 
 func (c countingBackend) Snapshot() ([]byte, error) {
 	return c.MarshalBinary()
@@ -176,10 +244,16 @@ var (
 	_ Backend      = bloomBackend{}
 	_ Snapshotter  = bloomBackend{}
 	_ digestSource = bloomBackend{}
+	_ atomicReader = bloomBackend{}
+	_ Backend      = blockedBackend{}
+	_ Snapshotter  = blockedBackend{}
+	_ digestSource = blockedBackend{}
+	_ atomicReader = blockedBackend{}
 	_ Backend      = countingBackend{}
 	_ Remover      = countingBackend{}
 	_ Snapshotter  = countingBackend{}
 	_ digestSource = countingBackend{}
+	_ atomicReader = countingBackend{}
 	_              = overflowReporter(countingBackend{})
 )
 
@@ -195,6 +269,12 @@ func newBackend(cfg Config, fam hashes.IndexFamily) (Backend, error) {
 			return nil, err
 		}
 		return countingBackend{c}, nil
+	case VariantBlocked:
+		b, err := core.NewBlocked(fam)
+		if err != nil {
+			return nil, err
+		}
+		return blockedBackend{b}, nil
 	default:
 		return nil, fmt.Errorf("service: unknown variant %v", cfg.Variant)
 	}

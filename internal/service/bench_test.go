@@ -95,6 +95,23 @@ func newShardedBench(b *testing.B, shards int, totalBits uint64, k int, mode Mod
 	return s
 }
 
+func newBlockedBench(b *testing.B, shards int, totalBits uint64, k int) *Sharded {
+	b.Helper()
+	s, err := NewSharded(Config{
+		Variant:   VariantBlocked,
+		Shards:    shards,
+		ShardBits: totalBits / uint64(shards),
+		HashCount: k,
+		Mode:      ModeNaive,
+		Seed:      3,
+		RouteKey:  []byte("fedcba9876543210"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // runMixed drives 90% membership tests / 10% adds across all procs, with an
 // optional stats poll every statsEvery ops (0 = never) — the monitoring
 // traffic a live service actually serves.
@@ -282,9 +299,35 @@ func BenchmarkVariantMixed(b *testing.B) {
 		s := newShardedBench(b, 16, totalBits, k, ModeNaive)
 		runMixed(b, s.Add, s.Test, nil, 0, items)
 	})
+	b.Run("blocked", func(b *testing.B) {
+		s := newBlockedBench(b, 16, totalBits, k)
+		runMixed(b, s.Add, s.Test, nil, 0, items)
+	})
 	for _, policy := range []core.OverflowPolicy{core.Wrap, core.Saturate} {
 		b.Run("counting-"+policy.String(), func(b *testing.B) {
 			s := newCountingBench(b, 16, totalBits, k, policy)
+			runMixed(b, s.Add, s.Test, nil, 0, items)
+		})
+	}
+}
+
+// BenchmarkLockFreeReads prices the striped RLock on the read path: the
+// identical parallel mixed load with Test going through bare atomic loads
+// (the default) versus forced through the shard RLock. The delta is two
+// atomic RMWs on the lock word per membership test — the read path's entire
+// synchronization cost, since the loads themselves are plain word reads on
+// amd64/arm64.
+func BenchmarkLockFreeReads(b *testing.B) {
+	const totalBits, k = 1 << 22, 5
+	items := benchItems(1 << 16)
+	for _, lockFree := range []bool{true, false} {
+		name := "rlock"
+		if lockFree {
+			name = "lockfree"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := newShardedBench(b, 16, totalBits, k, ModeNaive)
+			s.SetLockFreeReads(lockFree)
 			runMixed(b, s.Add, s.Test, nil, 0, items)
 		})
 	}

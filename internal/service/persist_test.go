@@ -48,6 +48,8 @@ func TestSnapshotRoundTripProperty(t *testing.T) {
 	cases := []Config{
 		persistCfg(VariantBloom, ModeNaive, 0, 0),
 		persistCfg(VariantBloom, ModeHardened, 0, 0),
+		persistCfg(VariantBlocked, ModeNaive, 0, 0),
+		persistCfg(VariantBlocked, ModeHardened, 0, 0),
 		persistCfg(VariantCounting, ModeNaive, 1, core.Saturate),
 		persistCfg(VariantCounting, ModeNaive, 2, core.Wrap),
 		persistCfg(VariantCounting, ModeNaive, 4, core.Wrap),

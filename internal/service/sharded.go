@@ -65,7 +65,9 @@ const (
 // Config sizes and keys a Sharded store.
 type Config struct {
 	// Variant selects the per-shard backend: VariantBloom (default, no
-	// deletion) or VariantCounting (§4.3 deletion, configurable overflow).
+	// deletion), VariantCounting (§4.3 deletion, configurable overflow) or
+	// VariantBlocked (cache-line-local probes, no deletion; ShardBits rounds
+	// up to a multiple of 512).
 	Variant Variant
 	// Shards is the shard count; it must be a power of two. Default 8.
 	Shards int
@@ -138,12 +140,23 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("service: hash count %d exceeds %d", c.HashCount, MaxHashCount)
 	}
 	switch c.Variant {
-	case VariantBloom:
+	case VariantBloom, VariantBlocked:
 		if c.CounterWidth != 0 {
-			return c, fmt.Errorf("service: counter width %d set on a bloom filter (counters need variant=counting)", c.CounterWidth)
+			return c, fmt.Errorf("service: counter width %d set on a %v filter (counters need variant=counting)", c.CounterWidth, c.Variant)
 		}
 		if c.Overflow != 0 {
-			return c, fmt.Errorf("service: overflow policy %v set on a bloom filter (counters need variant=counting)", c.Overflow)
+			return c, fmt.Errorf("service: overflow policy %v set on a %v filter (counters need variant=counting)", c.Overflow, c.Variant)
+		}
+		if c.Variant == VariantBlocked {
+			// Every block is one whole cache line; round the shard size up to
+			// a block multiple so no partial block exists. The rounded size is
+			// what the registry charges, the snapshot envelope records, and
+			// the info endpoints report.
+			rounded := (c.ShardBits + core.BlockBits - 1) / core.BlockBits * core.BlockBits
+			if rounded < c.ShardBits { // arithmetic wrapped: absurd size
+				return c, fmt.Errorf("service: shard size %d overflows block rounding", c.ShardBits)
+			}
+			c.ShardBits = rounded
 		}
 	case VariantCounting:
 		if c.CounterWidth == 0 {
@@ -197,6 +210,13 @@ type shard struct {
 	// remover caches the backend's Remover capability (nil when absent) so
 	// the remove hot path skips a per-call type assertion.
 	remover Remover
+	// atomic caches the backend's atomicReader capability when its geometry
+	// supports torn-free atomic reads (nil otherwise): the lock-free Test
+	// path. Membership tests through it take no lock at all; mutations still
+	// serialize under mu and store words atomically, so readers never see a
+	// torn word and the weight/generation/journal accounting — all of it on
+	// the write side — is untouched.
+	atomic atomicReader
 	// weight tracks the backend's occupied-position count incrementally
 	// from the fresh/zeroed deltas AddIndexes and RemoveIndexes report, so
 	// Stats is O(shards) instead of an O(m) scan under the lock.
@@ -310,6 +330,9 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			return nil, err
 		}
 		sh.remover, _ = sh.backend.(Remover)
+		if ar, ok := sh.backend.(atomicReader); ok && ar.LockFreeReads() {
+			sh.atomic = ar
+		}
 		proto := fam // each clone source is the shard's own family
 		k := cfg.HashCount
 		sh.pool.New = func() any {
@@ -373,17 +396,43 @@ func (s *Sharded) Add(item []byte) {
 // overflows make add deltas negative).
 func applyDelta(w uint64, d int) uint64 { return uint64(int64(w) + int64(d)) }
 
-// Test implements core.Filter. Concurrent tests on one shard share its read
-// lock.
+// Test implements core.Filter. When the backend supports torn-free atomic
+// reads (every shipped variant except straddling-width counters), the test
+// is pure atomic word loads with no lock at all — a test racing a mutation
+// returns an answer from some state the shard passed through, the same
+// guarantee the RLock gave, minus two atomic RMWs of lock traffic per call.
+// Other backends fall back to sharing the shard's read lock.
 func (s *Sharded) Test(item []byte) bool {
 	sh := &s.shards[s.shardFor(item)]
 	sc := sh.pool.Get().(*scratch)
 	sc.idx = sc.fam.Indexes(sc.idx[:0], item)
-	sh.mu.RLock()
-	ok := sh.backend.TestIndexes(sc.idx)
-	sh.mu.RUnlock()
+	var ok bool
+	if sh.atomic != nil {
+		ok = sh.atomic.TestIndexesAtomic(sc.idx)
+	} else {
+		sh.mu.RLock()
+		ok = sh.backend.TestIndexes(sc.idx)
+		sh.mu.RUnlock()
+	}
 	sh.pool.Put(sc)
 	return ok
+}
+
+// SetLockFreeReads enables or disables the lock-free read path on every
+// shard whose backend supports it. It exists for benchmarking — measuring
+// the striped-RLock baseline against the atomic path on identical stores —
+// and must only be called before the store serves concurrent traffic.
+func (s *Sharded) SetLockFreeReads(enabled bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.atomic = nil
+		if !enabled {
+			continue
+		}
+		if ar, ok := sh.backend.(atomicReader); ok && ar.LockFreeReads() {
+			sh.atomic = ar
+		}
+	}
 }
 
 // Removable reports whether the store's backends support deletion.
@@ -534,11 +583,17 @@ func (s *Sharded) TestBatch(dst []bool, items [][]byte) []bool {
 		for _, ii := range g {
 			sc.idx = sc.fam.Indexes(sc.idx, items[ii])
 		}
-		sh.mu.RLock()
-		for j, ii := range g {
-			dst[base+ii] = sh.backend.TestIndexes(sc.idx[j*s.k : (j+1)*s.k])
+		if sh.atomic != nil {
+			for j, ii := range g {
+				dst[base+ii] = sh.atomic.TestIndexesAtomic(sc.idx[j*s.k : (j+1)*s.k])
+			}
+		} else {
+			sh.mu.RLock()
+			for j, ii := range g {
+				dst[base+ii] = sh.backend.TestIndexes(sc.idx[j*s.k : (j+1)*s.k])
+			}
+			sh.mu.RUnlock()
 		}
-		sh.mu.RUnlock()
 		sh.pool.Put(sc)
 	}
 	return dst

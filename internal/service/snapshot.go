@@ -22,7 +22,7 @@ import (
 //	offset  size  field
 //	0       8     magic "EVBSNAP1"
 //	8       2     format version (little-endian, currently 1)
-//	10      1     variant (0 bloom, 1 counting)
+//	10      1     variant (0 bloom, 1 counting, 2 blocked)
 //	11      1     mode (0 naive, 1 hardened)
 //	12      1     counter width in bits (0 for bloom)
 //	13      1     overflow policy (core.OverflowPolicy; 0 for bloom)
@@ -105,7 +105,10 @@ func (s *Sharded) headerFor(payloadLen int) snapshotHeader {
 // reject truncation and padding before touching any state.
 func (h snapshotHeader) shardBlobLen() (uint64, error) {
 	switch h.variant {
-	case VariantBloom:
+	case VariantBloom, VariantBlocked:
+		// A blocked shard serializes exactly like a bloom one (its size is
+		// additionally a multiple of 512, which geometry matching enforces
+		// against the live filter).
 		words := (h.shardBits + 63) / 64
 		return 8 + 8 + 8*words, nil // count, bitset size, packed words
 	case VariantCounting:

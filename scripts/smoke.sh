@@ -91,6 +91,48 @@ say "verifying stats and the v1 shim still answer"
 curl -sf "$BASE/v2/filters/smoke/stats" | grep -q '"variant":"counting"' || fail "stats missing variant"
 curl -sf -X POST "$BASE/v1/add" -d '{"item":"x"}' | grep -q '"added":1' || fail "v1 shim broken"
 
+# ---------------------------------------------------------------------------
+# Blocked-bloom variant over HTTP: create a cache-line-local filter, run a
+# pollution campaign against it, and (after the restart below) verify its
+# stats and snapshot survive byte-identically. Deterministic: one 512-bit
+# block, fixed public seed.
+
+say "creating a blocked filter (one 512-bit block, k=4, naive seed 3) via PUT /v2/filters/blk"
+BLK_CREATE=$(curl -sf -X PUT "$BASE/v2/filters/blk" \
+  -d '{"variant":"blocked","mode":"naive","shards":1,"shard_bits":512,"hash_count":4,"seed":3}')
+echo "$BLK_CREATE" | grep -q '"variant":"blocked"' || fail "unexpected blocked create response: $BLK_CREATE"
+
+say "a blocked filter must refuse removal with the capability error (405)"
+BLK_RM=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v2/filters/blk/remove" -d '{"item":"x"}')
+[[ "$BLK_RM" == "405" ]] || fail "blocked remove answered $BLK_RM, want 405"
+
+say "running a pollution campaign against the blocked filter (120 chosen inserts)"
+BLK_ITEMS=$(printf '"http://pollute.example/%s",' $(seq 1 120))
+curl -sf -X POST "$BASE/v2/filters/blk/add-batch" -d "{\"items\":[${BLK_ITEMS%,}]}" \
+  | grep -q '"added":120' || fail "blocked pollution batch failed"
+BLK_FILL=$(curl -sf "$BASE/v2/filters/blk/stats" | grep -o '"fill":[0-9.]*' | head -n1)
+say "blocked filter polluted: $BLK_FILL"
+
+say "recording the blocked filter's ghost false positives, stats and snapshot"
+blk_ghosts() {
+  local out="$1"
+  : >"$out"
+  for i in $(seq 0 19); do
+    RESP=$(curl -sf -X POST "$BASE/v2/filters/blk/test" -d "{\"item\":\"blk-ghost-$i\"}")
+    echo "$RESP" | grep -q '"present":true' && echo "$i" >>"$out"
+  done
+  return 0
+}
+BLK_GHOSTS_BEFORE="$(dirname "$BIN")/blk-ghosts-before.txt"
+blk_ghosts "$BLK_GHOSTS_BEFORE"
+say "$(wc -l <"$BLK_GHOSTS_BEFORE")/20 ghosts read present on the polluted blocked filter"
+blk_stats() { curl -sf "$BASE/v2/filters/blk/stats" | sed 's/"rate_limit":{[^}]*}//'; }
+BLK_STATS_BEFORE=$(blk_stats)
+echo "$BLK_STATS_BEFORE" | grep -q '"variant":"blocked"' || fail "blocked stats missing variant"
+BLK_SNAP_BEFORE="$(dirname "$BIN")/blk-snap-before.evb"
+curl -sf -o "$BLK_SNAP_BEFORE" "$BASE/v2/filters/blk/snapshot" && [[ -s "$BLK_SNAP_BEFORE" ]] \
+  || fail "blocked snapshot export failed"
+
 say "compacting the smoke filter (snapshot + log rotation)"
 curl -sf -X POST "$BASE/v2/filters/smoke/compact" | grep -q '"compacted":true' || fail "compact failed"
 say "adding one post-compact item so the restart replays snapshot + log"
@@ -110,7 +152,7 @@ say "restarting from $DATA"
 "$BIN" serve -addr "$ADDR" -data-dir "$DATA" >"$LOG" 2>&1 &
 SERVER_PID=$!
 wait_ready
-grep -q "recovered 2 filter(s)" "$LOG" || fail "restart did not recover both filters"
+grep -q "recovered 3 filter(s)" "$LOG" || fail "restart did not recover all three filters"
 
 say "verifying stats survived the restart byte-identically"
 STATS_AFTER=$(filter_stats)
@@ -127,6 +169,24 @@ curl -sf -X POST "$BASE/v2/filters/smoke/test" -d '{"item":"post-compact"}' | gr
 
 say "verifying the v1 default filter survived too"
 curl -sf -X POST "$BASE/v1/test" -d '{"item":"x"}' | grep -q '"present":true' || fail "default filter state lost"
+
+say "verifying the polluted blocked filter survived the restart"
+BLK_STATS_AFTER=$(blk_stats)
+[[ "$BLK_STATS_BEFORE" == "$BLK_STATS_AFTER" ]] || fail "blocked stats changed across restart:
+  before: $BLK_STATS_BEFORE
+  after:  $BLK_STATS_AFTER"
+BLK_SNAP_AFTER="$(dirname "$BIN")/blk-snap-after.evb"
+curl -sf -o "$BLK_SNAP_AFTER" "$BASE/v2/filters/blk/snapshot" \
+  || fail "blocked snapshot re-export failed"
+cmp -s "$BLK_SNAP_BEFORE" "$BLK_SNAP_AFTER" || fail "blocked snapshot changed across restart"
+BLK_GHOSTS_AFTER="$(dirname "$BIN")/blk-ghosts-after.txt"
+blk_ghosts "$BLK_GHOSTS_AFTER"
+diff -q "$BLK_GHOSTS_BEFORE" "$BLK_GHOSTS_AFTER" >/dev/null \
+  || fail "blocked ghost false-positive set changed across restart"
+for i in 1 60 120; do
+  curl -sf -X POST "$BASE/v2/filters/blk/test" -d "{\"item\":\"http://pollute.example/$i\"}" \
+    | grep -q '"present":true' || fail "blocked filter lost polluting item $i across restart"
+done
 
 # ---------------------------------------------------------------------------
 # Two-server cache-digest exchange (§7 live): a second evilbloom process
