@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"evilbloom/internal/benchfmt"
+	"evilbloom/internal/resp"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -43,9 +44,22 @@ type benchServeFlags struct {
 	seed       *uint64
 	items      *int
 	url        *string
+	proto      *string
+	inflight   *int
 	rlockReads *bool
 	name       *string
 	out        *string
+}
+
+// set reports whether the named flag was given explicitly.
+func (v *benchServeFlags) set(name string) bool {
+	found := false
+	v.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			found = true
+		}
+	})
+	return found
 }
 
 func newBenchServeFlagSet() *benchServeFlags {
@@ -62,7 +76,9 @@ func newBenchServeFlagSet() *benchServeFlags {
 		hashCount:  fs.Int("hashes", 4, "hash functions per item (k)"),
 		seed:       fs.Uint64("seed", 42, "deterministic seed for the filter and the workload"),
 		items:      fs.Int("items", 50000, "distinct items in the workload pool"),
-		url:        fs.String("url", "", "benchmark an already-running server at this base URL instead of in-process"),
+		url:        fs.String("url", "", "benchmark an already-running server at this URL instead of in-process (http://, https:// or resp://host:port)"),
+		proto:      fs.String("proto", "http", "wire protocol: http (JSON plane) or resp (binary plane)"),
+		inflight:   fs.Int("inflight", 1, "pipelined requests kept unacknowledged per connection (resp only; 1 = synchronous round trips)"),
 		rlockReads: fs.Bool("rlock-reads", false, "disable the lock-free read path (RLock baseline; in-process only)"),
 		name:       fs.String("name", "", "run name in the report (default serve/<variant>/mixed[+rlock])"),
 		out:        fs.String("out", "", "report path to merge into (default BENCH_<today>.json)"),
@@ -183,21 +199,57 @@ func cmdBenchServe(args []string) error {
 		return fmt.Errorf("mix includes remove but the %v variant cannot delete; use -variant counting or remove=0", variant)
 	}
 
+	// Resolve the wire protocol before anything talks to a server: a -url is
+	// validated scheme-first (it used to be silently assumed to be HTTP), and
+	// a scheme that contradicts an explicit -proto is an error, not a guess.
+	proto := *v.proto
+	if proto != "http" && proto != "resp" {
+		return fmt.Errorf("-proto %q not supported (want http or resp)", proto)
+	}
 	base := strings.TrimRight(*v.url, "/")
-	filterURL := ""
-	if base == "" {
-		// In-process server on a loopback port: the benchmark still crosses
-		// the real HTTP stack (serialization, routing, rate accounting),
-		// just without a network in the middle.
-		reg := service.NewRegistry()
-		cfg := service.Config{
-			Variant:   variant,
-			Shards:    *v.shards,
-			ShardBits: *v.shardBits,
-			HashCount: *v.hashCount,
-			Seed:      *v.seed,
-			RouteKey:  []byte("fedcba9876543210"),
+	respAddr := ""
+	if base != "" {
+		scheme, rest, ok := strings.Cut(base, "://")
+		if !ok || rest == "" {
+			return fmt.Errorf("-url %q has no scheme; use http://host:port, https://host:port or resp://host:port", base)
 		}
+		urlProto := ""
+		switch scheme {
+		case "http", "https":
+			urlProto = "http"
+		case "resp":
+			urlProto = "resp"
+			respAddr = rest
+		default:
+			return fmt.Errorf("-url scheme %q not supported (want http, https or resp)", scheme)
+		}
+		if v.set("proto") && proto != urlProto {
+			return fmt.Errorf("-proto %s contradicts the -url scheme %s://", proto, scheme)
+		}
+		proto = urlProto
+	}
+	if *v.inflight < 1 {
+		return fmt.Errorf("-inflight must be at least 1")
+	}
+	if proto != "resp" && *v.inflight > 1 {
+		return fmt.Errorf("-inflight needs -proto resp; the HTTP client completes each request before sending the next")
+	}
+
+	cfg := service.Config{
+		Variant:   variant,
+		Shards:    *v.shards,
+		ShardBits: *v.shardBits,
+		HashCount: *v.hashCount,
+		Seed:      *v.seed,
+		RouteKey:  []byte("fedcba9876543210"),
+	}
+	filterURL := ""
+	switch {
+	case base == "":
+		// In-process server on a loopback port: the benchmark still crosses
+		// the real serving stack (framing, routing, rate accounting), just
+		// without a network in the middle.
+		reg := service.NewRegistry()
 		f, err := reg.Create("bench", cfg)
 		if err != nil {
 			return err
@@ -209,6 +261,18 @@ func cmdBenchServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		if proto == "resp" {
+			rsrv := resp.NewServer(reg)
+			go rsrv.Serve(ln)
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				rsrv.Shutdown(ctx)
+			}()
+			respAddr = ln.Addr().String()
+			base = "resp://" + respAddr
+			break
+		}
 		srv := &http.Server{Handler: service.NewRegistryServer(reg)}
 		go srv.Serve(ln)
 		defer func() {
@@ -218,12 +282,31 @@ func cmdBenchServe(args []string) error {
 		}()
 		base = "http://" + ln.Addr().String()
 		filterURL = base + "/v2/filters/bench"
-	} else {
-		if *v.rlockReads {
-			return fmt.Errorf("-rlock-reads needs the in-process server (it flips an internal knob); drop -url")
+	case *v.rlockReads:
+		return fmt.Errorf("-rlock-reads needs the in-process server (it flips an internal knob); drop -url")
+	case proto == "resp":
+		// Against an external RESP server, create the filter over the wire;
+		// an existing filter of the same name is reused as-is.
+		cli, err := resp.Dial(respAddr)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %w", respAddr, err)
 		}
-		// Against an external server, create the filter over the wire; an
-		// existing filter of the same name is reused as-is.
+		reply, err := cli.Do("BF.RESERVE", "bench", "0", "0",
+			"VARIANT", variant.String(),
+			"SHARDS", strconv.Itoa(*v.shards),
+			"SHARDBITS", strconv.FormatUint(*v.shardBits, 10),
+			"HASHES", strconv.Itoa(*v.hashCount),
+			"SEED", strconv.FormatUint(*v.seed, 10))
+		cli.Close()
+		if err != nil {
+			return fmt.Errorf("creating filter over RESP at %s: %w", respAddr, err)
+		}
+		if e := reply.Err(); e != nil && !strings.Contains(e.Error(), "exists") {
+			return fmt.Errorf("creating filter over RESP at %s: %w", respAddr, e)
+		}
+	default:
+		// Against an external HTTP server, create the filter over the wire;
+		// an existing filter of the same name is reused as-is.
 		filterURL = base + "/v2/filters/bench"
 		spec, _ := json.Marshal(map[string]any{
 			"variant": variant.String(), "shards": *v.shards,
@@ -234,14 +317,14 @@ func cmdBenchServe(args []string) error {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		resp, err := http.DefaultClient.Do(req)
+		res, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return fmt.Errorf("creating filter at %s: %w", filterURL, err)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
-			return fmt.Errorf("creating filter at %s: unexpected status %s", filterURL, resp.Status)
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusCreated && res.StatusCode != http.StatusConflict {
+			return fmt.Errorf("creating filter at %s: unexpected status %s", filterURL, res.Status)
 		}
 	}
 
@@ -253,8 +336,16 @@ func cmdBenchServe(args []string) error {
 	}
 	defer transport.CloseIdleConnections()
 
-	fmt.Printf("bench-serve: %d conns × pipeline %d, mix %s, variant %v, %v at %s\n",
-		*v.conns, *v.pipeline, *v.mix, variant, *v.duration, base)
+	fmt.Printf("bench-serve: %d conns × pipeline %d (inflight %d), proto %s, mix %s, variant %v, %v at %s\n",
+		*v.conns, *v.pipeline, *v.inflight, proto, *v.mix, variant, *v.duration, base)
+
+	var poolBytes [][]byte
+	if proto == "resp" {
+		poolBytes = make([][]byte, len(pool))
+		for i, s := range pool {
+			poolBytes[i] = []byte(s)
+		}
+	}
 
 	workers := make([]benchWorker, *v.conns)
 	deadline := time.Now().Add(*v.duration)
@@ -266,6 +357,10 @@ func cmdBenchServe(args []string) error {
 			// 7919 (a prime) decorrelates the per-worker streams from the
 			// pool generator and from each other.
 			bw.rng = rand.New(rand.NewSource(int64(*v.seed) + int64(id)*7919))
+			if proto == "resp" {
+				bw.err = respBenchWorker(bw, respAddr, mix, poolBytes, *v.pipeline, *v.inflight, deadline)
+				return
+			}
 			client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 			batch := make([]string, *v.pipeline)
 			for time.Now().Before(deadline) {
@@ -279,15 +374,15 @@ func cmdBenchServe(args []string) error {
 					return
 				}
 				start := time.Now()
-				resp, err := client.Post(filterURL+"/"+op+"-batch", "application/json", bytes.NewReader(body))
+				res, err := client.Post(filterURL+"/"+op+"-batch", "application/json", bytes.NewReader(body))
 				if err != nil {
 					bw.err = err
 					return
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					bw.err = fmt.Errorf("%s-batch: unexpected status %s", op, resp.Status)
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+				if res.StatusCode != http.StatusOK {
+					bw.err = fmt.Errorf("%s-batch: unexpected status %s", op, res.Status)
 					return
 				}
 				bw.samples = append(bw.samples, time.Since(start).Nanoseconds())
@@ -317,6 +412,9 @@ func cmdBenchServe(args []string) error {
 	name := *v.name
 	if name == "" {
 		name = "serve/" + variant.String() + "/mixed"
+		if proto == "resp" {
+			name += "+resp"
+		}
 		if *v.rlockReads {
 			name += "+rlock"
 		}
@@ -326,6 +424,8 @@ func cmdBenchServe(args []string) error {
 		Source: "bench-serve",
 		Config: map[string]string{
 			"variant":    variant.String(),
+			"proto":      proto,
+			"inflight":   strconv.Itoa(*v.inflight),
 			"conns":      strconv.Itoa(*v.conns),
 			"pipeline":   strconv.Itoa(*v.pipeline),
 			"duration":   v.duration.String(),

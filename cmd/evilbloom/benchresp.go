@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"evilbloom/internal/resp"
+)
+
+// respBenchWorker is one connection's RESP load loop. The pipelined unit is
+// one request: a BF.MADD/BF.MEXISTS of `pipeline` items (or `pipeline`
+// CF.DEL commands flushed together for the remove op). With inflight > 1 the
+// worker keeps that many requests unacknowledged, so the server's
+// read-batch → one-shard-pass → write-batch path is exercised and the
+// per-round-trip latency stops bounding throughput. Latency samples then
+// include queueing delay — they measure what a pipelining client observes,
+// not the server's per-request service time.
+func respBenchWorker(bw *benchWorker, addr string, mix opMix, pool [][]byte, pipeline, inflight int, deadline time.Time) error {
+	cli, err := resp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	type slot struct {
+		start time.Time
+		cmds  int
+		items int
+	}
+	queue := make([]slot, 0, inflight)
+	batch := make([][]byte, pipeline)
+	delArgs := [][]byte{[]byte("CF.DEL"), []byte("bench"), nil}
+
+	receive := func() error {
+		s := queue[0]
+		queue = queue[:copy(queue, queue[1:])]
+		for i := 0; i < s.cmds; i++ {
+			reply, err := cli.Receive()
+			if err != nil {
+				return err
+			}
+			if e := reply.Err(); e != nil {
+				return fmt.Errorf("server error reply: %w", e)
+			}
+		}
+		bw.samples = append(bw.samples, time.Since(s.start).Nanoseconds())
+		bw.ops += uint64(s.items)
+		return nil
+	}
+
+	for time.Now().Before(deadline) {
+		if len(queue) >= inflight {
+			if err := receive(); err != nil {
+				return err
+			}
+		}
+		op := mix.pick(bw.rng)
+		for i := range batch {
+			batch[i] = pool[bw.rng.Intn(len(pool))]
+		}
+		s := slot{start: time.Now(), items: pipeline}
+		switch op {
+		case "add":
+			cli.SendItems("BF.MADD", "bench", batch)
+			s.cmds = 1
+		case "test":
+			cli.SendItems("BF.MEXISTS", "bench", batch)
+			s.cmds = 1
+		case "remove":
+			for _, it := range batch {
+				delArgs[2] = it
+				cli.SendArgs(delArgs)
+			}
+			s.cmds = pipeline
+		}
+		if err := cli.Flush(); err != nil {
+			return err
+		}
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		if err := receive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

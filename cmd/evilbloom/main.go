@@ -76,6 +76,8 @@ func run(args []string) error {
 		return cmdHLL(rest)
 	case "serve":
 		return cmdServe(rest)
+	case "resp-cli":
+		return cmdRespCLI(rest)
 	case "bench-serve":
 		return cmdBenchServe(rest)
 	case "bench-import":
@@ -107,7 +109,10 @@ subcommands:
   overflow  counter-overflow attack (paper §6.2)
   hll       adversarial probabilistic counting (paper §10 extension)
   serve     multi-filter HTTP service: named bloom/counting/blocked filters,
-            naive or hardened, with remove endpoints (§8 and §4.3 live)
+            naive or hardened, with remove endpoints (§8 and §4.3 live);
+            -resp-addr adds the redis-protocol binary plane
+  resp-cli  one-shot RESP client (redis-cli stand-in for scripts):
+            evilbloom resp-cli -addr 127.0.0.1:6390 BF.ADD default item
   bench-serve   HTTP load benchmark against a live registry (in-process by
                 default): pipelined mixed add/test/remove, p50/p99 latency
                 and ops/s, merged into BENCH_<date>.json

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"evilbloom/internal/resp"
+)
+
+// resp-cli: a one-shot RESP client for scripts and smoke tests — the
+// redis-cli stand-in for environments without one. It speaks the same wire
+// protocol redis-cli does, prints replies in the same shape, and exits 0
+// even on an error reply (the reply text, "(error) ...", is the result;
+// transport failures still exit nonzero).
+func cmdRespCLI(args []string) error {
+	fs := flag.NewFlagSet("resp-cli", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6390", "RESP server address (host:port)")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial and reply timeout")
+	repeat := fs.Int("repeat", 1, "send the command this many times, pipelined in one flush")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: evilbloom resp-cli [-addr host:port] COMMAND [arg...]")
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1")
+	}
+	cli, err := resp.DialTimeout(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	for i := 0; i < *repeat; i++ {
+		cli.Send(fs.Args()...)
+	}
+	if err := cli.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < *repeat; i++ {
+		reply, err := cli.Receive()
+		if err != nil {
+			return err
+		}
+		fmt.Println(reply.Format())
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"evilbloom/internal/core"
+	"evilbloom/internal/resp"
 	"evilbloom/internal/service"
 )
 
@@ -22,6 +23,7 @@ import (
 // default filter's configuration after validating the combination.
 type serveFlags struct {
 	addr         *string
+	respAddr     *string
 	variant      *string
 	shards       *int
 	capacity     *uint64
@@ -60,6 +62,7 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	v := &serveFlags{
 		addr:         fs.String("addr", "127.0.0.1:8379", "listen address"),
+		respAddr:     fs.String("resp-addr", "", "additional RESP (redis protocol) listen address, e.g. 127.0.0.1:6390; empty disables the binary plane"),
 		variant:      fs.String("variant", "bloom", "default filter backend: bloom, counting (removable) or blocked (cache-line-local)"),
 		shards:       fs.Int("shards", 8, "shard count (power of two)"),
 		capacity:     fs.Uint64("capacity", 1<<20, "total anticipated insertions"),
@@ -267,6 +270,23 @@ func cmdServe(args []string) error {
 	fmt.Fprintf(os.Stderr, "evilbloom serve: manage named filters via PUT/GET/DELETE /v2/filters/{name}; /v1/* serves the default filter\n")
 	srv := newHTTPServer(service.NewRegistryServer(reg))
 
+	// The optional RESP plane shares the registry — and therefore the
+	// rate-limit buckets, accounting identities and creation caps — with the
+	// HTTP listener. Same filters, same budgets, different wire format.
+	var respSrv *resp.Server
+	var respLn net.Listener
+	if *values.respAddr != "" {
+		respLn, err = net.Listen("tcp", *values.respAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("-resp-addr: %w", err)
+		}
+		respSrv = resp.NewServer(reg)
+		_, respPort, _ := net.SplitHostPort(respLn.Addr().String())
+		fmt.Fprintf(os.Stderr, "evilbloom serve: RESP plane on %s — try: redis-cli -p %s BF.ADD default item\n",
+			respLn.Addr(), respPort)
+	}
+
 	// Graceful shutdown: SIGINT/SIGTERM stop accepting, drain in-flight
 	// requests (so batches complete and their journal records land), then
 	// flush and close every filter's durable store. Killing the process
@@ -274,8 +294,15 @@ func cmdServe(args []string) error {
 	// should never need it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serveErr := make(chan error, 1)
+	serveErr := make(chan error, 2)
 	go func() { serveErr <- srv.Serve(ln) }()
+	if respSrv != nil {
+		go func() {
+			if err := respSrv.Serve(respLn); !errors.Is(err, resp.ErrServerClosed) {
+				serveErr <- err
+			}
+		}()
+	}
 	select {
 	case err := <-serveErr:
 		reg.Close() //nolint:errcheck // the listener error is the headline
@@ -288,6 +315,11 @@ func cmdServe(args []string) error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "evilbloom serve: drain: %v\n", err)
+	}
+	if respSrv != nil {
+		if err := respSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "evilbloom serve: resp drain: %v\n", err)
+		}
 	}
 	if err := reg.Close(); err != nil {
 		return fmt.Errorf("flushing durable state: %w", err)

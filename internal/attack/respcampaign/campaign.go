@@ -1,0 +1,276 @@
+// Package respcampaign re-runs the chosen-insertion pollution campaign of
+// internal/attack over the binary RESP plane, through a pipelined
+// multi-connection client. It lives beside the attack package rather than in
+// it because attack is imported by cachedigest (and transitively by
+// service), while the RESP protocol package is the service's wire plane —
+// the campaign is the one place both ends of that chain meet.
+package respcampaign
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/resp"
+)
+
+// Pollution drives the §4.1 chosen-insertion campaign over the
+// binary RESP plane: the same shadow-view forging as the HTTP campaign, but
+// insertions ship as pipelined BF.MADD batches striped round-robin across
+// several connections, each kept one batch in flight. This is the wire-speed
+// attacker the paper's threat model actually worries about — the JSON plane
+// throttles her at transport cost long before the filter does.
+type Pollution struct {
+	// Addr is the server's RESP address (host:port).
+	Addr string
+	// Filter is the target filter name.
+	Filter string
+	// Conns is the number of concurrent connections (default 4).
+	Conns int
+	// Pipeline is the items per BF.MADD batch (default 64).
+	Pipeline int
+	// Requests is the total number of forged insertions to attempt.
+	Requests int
+	// PerItemBudget bounds candidate generation per forged item (0 takes
+	// the forger default).
+	PerItemBudget uint64
+	// Traffic generates candidate items (e.g. urlgen).
+	Traffic attack.Generator
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	// Inserted counts items the server acknowledged.
+	Inserted int
+	// Busy counts items refused with -BUSY (rate limited).
+	Busy int
+	// ForgeAttempts is the candidate-generation work spent.
+	ForgeAttempts uint64
+	// ShadowWeight and ShadowFPR are the attacker's belief after the run.
+	ShadowWeight uint64
+	ShadowFPR    float64
+	// ServerWeight, ServerCount and ServerFPR are the ground truth from
+	// BF.INFO afterwards.
+	ServerWeight uint64
+	ServerCount  uint64
+	ServerFPR    float64
+	// Elapsed is the campaign wall time; InsertsPerSec the acknowledged
+	// insertion rate (forging cost included).
+	Elapsed       time.Duration
+	InsertsPerSec float64
+}
+
+// respInfo is the subset of BF.INFO the adversary needs.
+type respInfo struct {
+	mode      string
+	shards    int64
+	k         int64
+	shardBits int64
+	weight    int64
+	count     int64
+	fpr       float64
+	seed      *int64
+}
+
+func fetchRESPInfo(cli *resp.Client, filter string) (*respInfo, error) {
+	reply, err := cli.Do("BF.INFO", filter)
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, fmt.Errorf("respcampaign: BF.INFO: %w", err)
+	}
+	info := &respInfo{}
+	for i := 0; i+1 < len(reply.Elems); i += 2 {
+		key, val := reply.Elems[i].Str, &reply.Elems[i+1]
+		switch key {
+		case "mode":
+			info.mode = val.Str
+		case "shards":
+			info.shards = val.Int
+		case "k":
+			info.k = val.Int
+		case "shard_bits":
+			info.shardBits = val.Int
+		case "weight":
+			info.weight = val.Int
+		case "count":
+			info.count = val.Int
+		case "estimated_fpr":
+			info.fpr, _ = strconv.ParseFloat(val.Str, 64)
+		case "seed":
+			s := val.Int
+			info.seed = &s
+		}
+	}
+	return info, nil
+}
+
+// respMADDSink implements Inserter over pipelined BF.MADD batches. Items
+// accumulate until Pipeline is reached, then flush on the next connection
+// round-robin; a connection's previous batch is collected just before it is
+// reused, so up to len(clients) batches ride the network at once. The
+// shadow is updated optimistically at forge time — exact while the server
+// accepts; -BUSY refusals are counted and leave the shadow ahead of the
+// server (the throttled attacker's actual predicament: her model degrades).
+type respMADDSink struct {
+	clients  []*resp.Client
+	sizes    [][]int // per-connection queue of in-flight batch sizes
+	next     int
+	filter   string
+	pipeline int
+	view     *attack.RemoteView
+	buf      [][]byte
+	inserted int
+	busy     int
+	err      error
+}
+
+// Add implements Inserter.
+func (t *respMADDSink) Add(item []byte) {
+	if t.err != nil {
+		return
+	}
+	t.view.Observe(item)
+	t.buf = append(t.buf, item)
+	if len(t.buf) >= t.pipeline {
+		t.flush()
+	}
+}
+
+func (t *respMADDSink) flush() {
+	if len(t.buf) == 0 || t.err != nil {
+		return
+	}
+	i := t.next
+	t.next = (t.next + 1) % len(t.clients)
+	cli := t.clients[i]
+	// Collect the reply of this connection's previous batch before reusing
+	// it: one batch in flight per connection, no reply-order bookkeeping.
+	if cli.Pending() > 0 {
+		t.collect(i)
+	}
+	cli.SendItems("BF.MADD", t.filter, t.buf)
+	if err := cli.Flush(); err != nil {
+		t.err = err
+		return
+	}
+	t.sizes[i] = append(t.sizes[i], len(t.buf))
+	t.buf = t.buf[:0]
+}
+
+func (t *respMADDSink) collect(i int) {
+	reply, err := t.clients[i].Receive()
+	if err != nil {
+		t.err = err
+		return
+	}
+	n := t.sizes[i][0]
+	t.sizes[i] = t.sizes[i][1:]
+	switch {
+	case reply.IsBusy():
+		t.busy += n
+	case reply.Err() != nil:
+		t.err = fmt.Errorf("respcampaign: BF.MADD: %w", reply.Err())
+	default:
+		t.inserted += n
+	}
+}
+
+func (t *respMADDSink) drain() {
+	for i, cli := range t.clients {
+		for cli.Pending() > 0 && t.err == nil {
+			t.collect(i)
+		}
+	}
+}
+
+// Run executes the campaign: fetch the target's public parameters over
+// RESP, build the shadow view (naive single-shard targets only, exactly the
+// HTTP campaign's threat model), then forge and insert Requests items
+// through the pipelined multi-connection sink.
+func (c *Pollution) Run() (*Report, error) {
+	conns := c.Conns
+	if conns <= 0 {
+		conns = 4
+	}
+	pipeline := c.Pipeline
+	if pipeline <= 0 {
+		pipeline = 64
+	}
+	if c.Traffic == nil {
+		return nil, fmt.Errorf("respcampaign: Pollution needs a Traffic generator")
+	}
+
+	clients := make([]*resp.Client, conns)
+	for i := range clients {
+		cli, err := resp.Dial(c.Addr)
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		clients[i] = cli
+	}
+	defer func() {
+		for _, cli := range clients {
+			cli.Close()
+		}
+	}()
+
+	info, err := fetchRESPInfo(clients[0], c.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if info.seed == nil {
+		return nil, fmt.Errorf("respcampaign: server mode %q publishes no seed; indexes are not predictable", info.mode)
+	}
+	if info.shards != 1 {
+		return nil, fmt.Errorf("respcampaign: shadow view needs a single-shard target, server has %d (routing is keyed)", info.shards)
+	}
+	fam, err := hashes.NewDoubleHashing(int(info.k), uint64(info.shardBits), uint64(*info.seed))
+	if err != nil {
+		return nil, err
+	}
+	view := attack.NewRemoteView(nil, fam)
+
+	sink := &respMADDSink{
+		clients:  clients,
+		sizes:    make([][]int, conns),
+		filter:   c.Filter,
+		pipeline: pipeline,
+		view:     view,
+	}
+	adv := attack.NewChosenInsertion(view, sink, view, c.Traffic)
+
+	start := time.Now()
+	if _, err := adv.PolluteGreedy(c.Requests, c.PerItemBudget); err != nil {
+		return nil, err
+	}
+	sink.flush()
+	sink.drain()
+	if sink.err != nil {
+		return nil, sink.err
+	}
+	elapsed := time.Since(start)
+
+	after, err := fetchRESPInfo(clients[0], c.Filter)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Inserted:      sink.inserted,
+		Busy:          sink.busy,
+		ForgeAttempts: adv.Forger().Attempts,
+		ShadowWeight:  view.Weight(),
+		ShadowFPR:     view.EstimatedFPR(),
+		ServerWeight:  uint64(after.weight),
+		ServerCount:   uint64(after.count),
+		ServerFPR:     after.fpr,
+		Elapsed:       elapsed,
+		InsertsPerSec: float64(sink.inserted) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,150 @@
+package respcampaign
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"evilbloom/internal/resp"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// startTarget provisions a registry with one filter under cfg and a RESP
+// listener over it, returning the address.
+func startTarget(t *testing.T, filter string, cfg service.Config) (string, *service.Registry) {
+	t.Helper()
+	reg := service.NewRegistry()
+	t.Cleanup(func() { reg.Close() })
+	if _, err := reg.Create(filter, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := resp.NewServer(reg)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		<-serveErr
+	})
+	return ln.Addr().String(), reg
+}
+
+// paperGeometry is the §4.1 experiment's small single-shard naive target:
+// the seed is public, so the adversary's shadow view predicts every index.
+var paperGeometry = service.Config{
+	Shards:    1,
+	ShardBits: 640,
+	HashCount: 4,
+	Seed:      42,
+}
+
+// An unthrottled campaign over RESP must behave exactly like the HTTP one:
+// the shadow view tracks the server's ground truth bit-for-bit, and greedy
+// chosen insertions drive the filter toward saturation far faster than
+// honest traffic would.
+func TestPollutionSaturatesNaiveTarget(t *testing.T) {
+	addr, _ := startTarget(t, "web", paperGeometry)
+
+	c := &Pollution{
+		Addr:     addr,
+		Filter:   "web",
+		Conns:    2,
+		Pipeline: 16,
+		Requests: 200,
+		Traffic:  urlgen.New(7),
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PolluteGreedy stops early once the shadow view says the filter is
+	// saturated, so Inserted may fall short of Requests — but nothing may
+	// bounce on an unthrottled target.
+	if rep.Busy != 0 {
+		t.Fatalf("busy=%d on an unthrottled target", rep.Busy)
+	}
+	if rep.Inserted < 100 || rep.Inserted > 200 {
+		t.Fatalf("inserted=%d, want within [100, 200]", rep.Inserted)
+	}
+	// With no refusals the shadow is exact: the attacker knows the server's
+	// occupancy without ever reading it back.
+	if rep.ShadowWeight != rep.ServerWeight {
+		t.Fatalf("shadow weight %d != server weight %d; the shadow view drifted", rep.ShadowWeight, rep.ServerWeight)
+	}
+	if rep.ServerCount != uint64(rep.Inserted) {
+		t.Fatalf("server count = %d, want %d (every acknowledged insertion landed)", rep.ServerCount, rep.Inserted)
+	}
+	// Greedy chosen insertions into m=640 saturate: each forged item is
+	// chosen to set many fresh bits, so the resulting FPR dwarfs the
+	// honest-traffic level (~0.11 for 200 random insertions at this
+	// geometry).
+	if rep.ServerFPR < 0.5 {
+		t.Fatalf("server FPR after campaign = %g, want >= 0.5 (saturation)", rep.ServerFPR)
+	}
+	if rep.ForgeAttempts == 0 {
+		t.Fatal("no forging work recorded")
+	}
+	if rep.InsertsPerSec <= 0 {
+		t.Fatalf("InsertsPerSec = %g", rep.InsertsPerSec)
+	}
+}
+
+// A rate-limited target refuses most of the campaign with -BUSY: the
+// mitigation holds on the binary plane too, and the report shows the
+// attacker's shadow model running ahead of the server (her belief degrades
+// once throttled).
+func TestPollutionThrottledByRateLimit(t *testing.T) {
+	addr, reg := startTarget(t, "web", paperGeometry)
+	if err := reg.ConfigureRateLimit(service.RateLimitConfig{MutationsPerSec: 0.1, Burst: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &Pollution{
+		Addr:     addr,
+		Filter:   "web",
+		Conns:    2,
+		Pipeline: 16,
+		Requests: 100,
+		Traffic:  urlgen.New(8),
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserted+rep.Busy != 100 {
+		t.Fatalf("inserted=%d busy=%d, want them to partition 100 attempts", rep.Inserted, rep.Busy)
+	}
+	// Burst 32 at a 0.1/s refill: at most ~32 items land, the rest bounce.
+	if rep.Busy < 60 {
+		t.Fatalf("busy=%d, want the bulk of the campaign refused", rep.Busy)
+	}
+	if rep.Inserted > 40 {
+		t.Fatalf("inserted=%d, want the limiter to hold near its burst", rep.Inserted)
+	}
+	if rep.ShadowWeight <= rep.ServerWeight {
+		t.Fatalf("shadow %d <= server %d; a throttled attacker's optimistic shadow must overshoot",
+			rep.ShadowWeight, rep.ServerWeight)
+	}
+}
+
+// Hardened targets publish no seed over BF.INFO, so the campaign cannot
+// even start — the same refusal the HTTP campaign makes.
+func TestPollutionNeedsPublishedSeed(t *testing.T) {
+	cfg := paperGeometry
+	cfg.Mode = service.ModeHardened
+	addr, _ := startTarget(t, "web", cfg)
+
+	c := &Pollution{Addr: addr, Filter: "web", Requests: 10, Traffic: urlgen.New(9)}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("campaign against a hardened target succeeded; it must refuse (no seed published)")
+	}
+}

@@ -1,0 +1,77 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand throws arbitrary byte streams at the command decoder.
+// The invariants: it never panics, every yielded command respects the
+// argument and size caps, and every rejection is a typed error (a
+// *ProtocolError or an I/O error), never silence.
+func FuzzReadCommand(f *testing.F) {
+	// Valid frames.
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nBF.ADD\r\n$7\r\ndefault\r\n$4\r\nitem\r\n"))
+	f.Add([]byte("*2\r\n$4\r\nECHO\r\n$0\r\n\r\n"))
+	f.Add([]byte("*2\r\n$4\r\nECHO\r\n$3\r\n\x00\xff\n\r\n"))
+	// Inline commands.
+	f.Add([]byte("PING\r\n"))
+	f.Add([]byte("BF.EXISTS default item\n"))
+	f.Add([]byte("  spaced \t out \r\n"))
+	// Truncations.
+	f.Add([]byte("*2\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPI"))
+	f.Add([]byte("*1\r\n"))
+	f.Add([]byte("*2"))
+	// Oversized and malformed lengths.
+	f.Add([]byte(fmt.Sprintf("*1\r\n$%d\r\n", MaxArgLen+1)))
+	f.Add([]byte(fmt.Sprintf("*%d\r\n", MaxCommandArgs+1)))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("*1\r\n$-1\r\n"))
+	f.Add([]byte("*99999999999999999999\r\n"))
+	f.Add([]byte("*abc\r\n$def\r\n"))
+	// Pipelined mixtures and pathological noise.
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("\r\n\r\n*0\r\nPING\r\n"))
+	f.Add(bytes.Repeat([]byte("$"), 512))
+	f.Add([]byte(strings.Repeat("a", maxInlineLen+2)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		cmd := &Command{}
+		// Bound the walk: a stream of empty lines ("\r\n"...) yields one
+		// zero-arg command per line, so cap iterations rather than spinning
+		// to EOF on a worst-case input.
+		for i := 0; i < 1024; i++ {
+			err := r.ReadCommand(cmd)
+			if err != nil {
+				var pe *ProtocolError
+				if errors.As(err, &pe) {
+					return // framing lost: a real server hangs up here
+				}
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				t.Fatalf("untyped error %T from ReadCommand: %v", err, err)
+			}
+			if len(cmd.Args) > MaxCommandArgs {
+				t.Fatalf("yielded %d args, cap is %d", len(cmd.Args), MaxCommandArgs)
+			}
+			total := 0
+			for _, a := range cmd.Args {
+				if len(a) > MaxArgLen {
+					t.Fatalf("yielded a %d-byte arg, cap is %d", len(a), MaxArgLen)
+				}
+				total += len(a)
+			}
+			if total > MaxCommandBytes {
+				t.Fatalf("yielded %d payload bytes, cap is %d", total, MaxCommandBytes)
+			}
+		}
+	})
+}

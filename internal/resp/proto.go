@@ -1,0 +1,357 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"evilbloom/internal/service"
+)
+
+// Wire limits. Command-side bounds mirror the HTTP plane so neither plane
+// accepts a request the other would refuse: an argument is capped at
+// MaxItemLen (items are the longest legitimate argument), a command at
+// MaxBatch items plus command word and filter name, and a whole command's
+// payload at MaxBodyBytes.
+const (
+	// MaxCommandArgs bounds the argument count of one command.
+	MaxCommandArgs = service.MaxBatch + 8
+	// MaxArgLen bounds a single bulk-string argument.
+	MaxArgLen = service.MaxItemLen
+	// MaxCommandBytes bounds the total payload of one command's arguments.
+	MaxCommandBytes = service.MaxBodyBytes
+	// maxInlineLen bounds an inline (plain text line) command.
+	maxInlineLen = 64 << 10
+	// readerBufSize sizes the connection read buffer. Large enough that a
+	// typical pipelined burst of small commands is drained in one syscall.
+	readerBufSize = 64 << 10
+)
+
+// ProtocolError is a malformed-frame error: the server reports it to the
+// client with a "-ERR Protocol error" reply and closes the connection
+// (recovery is impossible — framing is lost), matching Redis behaviour.
+type ProtocolError struct{ msg string }
+
+func (e *ProtocolError) Error() string { return "Protocol error: " + e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Command is one decoded client command. Args alias an internal arena that
+// is overwritten by the next ReadCommand into the same Command, so a batch
+// of concurrently-live commands needs one Command value each.
+type Command struct {
+	Args [][]byte
+
+	arena []byte
+	lens  []int
+}
+
+// reset prepares the command for reuse, keeping capacity.
+func (c *Command) reset() {
+	c.Args = c.Args[:0]
+	c.arena = c.arena[:0]
+	c.lens = c.lens[:0]
+}
+
+// grow appends payload space for one argument to the arena and records its
+// length. Args are materialized only after all reads: arena growth may
+// reallocate, which would invalidate earlier slices.
+func (c *Command) grow(n int) []byte {
+	off := len(c.arena)
+	if cap(c.arena)-off < n {
+		next := make([]byte, off, max(off+n, 2*cap(c.arena)))
+		copy(next, c.arena)
+		c.arena = next
+	}
+	c.arena = c.arena[:off+n]
+	c.lens = append(c.lens, n)
+	return c.arena[off : off+n]
+}
+
+// materialize rebuilds Args from the recorded lengths once the arena is
+// stable.
+func (c *Command) materialize() {
+	off := 0
+	for _, n := range c.lens {
+		c.Args = append(c.Args, c.arena[off:off+n])
+		off += n
+	}
+}
+
+// Reader decodes client commands (RESP arrays of bulk strings, plus the
+// inline plain text form) from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r in a command decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, readerBufSize)}
+}
+
+// Buffered reports how many decoded-but-unread bytes are sitting in the read
+// buffer — nonzero means at least part of another pipelined command has
+// already arrived.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// ReadCommand decodes the next command into cmd, reusing its storage. An
+// empty inline line or zero-element array yields len(cmd.Args) == 0; callers
+// skip those. Errors are either I/O errors or *ProtocolError.
+func (r *Reader) ReadCommand(cmd *Command) error {
+	cmd.reset()
+	line, err := r.readLine()
+	if err != nil {
+		return err
+	}
+	if len(line) == 0 {
+		return nil
+	}
+	if line[0] != '*' {
+		return r.readInline(cmd, line)
+	}
+	n, err := parseInt(line[1:])
+	if err != nil {
+		return protoErrf("invalid multibulk length")
+	}
+	if n < 0 || n > MaxCommandArgs {
+		return protoErrf("invalid multibulk length")
+	}
+	total := 0
+	for i := int64(0); i < n; i++ {
+		hdr, err := r.readLine()
+		if err != nil {
+			return err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return protoErrf("expected '$', got %q", firstByte(hdr))
+		}
+		blen, err := parseInt(hdr[1:])
+		if err != nil || blen < 0 || blen > MaxArgLen {
+			return protoErrf("invalid bulk length")
+		}
+		total += int(blen)
+		if total > MaxCommandBytes {
+			return protoErrf("command payload exceeds %d bytes", MaxCommandBytes)
+		}
+		dst := cmd.grow(int(blen))
+		if _, err := io.ReadFull(r.br, dst); err != nil {
+			return readErr(err)
+		}
+		if err := r.expectCRLF(); err != nil {
+			return err
+		}
+	}
+	cmd.materialize()
+	return nil
+}
+
+// readInline decodes the plain text command form ("PING\r\n"), splitting on
+// spaces and tabs. Quoting is not supported.
+func (r *Reader) readInline(cmd *Command, line []byte) error {
+	if len(line) > maxInlineLen {
+		return protoErrf("too big inline request")
+	}
+	// Copy the whole line first: line aliases the bufio buffer.
+	buf := cmd.grow(len(line))
+	copy(buf, line)
+	cmd.lens = cmd.lens[:0]
+	start := -1
+	for i := 0; i <= len(buf); i++ {
+		if i < len(buf) && buf[i] != ' ' && buf[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			if i-start > MaxArgLen {
+				return protoErrf("too big inline argument")
+			}
+			cmd.Args = append(cmd.Args, buf[start:i])
+			if len(cmd.Args) > MaxCommandArgs {
+				return protoErrf("too many inline arguments")
+			}
+			start = -1
+		}
+	}
+	return nil
+}
+
+// readLine returns the next line without its terminator. Lines may end in
+// \r\n (standard) or bare \n (tolerated for inline use via netcat).
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, protoErrf("line too long")
+		}
+		return nil, readErr(err)
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+func (r *Reader) expectCRLF() error {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return readErr(err)
+	}
+	if b == '\n' {
+		return nil
+	}
+	if b != '\r' {
+		return protoErrf("expected CRLF after bulk payload")
+	}
+	if b, err = r.br.ReadByte(); err != nil {
+		return readErr(err)
+	}
+	if b != '\n' {
+		return protoErrf("expected CRLF after bulk payload")
+	}
+	return nil
+}
+
+// readErr normalizes a mid-frame EOF: a stream ending inside a command is a
+// truncated frame, not a clean close.
+func readErr(err error) error {
+	if errors.Is(err, io.EOF) && err != io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func firstByte(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return string(b[:1])
+}
+
+// parseInt parses a decimal integer from b without allocating.
+func parseInt(b []byte) (int64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, errors.New("resp: bad integer")
+	}
+	neg := false
+	i := 0
+	switch b[0] {
+	case '-':
+		neg, i = true, 1
+	case '+':
+		i = 1
+	}
+	if i == len(b) {
+		return 0, errors.New("resp: bad integer")
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		d := b[i]
+		if d < '0' || d > '9' {
+			return 0, errors.New("resp: bad integer")
+		}
+		if n > (1<<62)/10 {
+			return 0, errors.New("resp: integer overflow")
+		}
+		n = n*10 + int64(d-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. Reply writers append to a bufio.Writer; the server flushes
+// once per pipelined batch. Integer replies go through a small on-stack
+// scratch so the hot path (":1\r\n" per item) does not allocate.
+
+var crlf = []byte("\r\n")
+
+func writeSimple(w *bufio.Writer, s string) {
+	w.WriteByte('+')
+	w.WriteString(s)
+	w.Write(crlf)
+}
+
+// writeError writes "-<msg>\r\n". Embedded CR/LF would desynchronize the
+// stream, so they are replaced.
+func writeError(w *bufio.Writer, msg string) {
+	w.WriteByte('-')
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		w.WriteByte(c)
+	}
+	w.Write(crlf)
+}
+
+func writeInt(w *bufio.Writer, n int64) {
+	var scratch [24]byte
+	b := append(scratch[:0], ':')
+	b = strconv.AppendInt(b, n, 10)
+	b = append(b, '\r', '\n')
+	w.Write(b)
+}
+
+func writeBulk(w *bufio.Writer, payload []byte) {
+	var scratch [24]byte
+	b := append(scratch[:0], '$')
+	b = strconv.AppendInt(b, int64(len(payload)), 10)
+	b = append(b, '\r', '\n')
+	w.Write(b)
+	w.Write(payload)
+	w.Write(crlf)
+}
+
+func writeBulkString(w *bufio.Writer, s string) {
+	var scratch [24]byte
+	b := append(scratch[:0], '$')
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, '\r', '\n')
+	w.Write(b)
+	w.WriteString(s)
+	w.Write(crlf)
+}
+
+func writeBulkFloat(w *bufio.Writer, f float64) {
+	writeBulkString(w, strconv.FormatFloat(f, 'g', -1, 64))
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) {
+	var scratch [24]byte
+	b := append(scratch[:0], '*')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '\r', '\n')
+	w.Write(b)
+}
+
+// writeMapHeader writes a RESP3 map header, degrading to a flat array of
+// 2n elements on RESP2 connections.
+func writeMapHeader(w *bufio.Writer, pairs int, proto int) {
+	if proto >= 3 {
+		var scratch [24]byte
+		b := append(scratch[:0], '%')
+		b = strconv.AppendInt(b, int64(pairs), 10)
+		b = append(b, '\r', '\n')
+		w.Write(b)
+		return
+	}
+	writeArrayHeader(w, 2*pairs)
+}
+
+// writeCommand serializes a client command: an array of bulk strings.
+func writeCommand(w *bufio.Writer, args [][]byte) {
+	writeArrayHeader(w, len(args))
+	for _, a := range args {
+		writeBulk(w, a)
+	}
+}

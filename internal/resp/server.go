@@ -1,0 +1,657 @@
+package resp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evilbloom/internal/core"
+	"evilbloom/internal/service"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown closes the listener.
+var ErrServerClosed = errors.New("resp: server closed")
+
+const (
+	// maxPipelineBatch caps how many buffered commands one batch executes
+	// before replies are flushed, bounding reply latency and per-connection
+	// memory under an endless pipelined stream.
+	maxPipelineBatch = 512
+	// idleTimeout is the per-command read deadline; a connection silent for
+	// this long is closed.
+	idleTimeout = 5 * time.Minute
+	// serverVersion is reported by HELLO.
+	serverVersion = "1.0"
+)
+
+// Server serves the RESP plane of a registry. The zero value is not usable;
+// construct with NewServer. Mutation commands spend the registry's rate-limit
+// buckets under the same RemoteAddr-host identity rule as the HTTP plane.
+type Server struct {
+	reg *service.Registry
+
+	mu         sync.Mutex
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	inShutdown atomic.Bool
+	connWG     sync.WaitGroup
+	connID     atomic.Int64
+}
+
+// NewServer returns a server over reg.
+func NewServer(reg *service.Registry) *Server {
+	return &Server{
+		reg:       reg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. Like http.Server.Serve it
+// blocks, returning ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.inShutdown.Load() {
+		return ErrServerClosed
+	}
+	s.mu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.inShutdown.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops accepting, nudges every live connection off its blocking
+// read, and waits for in-flight batches to finish writing. Connections still
+// open when ctx expires are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		// Wake readers blocked in ReadCommand; the connection loop sees
+		// inShutdown and exits after flushing the batch in progress.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	h := &connHandler{
+		srv:      s,
+		conn:     conn,
+		r:        NewReader(conn),
+		w:        bufio.NewWriterSize(conn, 32<<10),
+		identity: service.IdentityFromRemoteAddr(conn.RemoteAddr().String()),
+		proto:    2,
+		id:       s.connID.Add(1),
+	}
+	batch := make([]Command, 0, 16)
+	for !h.closing && !s.inShutdown.Load() {
+		n, err := h.readBatch(&batch)
+		if err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				// Framing is lost: report once, then close.
+				writeError(h.w, "ERR "+pe.Error())
+				h.w.Flush()
+			}
+			return
+		}
+		h.execBatch(batch[:n])
+		if err := h.w.Flush(); err != nil {
+			return
+		}
+	}
+	if h.closing {
+		h.w.Flush()
+	}
+}
+
+// readBatch reads one command blocking, then drains every command whose
+// bytes are already buffered, up to maxPipelineBatch. Commands keep their
+// own arenas, so all of a batch's arguments stay valid through execution.
+func (h *connHandler) readBatch(batch *[]Command) (int, error) {
+	b := *batch
+	n := 0
+	h.conn.SetReadDeadline(time.Now().Add(idleTimeout))
+	for {
+		if n == len(b) {
+			b = append(b, Command{})
+		}
+		if err := h.r.ReadCommand(&b[n]); err != nil {
+			*batch = b
+			return 0, err
+		}
+		if len(b[n].Args) > 0 {
+			n++
+		}
+		if n >= maxPipelineBatch || h.r.Buffered() == 0 {
+			break
+		}
+	}
+	*batch = b
+	return n, nil
+}
+
+// connHandler is the per-connection execution state. Scratch slices are
+// reused across batches so the steady-state data path does not allocate.
+type connHandler struct {
+	srv      *Server
+	conn     net.Conn
+	r        *Reader
+	w        *bufio.Writer
+	identity string
+	proto    int
+	id       int64
+	closing  bool
+
+	g           group
+	boolScratch []bool
+}
+
+// Batchable command kinds. Consecutive commands with the same kind and
+// filter execute as one store batch call.
+const (
+	kindNone = iota
+	kindAdd
+	kindTest
+	kindDel
+)
+
+// pend records one command's slice of the current group: how many of the
+// group's items belong to it, its reply shape, and whether the rate limiter
+// refused it (busy commands contribute no items but still reply in order).
+type pend struct {
+	n         int
+	multi     bool
+	busy      bool
+	retrySecs int64
+	filter    string
+}
+
+type group struct {
+	kind   int
+	filter string
+	store  *service.Sharded
+	items  [][]byte
+	pends  []pend
+}
+
+func (g *group) reset() {
+	g.kind = kindNone
+	g.store = nil
+	g.items = g.items[:0]
+	g.pends = g.pends[:0]
+}
+
+// execBatch runs a batch of decoded commands in order. Item commands
+// accumulate into the current group; any kind/filter switch, control
+// command, or error flushes the group first so replies stay in command
+// order.
+func (h *connHandler) execBatch(cmds []Command) {
+	h.g.reset()
+	for i := range cmds {
+		args := cmds[i].Args
+		name := args[0]
+		switch {
+		case equalFold(name, "BF.ADD"):
+			h.itemCommand(args, kindAdd, false, 2)
+		case equalFold(name, "BF.MADD"):
+			h.itemCommand(args, kindAdd, true, 2)
+		case equalFold(name, "BF.EXISTS"):
+			h.itemCommand(args, kindTest, false, 2)
+		case equalFold(name, "BF.MEXISTS"):
+			h.itemCommand(args, kindTest, true, 2)
+		case equalFold(name, "CF.DEL"):
+			h.itemCommand(args, kindDel, false, 2)
+		default:
+			h.flushGroup()
+			h.controlCommand(args)
+		}
+	}
+	h.flushGroup()
+}
+
+// itemCommand validates and stages one BF.ADD/BF.MADD/BF.EXISTS/BF.MEXISTS/
+// CF.DEL. minArgs is the index of the first item (command word + filter
+// name).
+func (h *connHandler) itemCommand(args [][]byte, kind int, multi bool, minArgs int) {
+	if len(args) < minArgs+1 {
+		h.flushGroup()
+		h.writeArityError(args[0])
+		return
+	}
+	if !multi && len(args) != minArgs+1 {
+		h.flushGroup()
+		h.writeArityError(args[0])
+		return
+	}
+	items := args[minArgs:]
+	if len(items) > service.MaxBatch {
+		h.flushGroup()
+		writeError(h.w, fmt.Sprintf("ERR batch of %d items exceeds limit %d", len(items), service.MaxBatch))
+		return
+	}
+	for _, it := range items {
+		if len(it) == 0 {
+			h.flushGroup()
+			writeError(h.w, "ERR empty item")
+			return
+		}
+		if len(it) > service.MaxItemLen {
+			h.flushGroup()
+			writeError(h.w, fmt.Sprintf("ERR item of %d bytes exceeds limit %d", len(it), service.MaxItemLen))
+			return
+		}
+	}
+	filter := string(args[1])
+	if h.g.kind != kind || h.g.filter != filter {
+		h.flushGroup()
+		f, err := h.srv.reg.Get(filter)
+		if err != nil {
+			writeError(h.w, fmt.Sprintf("ERR no such filter %q; BF.RESERVE it first", filter))
+			return
+		}
+		h.g.kind = kind
+		h.g.filter = filter
+		h.g.store = f.Store()
+	}
+	p := pend{n: len(items), multi: multi, filter: filter}
+	if kind == kindAdd || kind == kindDel {
+		// One command = one charge, exactly as one HTTP request would be
+		// charged, so pipelining cannot stretch a bucket: a refused command
+		// stays out of the group and answers -BUSY in sequence.
+		ok, retry := h.srv.reg.Limiter().Allow(filter, h.identity, len(items))
+		if !ok {
+			p.busy, p.n = true, len(items)
+			p.retrySecs = retrySeconds(retry)
+			h.g.pends = append(h.g.pends, p)
+			return
+		}
+	}
+	h.g.items = append(h.g.items, items...)
+	h.g.pends = append(h.g.pends, p)
+}
+
+// flushGroup executes the staged run — one batched store pass — and writes
+// its replies in command order.
+func (h *connHandler) flushGroup() {
+	g := &h.g
+	if len(g.pends) == 0 {
+		return
+	}
+	switch g.kind {
+	case kindAdd:
+		// "Newly added" = not present before this run's single AddBatch
+		// pass. Test-then-add is not atomic (neither is RedisBloom's), and
+		// duplicates within one run each report 1; see the package comment.
+		h.boolScratch = g.store.TestBatch(h.boolScratch[:0], g.items)
+		g.store.AddBatch(g.items)
+		idx := 0
+		for _, p := range g.pends {
+			if p.busy {
+				h.writeBusy(p)
+				continue
+			}
+			if p.multi {
+				writeArrayHeader(h.w, p.n)
+			}
+			for j := 0; j < p.n; j++ {
+				writeBool(h.w, !h.boolScratch[idx])
+				idx++
+			}
+		}
+	case kindTest:
+		h.boolScratch = g.store.TestBatch(h.boolScratch[:0], g.items)
+		idx := 0
+		for _, p := range g.pends {
+			if p.multi {
+				writeArrayHeader(h.w, p.n)
+			}
+			for j := 0; j < p.n; j++ {
+				writeBool(h.w, h.boolScratch[idx])
+				idx++
+			}
+		}
+	case kindDel:
+		removed, err := g.store.RemoveBatch(g.items)
+		idx := 0
+		for _, p := range g.pends {
+			if p.busy {
+				h.writeBusy(p)
+				continue
+			}
+			if err != nil {
+				// ErrNotRemovable: the whole run failed; the bucket was
+				// charged before the capability check, mirroring HTTP's
+				// charge-then-405 order.
+				writeError(h.w, fmt.Sprintf("ERR %s", err))
+				idx += p.n
+				continue
+			}
+			for j := 0; j < p.n; j++ {
+				writeBool(h.w, removed[idx])
+				idx++
+			}
+		}
+	}
+	g.reset()
+}
+
+func writeBool(w *bufio.Writer, v bool) {
+	if v {
+		w.WriteString(":1\r\n")
+	} else {
+		w.WriteString(":0\r\n")
+	}
+}
+
+func retrySeconds(retry time.Duration) int64 {
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeBusy is the RESP rendering of the HTTP plane's 429 + Retry-After.
+func (h *connHandler) writeBusy(p pend) {
+	writeError(h.w, fmt.Sprintf(
+		"BUSY mutation budget exhausted for filter %q (%d mutation(s) requested); retry after %ds",
+		p.filter, p.n, p.retrySecs))
+}
+
+func (h *connHandler) writeArityError(cmd []byte) {
+	writeError(h.w, fmt.Sprintf("ERR wrong number of arguments for '%s' command", lowerASCII(cmd)))
+}
+
+// controlCommand executes the non-batchable commands.
+func (h *connHandler) controlCommand(args [][]byte) {
+	name := args[0]
+	switch {
+	case equalFold(name, "PING"):
+		switch len(args) {
+		case 1:
+			writeSimple(h.w, "PONG")
+		case 2:
+			writeBulk(h.w, args[1])
+		default:
+			h.writeArityError(name)
+		}
+	case equalFold(name, "ECHO"):
+		if len(args) != 2 {
+			h.writeArityError(name)
+			return
+		}
+		writeBulk(h.w, args[1])
+	case equalFold(name, "HELLO"):
+		h.hello(args)
+	case equalFold(name, "COMMAND"):
+		// Enough for redis-cli to start up: COMMAND COUNT answers a number,
+		// everything else an empty array (redis-cli degrades gracefully).
+		if len(args) >= 2 && equalFold(args[1], "COUNT") {
+			writeInt(h.w, 12)
+			return
+		}
+		writeArrayHeader(h.w, 0)
+	case equalFold(name, "BF.RESERVE"):
+		h.reserve(args)
+	case equalFold(name, "BF.INFO"):
+		h.info(args)
+	case equalFold(name, "QUIT"):
+		writeSimple(h.w, "OK")
+		h.closing = true
+	default:
+		writeError(h.w, fmt.Sprintf("ERR unknown command '%s'", lowerASCII(name)))
+	}
+}
+
+func (h *connHandler) hello(args [][]byte) {
+	if len(args) > 2 {
+		writeError(h.w, "ERR unsupported HELLO options; use HELLO [2|3]")
+		return
+	}
+	if len(args) == 2 {
+		v, err := parseInt(args[1])
+		if err != nil || (v != 2 && v != 3) {
+			writeError(h.w, "NOPROTO unsupported protocol version")
+			return
+		}
+		h.proto = int(v)
+	}
+	writeMapHeader(h.w, 6, h.proto)
+	writeBulkString(h.w, "server")
+	writeBulkString(h.w, "evilbloom")
+	writeBulkString(h.w, "version")
+	writeBulkString(h.w, serverVersion)
+	writeBulkString(h.w, "proto")
+	writeInt(h.w, int64(h.proto))
+	writeBulkString(h.w, "id")
+	writeInt(h.w, h.id)
+	writeBulkString(h.w, "mode")
+	writeBulkString(h.w, "standalone")
+	writeBulkString(h.w, "role")
+	writeBulkString(h.w, "master")
+}
+
+// reserve handles BF.RESERVE key error_rate capacity [option value]...
+// error_rate and capacity may be 0 to take the service defaults; options
+// pin explicit geometry (VARIANT, MODE, SHARDS, SHARDBITS, HASHES, SEED,
+// COUNTERWIDTH, OVERFLOW).
+func (h *connHandler) reserve(args [][]byte) {
+	if len(args) < 4 || len(args)%2 != 0 {
+		h.writeArityError(args[0])
+		return
+	}
+	name := string(args[1])
+	er, err := strconv.ParseFloat(string(args[2]), 64)
+	if err != nil || er < 0 || er >= 1 {
+		writeError(h.w, "ERR bad error rate (want a float in [0, 1); 0 takes the default)")
+		return
+	}
+	capacity, err := strconv.ParseUint(string(args[3]), 10, 64)
+	if err != nil {
+		writeError(h.w, "ERR bad capacity (want a non-negative integer; 0 takes the default)")
+		return
+	}
+	cfg := service.Config{TargetFPR: er, Capacity: capacity}
+	for i := 4; i < len(args); i += 2 {
+		opt, val := args[i], string(args[i+1])
+		switch {
+		case equalFold(opt, "VARIANT"):
+			if cfg.Variant, err = service.ParseVariant(val); err != nil {
+				writeError(h.w, "ERR "+err.Error())
+				return
+			}
+		case equalFold(opt, "MODE"):
+			if cfg.Mode, err = service.ParseMode(val); err != nil {
+				writeError(h.w, "ERR "+err.Error())
+				return
+			}
+		case equalFold(opt, "SHARDS"):
+			if cfg.Shards, err = strconv.Atoi(val); err != nil {
+				writeError(h.w, "ERR bad SHARDS value")
+				return
+			}
+		case equalFold(opt, "SHARDBITS"):
+			if cfg.ShardBits, err = strconv.ParseUint(val, 10, 64); err != nil {
+				writeError(h.w, "ERR bad SHARDBITS value")
+				return
+			}
+		case equalFold(opt, "HASHES"):
+			if cfg.HashCount, err = strconv.Atoi(val); err != nil {
+				writeError(h.w, "ERR bad HASHES value")
+				return
+			}
+		case equalFold(opt, "SEED"):
+			if cfg.Seed, err = strconv.ParseUint(val, 10, 64); err != nil {
+				writeError(h.w, "ERR bad SEED value")
+				return
+			}
+		case equalFold(opt, "COUNTERWIDTH"):
+			if cfg.CounterWidth, err = strconv.Atoi(val); err != nil {
+				writeError(h.w, "ERR bad COUNTERWIDTH value")
+				return
+			}
+		case equalFold(opt, "OVERFLOW"):
+			switch val {
+			case "wrap":
+				cfg.Overflow = core.Wrap
+			case "saturate":
+				cfg.Overflow = core.Saturate
+			default:
+				writeError(h.w, "ERR bad OVERFLOW value (want wrap or saturate)")
+				return
+			}
+		case equalFold(opt, "EXPANSION"), equalFold(opt, "NONSCALING"):
+			// RedisBloom scaling knobs; this store is fixed-size.
+			writeError(h.w, "ERR scaling filters are not supported; size with capacity or SHARDBITS")
+			return
+		default:
+			writeError(h.w, fmt.Sprintf("ERR unknown BF.RESERVE option '%s'", lowerASCII(opt)))
+			return
+		}
+	}
+	if _, err := h.srv.reg.Create(name, cfg); err != nil {
+		writeError(h.w, "ERR "+err.Error())
+		return
+	}
+	writeSimple(h.w, "OK")
+}
+
+// info handles BF.INFO key: a flat field/value array. Naive filters publish
+// their seed — the same deliberate disclosure the HTTP stats endpoint makes,
+// which the chosen-insertion adversary needs to build its shadow view.
+func (h *connHandler) info(args [][]byte) {
+	if len(args) != 2 {
+		h.writeArityError(args[0])
+		return
+	}
+	name := string(args[1])
+	f, err := h.srv.reg.Get(name)
+	if err != nil {
+		writeError(h.w, fmt.Sprintf("ERR no such filter %q", name))
+		return
+	}
+	st := f.Store()
+	stats := st.Stats()
+	naive := st.Mode() == service.ModeNaive
+	pairs := 10
+	if naive {
+		pairs++
+	}
+	writeMapHeader(h.w, pairs, h.proto)
+	writeBulkString(h.w, "name")
+	writeBulkString(h.w, name)
+	writeBulkString(h.w, "variant")
+	writeBulkString(h.w, stats.Variant)
+	writeBulkString(h.w, "mode")
+	writeBulkString(h.w, stats.Mode)
+	writeBulkString(h.w, "shards")
+	writeInt(h.w, int64(stats.Shards))
+	writeBulkString(h.w, "k")
+	writeInt(h.w, int64(stats.K))
+	writeBulkString(h.w, "shard_bits")
+	writeInt(h.w, int64(stats.ShardBits))
+	writeBulkString(h.w, "count")
+	writeInt(h.w, int64(stats.Count))
+	writeBulkString(h.w, "weight")
+	writeInt(h.w, int64(stats.Weight))
+	writeBulkString(h.w, "fill")
+	writeBulkFloat(h.w, stats.Fill)
+	writeBulkString(h.w, "estimated_fpr")
+	writeBulkFloat(h.w, stats.FPR)
+	if naive {
+		writeBulkString(h.w, "seed")
+		writeInt(h.w, int64(st.Seed()))
+	}
+}
+
+// equalFold reports ASCII case-insensitive equality of b against the
+// uppercase constant s, without allocating.
+func equalFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerASCII(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -476,9 +476,19 @@ func clientIdentity(r *http.Request, trustProxy bool) string {
 			}
 		}
 	}
-	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	return IdentityFromRemoteAddr(r.RemoteAddr)
+}
+
+// IdentityFromRemoteAddr resolves the transport-peer identity every wire
+// plane charges mutations to when no trusted proxy claim applies: the host
+// part of a listener-reported remote address. The RESP plane uses it
+// directly (no headers exist there to trust), so a client exhausting its
+// budget over HTTP is equally exhausted over RESP — one bucket per peer
+// host, not per plane.
+func IdentityFromRemoteAddr(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
 	if err != nil || host == "" {
-		return r.RemoteAddr
+		return remoteAddr
 	}
 	return host
 }

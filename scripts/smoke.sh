@@ -23,6 +23,7 @@ cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
   [[ -n "${SERVER_B_PID:-}" ]] && kill "$SERVER_B_PID" 2>/dev/null || true
   [[ -n "${SERVER_C_PID:-}" ]] && kill "$SERVER_C_PID" 2>/dev/null || true
+  [[ -n "${SERVER_D_PID:-}" ]] && kill "$SERVER_D_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -332,5 +333,72 @@ curl -sf -X POST "$C_BASE/v2/filters/default/test" -d '{"item":"burst-ghost-1"}'
 say "stopping rate-limited server C"
 kill -TERM "$SERVER_C_PID"
 wait "$SERVER_C_PID" || fail "server C exited non-zero on SIGTERM"
+
+# ---------------------------------------------------------------------------
+# RESP binary plane: a fourth server opens the redis-protocol listener
+# (-resp-addr) beside HTTP, rate-limited so the cross-plane bucket rule is
+# observable. `evilbloom resp-cli` is the bundled redis-cli stand-in —
+# byte-identical protocol, same reply formatting. The section drives:
+# BF.RESERVE, one pipelined 100-item BF.MADD, EXISTS probes, a rate-limit
+# burst answered with -BUSY over RESP, and the same spent bucket answering
+# 429 over HTTP (no side door between the planes).
+
+say "=== RESP binary plane ==="
+D_ADDR="127.0.0.1:${SMOKE_PORT4:-18382}"
+D_BASE="http://$D_ADDR"
+D_RESP="127.0.0.1:${SMOKE_RESP_PORT:-16390}"
+LOG_D="$(dirname "$BIN")/serve-d.log"
+
+say "starting server D on $D_ADDR with -resp-addr $D_RESP (-rate-mutations 0.01 -rate-burst 105)"
+"$BIN" serve -addr "$D_ADDR" -resp-addr "$D_RESP" -rate-mutations 0.01 -rate-burst 105 >"$LOG_D" 2>&1 &
+SERVER_D_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$D_BASE/v1/info" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_D_PID" 2>/dev/null || { LOG="$LOG_D" fail "server D exited during startup"; }
+  sleep 0.1
+done
+curl -sf "$D_BASE/v1/info" >/dev/null || fail "server D never came up"
+
+rcli() { "$BIN" resp-cli -addr "$D_RESP" "$@"; }
+
+say "PING over RESP"
+rcli PING | grep -q '^PONG$' || fail "RESP PING failed"
+
+say "creating a filter over RESP: BF.RESERVE rsmoke (m=4096, k=4, naive seed 3)"
+rcli BF.RESERVE rsmoke 0 0 SHARDS 1 SHARDBITS 4096 HASHES 4 SEED 3 | grep -q '^OK$' \
+  || fail "BF.RESERVE failed"
+
+say "pipelined 100-item BF.MADD (one command, one shard pass)"
+MADD_ITEMS=()
+for i in $(seq 1 100); do MADD_ITEMS+=("http://resp.example/$i"); done
+MADD_OUT=$(rcli BF.MADD rsmoke "${MADD_ITEMS[@]}")
+MADD_ADDED=$(echo "$MADD_OUT" | grep -c '(integer) 1' || true)
+[[ "$MADD_ADDED" == "100" ]] || fail "BF.MADD added $MADD_ADDED/100 items: $MADD_OUT"
+
+say "EXISTS probes: inserted items present, fresh item absent"
+rcli BF.EXISTS rsmoke "http://resp.example/1" | grep -q '(integer) 1' || fail "inserted item absent over RESP"
+rcli BF.EXISTS rsmoke "never-inserted-item" | grep -q '(integer) 0' || fail "fresh item present over RESP"
+rcli BF.INFO rsmoke | grep -q 'count' || fail "BF.INFO gave no count"
+
+say "bursting 12 pipelined BF.ADDs at the 5 tokens left after the MADD"
+BURST_OUT=$(rcli -repeat 12 BF.ADD rsmoke burst-ghost)
+BURST_OK=$(echo "$BURST_OUT" | grep -c '(integer)' || true)
+BURST_BUSY=$(echo "$BURST_OUT" | grep -c '(error) BUSY' || true)
+say "burst outcome over RESP: $BURST_OK accepted, $BURST_BUSY busy"
+[[ "$BURST_OK" == "5" ]] || fail "RESP burst allowed $BURST_OK adds, want exactly 5: $BURST_OUT"
+[[ "$BURST_BUSY" == "7" ]] || fail "RESP burst bounced $BURST_BUSY adds, want 7: $BURST_OUT"
+echo "$BURST_OUT" | grep -q 'retry after [0-9]*s' || fail "-BUSY reply carried no retry seconds"
+
+say "the HTTP plane shares the spent bucket (no side door)"
+X_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$D_BASE/v2/filters/rsmoke/add" -d '{"item":"http-ghost"}')
+[[ "$X_CODE" == "429" ]] || fail "HTTP add on a RESP-spent budget answered $X_CODE, want 429"
+
+say "reads stay free over RESP on the spent budget"
+rcli BF.EXISTS rsmoke "http://resp.example/2" | grep -q '(integer) 1' || fail "RESP read throttled"
+
+say "stopping server D (graceful drain covers the RESP listener)"
+kill -TERM "$SERVER_D_PID"
+wait "$SERVER_D_PID" || fail "server D exited non-zero on SIGTERM"
+grep -q "durable state flushed\|bye" "$LOG_D" || fail "server D did not drain cleanly"
 
 say "OK"
