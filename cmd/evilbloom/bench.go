@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"evilbloom/internal/benchfmt"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/resp"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
@@ -273,7 +274,7 @@ func cmdBenchServe(args []string) error {
 			base = "resp://" + respAddr
 			break
 		}
-		srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+		srv := &http.Server{Handler: httpapi.NewRegistryServer(reg)}
 		go srv.Serve(ln)
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

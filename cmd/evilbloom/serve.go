@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"evilbloom/internal/core"
+	"evilbloom/internal/engine"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/resp"
 	"evilbloom/internal/service"
 )
@@ -37,6 +39,7 @@ type serveFlags struct {
 	dataDir      *string
 	fsync        *string
 	peers        stringList
+	authTokens   stringList
 	peerRefresh  *time.Duration
 	rateMut      *float64
 	rateBurst    *float64
@@ -82,6 +85,7 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 		trustProxy:   fs.Bool("trust-proxy", false, "trust X-Evilbloom-Client, then the rightmost X-Forwarded-For entry, for client identity (only behind a proxy tier that sets or sanitizes them)"),
 	}
 	fs.Var(&v.peers, "peer", "sibling evilbloomd base URL for cache-digest exchange (repeatable)")
+	fs.Var(&v.authTokens, "auth-token", "name:secret client credential (repeatable); authenticated clients get a cross-plane rate-limit bucket keyed by name instead of by network address")
 	return fs, v
 }
 
@@ -268,11 +272,25 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "evilbloom serve: naive index seed %d is PUBLIC (served on the info endpoints) — this mode is meant to be attacked\n", store.Seed())
 	}
 	fmt.Fprintf(os.Stderr, "evilbloom serve: manage named filters via PUT/GET/DELETE /v2/filters/{name}; /v1/* serves the default filter\n")
-	srv := newHTTPServer(service.NewRegistryServer(reg))
 
-	// The optional RESP plane shares the registry — and therefore the
-	// rate-limit buckets, accounting identities and creation caps — with the
-	// HTTP listener. Same filters, same budgets, different wire format.
+	// One command engine fronts both wire planes: HTTP and RESP are codecs
+	// over the same validation, identity, rate-limit, and dispatch pipeline,
+	// so a command costs the same no matter which protocol carries it.
+	eng := engine.New(reg)
+	if len(values.authTokens) > 0 {
+		if err := eng.ConfigureAuth(values.authTokens); err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "evilbloom serve: %d auth token(s) installed; authenticated clients (HTTP Bearer, RESP AUTH) spend per-name budgets shared across planes\n",
+			len(values.authTokens))
+	}
+	srv := newHTTPServer(httpapi.NewEngineServer(eng))
+
+	// The optional RESP plane shares the engine — and therefore the auth
+	// table, rate-limit buckets, accounting identities and creation caps —
+	// with the HTTP listener. Same filters, same budgets, different wire
+	// format.
 	var respSrv *resp.Server
 	var respLn net.Listener
 	if *values.respAddr != "" {
@@ -281,7 +299,7 @@ func cmdServe(args []string) error {
 			ln.Close()
 			return fmt.Errorf("-resp-addr: %w", err)
 		}
-		respSrv = resp.NewServer(reg)
+		respSrv = resp.NewEngineServer(eng)
 		_, respPort, _ := net.SplitHostPort(respLn.Addr().String())
 		fmt.Fprintf(os.Stderr, "evilbloom serve: RESP plane on %s — try: redis-cli -p %s BF.ADD default item\n",
 			respLn.Addr(), respPort)

@@ -19,6 +19,7 @@ import (
 	"evilbloom/internal/analysis"
 	"evilbloom/internal/attack"
 	"evilbloom/internal/hashes"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -44,7 +45,7 @@ func campaign(mode service.Mode, victim []byte) (*attack.EvictReport, bool, erro
 	if err != nil {
 		return nil, false, err
 	}
-	srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+	srv := &http.Server{Handler: httpapi.NewRegistryServer(reg)}
 	go srv.Serve(ln) //nolint:errcheck // shut down below
 	defer srv.Close()
 

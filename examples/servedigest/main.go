@@ -19,6 +19,7 @@ import (
 
 	"evilbloom/internal/analysis"
 	"evilbloom/internal/attack"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -59,7 +60,7 @@ func startNode(peer string) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+	srv := &http.Server{Handler: httpapi.NewRegistryServer(reg)}
 	go srv.Serve(ln) //nolint:errcheck // shut down via close
 	return &node{
 		url: "http://" + ln.Addr().String(),

@@ -18,6 +18,7 @@ import (
 	"evilbloom/internal/attack"
 	"evilbloom/internal/core"
 	"evilbloom/internal/hashes"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -40,7 +41,7 @@ func campaign(mode service.Mode) (*attack.RemoteStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: service.NewServer(store)}
+	srv := &http.Server{Handler: httpapi.NewServer(store)}
 	go srv.Serve(ln) //nolint:errcheck // shut down below
 	defer srv.Close()
 

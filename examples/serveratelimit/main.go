@@ -21,6 +21,7 @@ import (
 
 	"evilbloom/internal/analysis"
 	"evilbloom/internal/attack"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -57,7 +58,7 @@ func startNode(rate *service.RateLimitConfig) (url string, closeFn func(), err e
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: service.NewRegistryServer(reg)}
+	srv := &http.Server{Handler: httpapi.NewRegistryServer(reg)}
 	go srv.Serve(ln) //nolint:errcheck // shut down via close
 	return "http://" + ln.Addr().String(), func() {
 		reg.Close() //nolint:errcheck // memory-only registry

@@ -6,6 +6,7 @@ import (
 
 	"evilbloom/internal/attack"
 	"evilbloom/internal/hashes"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -30,7 +31,7 @@ func startServer(t *testing.T, cfg service.Config) (*httptest.Server, *attack.Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(service.NewServer(store))
+	ts := httptest.NewServer(httpapi.NewServer(store))
 	t.Cleanup(ts.Close)
 	return ts, attack.NewRemoteClient(ts.URL, nil)
 }

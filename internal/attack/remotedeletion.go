@@ -6,6 +6,18 @@ import (
 	"evilbloom/internal/hashes"
 )
 
+// DeletionOps is the wire surface the deletion adversary needs — the public
+// add, test and remove operations of whichever plane carries her traffic.
+// *RemoteClient implements it over HTTP; respcampaign adapts a pipelined
+// RESP connection. Remove reports whether the server accepted the removal
+// (false when its filter believed the item absent — the refusal the
+// hardened server answers with).
+type DeletionOps interface {
+	Test(item []byte) (bool, error)
+	AddBatch(items [][]byte) error
+	Remove(item []byte) (bool, error)
+}
+
 // RemoteDeletion is the §4.3 deletion adversary run over the wire against a
 // live counting-filter server: she evicts a targeted honest item (a victim
 // URL on a blocklist, say) using nothing but the public add, test and
@@ -41,9 +53,9 @@ import (
 // that oracle for free), at the price of extra cover insertions; against a
 // single-shard filter — the paper's geometry — one cover pass suffices.
 type RemoteDeletion struct {
-	client *RemoteClient
-	fam    hashes.IndexFamily
-	gen    Generator
+	ops DeletionOps
+	fam hashes.IndexFamily
+	gen Generator
 
 	// Attempts counts forgery candidates examined.
 	Attempts uint64
@@ -56,12 +68,12 @@ type RemoteDeletion struct {
 	Refused uint64
 }
 
-// NewRemoteDeletion wires the adversary to a filter-scoped client (normally
-// client.ForFilter(name)), deriving indexes from fam — the family
-// reconstructed from the filter's public info, or a guess against a
-// hardened server.
-func NewRemoteDeletion(client *RemoteClient, fam hashes.IndexFamily, gen Generator) *RemoteDeletion {
-	return &RemoteDeletion{client: client, fam: fam, gen: gen}
+// NewRemoteDeletion wires the adversary to a filter-scoped transport
+// (normally client.ForFilter(name), or a RESP adapter), deriving indexes
+// from fam — the family reconstructed from the filter's public info, or a
+// guess against a hardened server.
+func NewRemoteDeletion(ops DeletionOps, fam hashes.IndexFamily, gen Generator) *RemoteDeletion {
+	return &RemoteDeletion{ops: ops, fam: fam, gen: gen}
 }
 
 // NewRemoteDeletionFromInfo reconstructs the family from the filter's
@@ -107,7 +119,7 @@ func (a *RemoteDeletion) Evict(victim []byte, perItemBudget uint64, maxRounds in
 	}
 	rep := &EvictReport{}
 	for rep.Rounds = 0; rep.Rounds < maxRounds; rep.Rounds++ {
-		present, err := a.client.Test(victim)
+		present, err := a.ops.Test(victim)
 		if err != nil {
 			return rep, err
 		}
@@ -125,7 +137,7 @@ func (a *RemoteDeletion) Evict(victim []byte, perItemBudget uint64, maxRounds in
 		if err := a.coverUntilPresent(x, xIdx, victimIdx, target, perItemBudget, rep); err != nil {
 			return rep, err
 		}
-		accepted, err := a.client.Remove(x)
+		accepted, err := a.ops.Remove(x)
 		if err != nil {
 			return rep, err
 		}
@@ -137,7 +149,7 @@ func (a *RemoteDeletion) Evict(victim []byte, perItemBudget uint64, maxRounds in
 			rep.Refused++
 		}
 	}
-	present, err := a.client.Test(victim)
+	present, err := a.ops.Test(victim)
 	if err != nil {
 		return rep, err
 	}
@@ -165,19 +177,23 @@ func (a *RemoteDeletion) forgeRemovalItem(victimIdx []uint64, target uint64, bud
 // coverUntilPresent inserts cover items for every non-target position of
 // xIdx until the server believes x present, retrying (for multi-shard
 // servers, where covers can land in the wrong shard) a bounded number of
-// times. It leaves quietly when the server never concedes — the removal
+// times. A pass's covers are forged first and shipped as one batch, so a
+// pipelined transport spends one round trip per pass rather than one per
+// position. It leaves quietly when the server never concedes — the removal
 // attempt that follows records the refusal, which is the observable outcome
 // the campaign reports.
 func (a *RemoteDeletion) coverUntilPresent(x []byte, xIdx, victimIdx []uint64, target uint64, budget uint64, rep *EvictReport) error {
 	const coverPasses = 4
+	var covers [][]byte
 	for pass := 0; pass < coverPasses; pass++ {
-		present, err := a.client.Test(x)
+		present, err := a.ops.Test(x)
 		if err != nil {
 			return err
 		}
 		if present {
 			return nil
 		}
+		covers = covers[:0]
 		for _, q := range xIdx {
 			if q == target {
 				continue
@@ -186,12 +202,16 @@ func (a *RemoteDeletion) coverUntilPresent(x []byte, xIdx, victimIdx []uint64, t
 			if err != nil {
 				return err
 			}
-			if err := a.client.Add(cover); err != nil {
-				return err
-			}
-			a.CoverAdds++
-			rep.CoverAdds++
+			covers = append(covers, cover)
 		}
+		if len(covers) == 0 {
+			return nil
+		}
+		if err := a.ops.AddBatch(covers); err != nil {
+			return err
+		}
+		a.CoverAdds += uint64(len(covers))
+		rep.CoverAdds += uint64(len(covers))
 	}
 	return nil
 }

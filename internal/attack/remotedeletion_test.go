@@ -9,15 +9,16 @@ import (
 
 	"evilbloom/internal/attack"
 	"evilbloom/internal/hashes"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
 
 // startRegistryServer brings up a live multi-filter service and creates one
 // counting filter through the wire API, exactly as a remote operator would.
-func startRegistryServer(t *testing.T, name string, spec service.FilterSpec) (*httptest.Server, *attack.RemoteClient) {
+func startRegistryServer(t *testing.T, name string, spec httpapi.FilterSpec) (*httptest.Server, *attack.RemoteClient) {
 	t.Helper()
-	ts := httptest.NewServer(service.NewRegistryServer(service.NewRegistry()))
+	ts := httptest.NewServer(httpapi.NewRegistryServer(service.NewRegistry()))
 	t.Cleanup(ts.Close)
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -41,8 +42,8 @@ func startRegistryServer(t *testing.T, name string, spec service.FilterSpec) (*h
 // countingSpec is the paper's Fig 3 geometry (m=3200, k=4) as one counting
 // shard — the single-filter setting of §4.3. Only the naive spec carries a
 // seed; the server rejects one on a hardened filter (keys are server-side).
-func countingSpec(mode string) service.FilterSpec {
-	spec := service.FilterSpec{
+func countingSpec(mode string) httpapi.FilterSpec {
+	spec := httpapi.FilterSpec{
 		Variant:   "counting",
 		Mode:      mode,
 		Shards:    1,
@@ -208,7 +209,7 @@ func TestRemoteRemoveClient(t *testing.T) {
 		t.Errorf("RemoveBatch = %v, want [true false]", got)
 	}
 	// A bloom filter rejects removal with a capability error.
-	_, bloom := startRegistryServer(t, "plain", service.FilterSpec{
+	_, bloom := startRegistryServer(t, "plain", httpapi.FilterSpec{
 		Shards: 1, ShardBits: 3200, HashCount: 4, Seed: 7,
 	})
 	if _, err := bloom.Remove(item); err == nil {
@@ -252,4 +253,3 @@ func TestRemoteInfoV2(t *testing.T) {
 		t.Errorf("hardened info leaks a seed: %+v", hinfo)
 	}
 }
-

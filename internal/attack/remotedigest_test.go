@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"evilbloom/internal/attack"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -32,7 +33,7 @@ func digestPair(t *testing.T) (proxy, peer *attack.RemoteClient) {
 	if _, err := regA.Create("cache", digestGeometry()); err != nil {
 		t.Fatal(err)
 	}
-	tsA := httptest.NewServer(service.NewRegistryServer(regA))
+	tsA := httptest.NewServer(httpapi.NewRegistryServer(regA))
 	t.Cleanup(tsA.Close)
 
 	regB := service.NewRegistry()
@@ -44,7 +45,7 @@ func digestPair(t *testing.T) (proxy, peer *attack.RemoteClient) {
 	if _, err := regB.Create("cache", digestGeometry()); err != nil {
 		t.Fatal(err)
 	}
-	tsB := httptest.NewServer(service.NewRegistryServer(regB))
+	tsB := httptest.NewServer(httpapi.NewRegistryServer(regB))
 	t.Cleanup(tsB.Close)
 	t.Cleanup(func() { regB.Close(); regA.Close() }) //nolint:errcheck // teardown
 

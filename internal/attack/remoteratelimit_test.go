@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"evilbloom/internal/attack"
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
@@ -36,7 +37,7 @@ func startCampaignServer(t *testing.T, rate *service.RateLimitConfig) *attack.Re
 	if _, err := reg.Create("cache", saturableGeometry()); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(service.NewRegistryServer(reg))
+	ts := httptest.NewServer(httpapi.NewRegistryServer(reg))
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() { reg.Close() }) //nolint:errcheck // memory-only
 	return attack.NewRemoteClient(ts.URL, nil).ForFilter("cache")

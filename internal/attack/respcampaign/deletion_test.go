@@ -1,0 +1,165 @@
+package respcampaign
+
+import (
+	"testing"
+
+	"evilbloom/internal/hashes"
+	"evilbloom/internal/resp"
+	"evilbloom/internal/service"
+	"evilbloom/internal/urlgen"
+)
+
+// countingGeometry is the paper's Fig 3 geometry (m=3200, k=4) as one
+// counting shard — the single-filter setting of §4.3. Only the naive target
+// takes a seed; a hardened filter's keys are server-side.
+func countingGeometry(mode service.Mode) service.Config {
+	cfg := service.Config{
+		Variant:   service.VariantCounting,
+		Mode:      mode,
+		Shards:    1,
+		ShardBits: 3200,
+		HashCount: 4,
+	}
+	if mode == service.ModeNaive {
+		cfg.Seed = 7
+	} else {
+		cfg.Key = []byte("0123456789abcdef")
+	}
+	return cfg
+}
+
+// seedBlocklist inserts a blocklist of honest items plus the victim over
+// RESP — the honest workload the adversary's eviction must not disturb —
+// and returns the honest control set.
+func seedBlocklist(t *testing.T, addr, filter string, victim []byte) [][]byte {
+	t.Helper()
+	cli, err := resp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	gen := urlgen.New(400)
+	honest := make([][]byte, 50)
+	for i := range honest {
+		honest[i] = gen.Next()
+	}
+	cli.SendItems("BF.MADD", filter, honest)
+	cli.SendItems("BF.ADD", filter, [][]byte{victim})
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		reply, err := cli.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reply.Err(); err != nil {
+			t.Fatalf("seeding blocklist: %v", err)
+		}
+	}
+	return honest
+}
+
+// countPresent asks the server how many of items it still believes present.
+func countPresent(t *testing.T, addr, filter string, items [][]byte) int {
+	t.Helper()
+	cli, err := resp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SendItems("BF.MEXISTS", filter, items)
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := cli.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reply.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range reply.Elems {
+		if e.Int == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// The §4.3 deletion campaign carried over the RESP plane: against a naive
+// counting server the adversary evicts an honest victim through pipelined
+// BF.MADD covers and CF.DEL removals; the hardened server under the
+// identical campaign refuses every crafted removal — 100% — and keeps the
+// victim present.
+func TestDeletionCampaignNaiveVsHardened(t *testing.T) {
+	victim := []byte("http://honest.example.com/blocked-page")
+
+	// --- Naive target: seed published via BF.INFO, family reconstructible,
+	// victim evictable.
+	addr, _ := startTarget(t, "blocklist", countingGeometry(service.ModeNaive))
+	honest := seedBlocklist(t, addr, "blocklist", victim)
+	c := &Deletion{
+		Addr:          addr,
+		Filter:        "blocklist",
+		PerItemBudget: 100000,
+		MaxRounds:     30,
+		Traffic:       urlgen.New(11),
+	}
+	rep, err := c.Run(victim)
+	if err != nil {
+		t.Fatalf("campaign against naive target: %v", err)
+	}
+	if !rep.Evicted {
+		t.Fatalf("naive target resisted: %+v", rep)
+	}
+	if n := countPresent(t, addr, "blocklist", [][]byte{victim}); n != 0 {
+		t.Error("server still reports the evicted victim present")
+	}
+	// Targeted, not scattershot: the honest blocklist survives almost
+	// untouched (an item sharing a drained counter may be collateral).
+	if survivors := countPresent(t, addr, "blocklist", honest); survivors < len(honest)-3 {
+		t.Errorf("only %d/%d honest items survived; the attack should be targeted", survivors, len(honest))
+	}
+	t.Logf("naive: evicted in %d rounds, %d removals accepted, %d covers, %d attempts",
+		rep.Rounds, rep.Accepted, rep.CoverAdds, rep.Attempts)
+
+	// --- Hardened target: BF.INFO publishes no seed, so the from-info path
+	// must refuse...
+	hardAddr, _ := startTarget(t, "blocklist", countingGeometry(service.ModeHardened))
+	seedBlocklist(t, hardAddr, "blocklist", victim)
+	blind := &Deletion{
+		Addr: hardAddr, Filter: "blocklist",
+		PerItemBudget: 100000, MaxRounds: 12, Traffic: urlgen.New(11),
+	}
+	if _, err := blind.Run(victim); err == nil {
+		t.Fatal("hardened target let the adversary reconstruct its family from BF.INFO")
+	}
+	// ...and the identical campaign driven with a guessed dablooms-style
+	// family hits a refusal wall: every CF.DEL answers :0, the victim stays.
+	guess, err := hashes.NewDoubleHashing(4, 3200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := &Deletion{
+		Addr: hardAddr, Filter: "blocklist",
+		PerItemBudget: 100000, MaxRounds: 12,
+		Traffic: urlgen.New(11), Family: guess,
+	}
+	hardRep, err := hard.Run(victim)
+	if err != nil {
+		t.Fatalf("campaign against hardened target: %v", err)
+	}
+	if hardRep.Evicted {
+		t.Errorf("hardened target evicted the victim: %+v", hardRep)
+	}
+	if hardRep.Refused == 0 || hardRep.Accepted != 0 {
+		t.Errorf("hardened target must refuse 100%% of crafted removals: %+v", hardRep)
+	}
+	if n := countPresent(t, hardAddr, "blocklist", [][]byte{victim}); n != 1 {
+		t.Error("victim lost on the hardened target")
+	}
+	t.Logf("hardened: %d rounds, %d refused, %d accepted, victim present",
+		hardRep.Rounds, hardRep.Refused, hardRep.Accepted)
+}

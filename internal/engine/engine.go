@@ -1,0 +1,511 @@
+// Package engine is the protocol-agnostic command core between the wire
+// codecs and the filter registry. Every ingress plane — the HTTP/JSON
+// server in internal/httpapi, the RESP server in internal/resp — decodes
+// its frames into the typed commands here and renders the typed results
+// and errors back; validation, identity resolution, rate-limit
+// charge/refund and registry dispatch happen exactly once, in this
+// package. The paper's §8 mitigation story (per-client mutation budgets,
+// pollution attribution) only holds if every path enforces the same
+// rules; centralizing the pipeline is what closes the
+// two-almost-identical-enforcement-paths gap an adversary hunts for.
+//
+// The pipeline for a mutating command is always:
+//
+//	validate → resolve filter → charge principal → dispatch → typed result
+//
+// with the charge taken after validation (malformed requests cost
+// nothing) and before any state changes, and refunded only where
+// validation can only happen inside the mutated subsystem (digest push).
+package engine
+
+import (
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"evilbloom/internal/service"
+)
+
+// Engine executes typed commands against a registry on behalf of
+// principals. One engine is shared by every wire plane of a process, so
+// budgets, accounting and auth state are plane-independent.
+type Engine struct {
+	reg *service.Registry
+
+	authMu         sync.RWMutex
+	authConfigured bool
+	tokens         map[string]string
+}
+
+// New wraps reg in a command engine.
+func New(reg *service.Registry) *Engine {
+	return &Engine{reg: reg, tokens: map[string]string{}}
+}
+
+// Registry exposes the underlying registry for lifecycle wiring (data
+// dirs, peer and rate-limit configuration) — not for item operations,
+// which must go through engine commands.
+func (e *Engine) Registry() *service.Registry { return e.reg }
+
+// FilterRef is a resolved filter handle. Opaque: codecs route every store
+// access through engine commands, so holding a ref grants no direct item
+// operations. A ref pins its store — a filter deleted after resolution
+// still serves the in-flight command, exactly as the old handlers
+// behaved.
+type FilterRef struct {
+	f *service.Filter
+}
+
+// Name returns the filter's registry name.
+func (fr FilterRef) Name() string { return fr.f.Name() }
+
+// Durable reports whether the filter persists to a data directory.
+func (fr FilterRef) Durable() bool { return fr.f.Durable() }
+
+// Lookup resolves a filter name to a ref; unknown names classify as
+// KindNotFound.
+func (e *Engine) Lookup(name string) (FilterRef, error) {
+	f, err := e.reg.Get(name)
+	if err != nil {
+		return FilterRef{}, err
+	}
+	return FilterRef{f: f}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Validation. The single source of the wire-independent item rules; codecs
+// call these before staging pipelined work so they can reply in command
+// order, and every command method applies them again on its own input.
+
+// ValidateItem bounds a single item: non-empty, at most MaxItemLen bytes.
+func ValidateItem(item []byte) error {
+	if len(item) == 0 {
+		return &ItemError{Index: -1}
+	}
+	if len(item) > service.MaxItemLen {
+		return &ItemError{Index: -1, Len: len(item)}
+	}
+	return nil
+}
+
+// ValidateItems bounds a batch: non-empty, at most MaxBatch items, every
+// item within ValidateItem's rule.
+func ValidateItems(items [][]byte) error {
+	if len(items) == 0 {
+		return ErrEmptyBatch
+	}
+	if len(items) > service.MaxBatch {
+		return &BatchTooLargeError{N: len(items)}
+	}
+	for i, it := range items {
+		if len(it) == 0 {
+			return &ItemError{Index: i}
+		}
+		if len(it) > service.MaxItemLen {
+			return &ItemError{Index: i, Len: len(it)}
+		}
+	}
+	return nil
+}
+
+// charge spends n mutations from p's bucket on ref's filter, converting a
+// refusal into a BusyError carrying the retry hint both codecs serve.
+func (e *Engine) charge(p Principal, ref FilterRef, n int) error {
+	ok, retry := e.reg.Limiter().Allow(ref.f.Name(), p.ID, n)
+	if !ok {
+		return &BusyError{Filter: ref.f.Name(), N: n, RetrySecs: retrySecs(retry)}
+	}
+	return nil
+}
+
+// retrySecs renders a limiter retry duration as whole seconds, ceiled,
+// floor one — the arithmetic previously duplicated by each plane.
+func retrySecs(retry time.Duration) int64 {
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ---------------------------------------------------------------------------
+// Item commands.
+
+// AddResult answers Add and AddBatch.
+type AddResult struct {
+	// Added is the number of items inserted.
+	Added int
+	// Count is the filter's distinct-insert estimate after the add.
+	Count uint64
+}
+
+// Add inserts one item as p.
+func (e *Engine) Add(p Principal, ref FilterRef, item []byte) (AddResult, error) {
+	if err := ValidateItem(item); err != nil {
+		return AddResult{}, err
+	}
+	if err := e.charge(p, ref, 1); err != nil {
+		return AddResult{}, err
+	}
+	st := ref.f.Store()
+	st.Add(item)
+	return AddResult{Added: 1, Count: st.Count()}, nil
+}
+
+// AddBatch inserts a batch as p, charging per item: the pollution a batch
+// can do scales with its size, so a 10000-item batch must not cost what a
+// single add does.
+func (e *Engine) AddBatch(p Principal, ref FilterRef, items [][]byte) (AddResult, error) {
+	if err := ValidateItems(items); err != nil {
+		return AddResult{}, err
+	}
+	if err := e.charge(p, ref, len(items)); err != nil {
+		return AddResult{}, err
+	}
+	st := ref.f.Store()
+	st.AddBatch(items)
+	return AddResult{Added: len(items), Count: st.Count()}, nil
+}
+
+// Test answers membership for one item. Reads are not charged.
+func (e *Engine) Test(ref FilterRef, item []byte) (bool, error) {
+	if err := ValidateItem(item); err != nil {
+		return false, err
+	}
+	return ref.f.Store().Test(item), nil
+}
+
+// TestBatch answers membership for a batch into dst (reused, like the
+// store API it fronts). Reads are not charged.
+func (e *Engine) TestBatch(ref FilterRef, dst []bool, items [][]byte) ([]bool, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	return ref.f.Store().TestBatch(dst, items), nil
+}
+
+// RemoveResult answers Remove.
+type RemoveResult struct {
+	Removed int
+	Count   uint64
+}
+
+// Remove deletes one item as p. An item the filter believes absent is
+// ErrNotInFilter — and the charge stands, exactly as it always has: the
+// request was well-formed and the filter did the work of refusing it.
+func (e *Engine) Remove(p Principal, ref FilterRef, item []byte) (RemoveResult, error) {
+	if err := ValidateItem(item); err != nil {
+		return RemoveResult{}, err
+	}
+	if err := e.charge(p, ref, 1); err != nil {
+		return RemoveResult{}, err
+	}
+	st := ref.f.Store()
+	removed, err := st.Remove(item)
+	if err != nil {
+		return RemoveResult{}, err
+	}
+	if !removed {
+		return RemoveResult{}, ErrNotInFilter
+	}
+	return RemoveResult{Removed: 1, Count: st.Count()}, nil
+}
+
+// RemoveBatchResult answers RemoveBatch; Removed is per item in input
+// order (false marks items the filter believed absent and refused).
+type RemoveBatchResult struct {
+	Removed []bool
+	Count   uint64
+}
+
+// RemoveBatch deletes a batch as p, charging per item. A backend without
+// the remove capability fails the whole batch with the charge standing
+// (charge-then-capability order, identical on every plane).
+func (e *Engine) RemoveBatch(p Principal, ref FilterRef, items [][]byte) (RemoveBatchResult, error) {
+	if err := ValidateItems(items); err != nil {
+		return RemoveBatchResult{}, err
+	}
+	if err := e.charge(p, ref, len(items)); err != nil {
+		return RemoveBatchResult{}, err
+	}
+	st := ref.f.Store()
+	removed, err := st.RemoveBatch(items)
+	if err != nil {
+		return RemoveBatchResult{}, err
+	}
+	return RemoveBatchResult{Removed: removed, Count: st.Count()}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Introspection commands.
+
+// StatsResult answers Stats: the filter's own statistics plus the
+// rate-limit aggregate, so one scrape shows both the damage and who was
+// allowed to do it.
+type StatsResult struct {
+	Stats     service.Stats
+	RateLimit service.RateLimitStats
+}
+
+// Stats snapshots one filter.
+func (e *Engine) Stats(ref FilterRef) StatsResult {
+	return StatsResult{
+		Stats:     ref.f.Store().Stats(),
+		RateLimit: e.reg.Limiter().FilterStats(ref.f.Name()),
+	}
+}
+
+// Clients reports one filter's per-client mutation accounting.
+func (e *Engine) Clients(ref FilterRef) service.ClientsReport {
+	return e.reg.Limiter().Clients(ref.f.Name())
+}
+
+// FilterDescription is a filter's public self-description: parameters plus
+// capability set, so a client can discover whether remove or snapshot will
+// be accepted before trying. Naive filters publish their seed (the threat
+// model's public implementation); hardened filters do not.
+type FilterDescription struct {
+	Name         string
+	Variant      string
+	Mode         string
+	Shards       int
+	K            int
+	ShardBits    uint64
+	Algorithm    string
+	Seed         *uint64
+	CounterWidth int
+	Overflow     string
+	Capabilities []string
+	Durable      bool
+}
+
+// Describe assembles one filter's public self-description.
+func (e *Engine) Describe(ref FilterRef) FilterDescription {
+	return describeFilter(ref.f)
+}
+
+func describeFilter(f *service.Filter) FilterDescription {
+	st := f.Store()
+	d := FilterDescription{
+		Name:         f.Name(),
+		Variant:      st.Variant().String(),
+		Mode:         st.Mode().String(),
+		Shards:       st.Shards(),
+		K:            st.K(),
+		ShardBits:    st.ShardBits(),
+		Capabilities: []string{"add", "test"},
+		Durable:      f.Durable(),
+	}
+	switch st.Mode() {
+	case service.ModeNaive:
+		d.Algorithm = "murmur3-double-hashing"
+		seed := st.Seed()
+		d.Seed = &seed
+	case service.ModeHardened:
+		d.Algorithm = "siphash-2-4-recycling"
+	}
+	if st.Variant() == service.VariantCounting {
+		d.CounterWidth = st.CounterWidth()
+		d.Overflow = st.OverflowPolicy().String()
+	}
+	if st.Snapshotable() {
+		d.Capabilities = append(d.Capabilities, "snapshot")
+	}
+	if st.Removable() {
+		d.Capabilities = append(d.Capabilities, "remove")
+	}
+	if f.Durable() {
+		d.Capabilities = append(d.Capabilities, "compact")
+	}
+	if st.Mode() == service.ModeNaive {
+		// Digest export needs a family a peer can reproduce; hardened
+		// filters answer a conflict on the digest command instead.
+		d.Capabilities = append(d.Capabilities, "digest")
+	}
+	return d
+}
+
+// List describes every registered filter in name order.
+func (e *Engine) List() []FilterDescription {
+	filters := e.reg.List()
+	out := make([]FilterDescription, len(filters))
+	for i, f := range filters {
+		out[i] = describeFilter(f)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle commands.
+
+// CreateFilter builds and registers a filter. Conflicts with existing
+// state or limits classify as KindConflict; anything else about the spec
+// is KindInvalid.
+func (e *Engine) CreateFilter(name string, cfg service.Config) (FilterDescription, error) {
+	f, err := e.reg.Create(name, cfg)
+	if err != nil {
+		return FilterDescription{}, createErr(err)
+	}
+	return describeFilter(f), nil
+}
+
+// CreateFromSnapshot builds a filter from a snapshot envelope.
+func (e *Engine) CreateFromSnapshot(name string, rd io.Reader) (FilterDescription, error) {
+	f, err := e.reg.CreateFromSnapshot(name, rd)
+	if err != nil {
+		return FilterDescription{}, createErr(err)
+	}
+	return describeFilter(f), nil
+}
+
+// createErr keeps conflict classification and downgrades the rest to
+// KindInvalid: a creation failure that is not a state conflict is a bad
+// request, never an internal fault.
+func createErr(err error) error {
+	if Classify(err) == KindConflict {
+		return err
+	}
+	return wrap(KindInvalid, err)
+}
+
+// DeleteFilter removes a filter (and its durable directory).
+func (e *Engine) DeleteFilter(name string) error {
+	return e.reg.Delete(name)
+}
+
+// Snapshot serializes one filter into its versioned, checksummed envelope.
+func (e *Engine) Snapshot(ref FilterRef) ([]byte, error) {
+	return ref.f.Store().Snapshot()
+}
+
+// Compact forces a durable filter's snapshot+log rotation, returning the
+// new generation; a memory-only filter classifies as KindConflict so
+// operators notice the missing -data-dir instead of trusting a no-op.
+func (e *Engine) Compact(ref FilterRef) (uint64, error) {
+	if err := ref.f.Compact(); err != nil {
+		return 0, err
+	}
+	return ref.f.Generation(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Digest and routing commands (§7 between nodes).
+
+// DigestResult answers Digest.
+type DigestResult struct {
+	// Blob is the cache-digest envelope.
+	Blob []byte
+	// ETag is the entity tag for the generation the blob captures.
+	ETag string
+}
+
+// DigestETag returns the current digest entity tag without serializing
+// anything — the O(shards) read a conditional request costs.
+func (e *Engine) DigestETag(ref FilterRef) string {
+	st := ref.f.Store()
+	return st.DigestETag(st.Generation())
+}
+
+// Digest exports one filter's cache digest. Hardened filters classify as
+// KindConflict (their keyed family never travels).
+func (e *Engine) Digest(ref FilterRef) (DigestResult, error) {
+	st := ref.f.Store()
+	blob, gen, err := st.DigestEnvelope()
+	if err != nil {
+		return DigestResult{}, err
+	}
+	return DigestResult{Blob: blob, ETag: st.DigestETag(gen)}, nil
+}
+
+// DigestPush imports a sibling's digest envelope under label, as p. A
+// pushed digest mutates this node's routing state, so it spends from the
+// pusher's mutation budget like any other write. Unlike add/remove, the
+// envelope can only be validated inside the push, so the charge is taken
+// up front and refunded on any failure — a rejected push must not have
+// cost the pusher budget or shown up as an allowed mutation. (One
+// mutation per push, whatever the digest's size: a digest's routing
+// leverage is bounded by the separate retention budget, and pricing the
+// §7 poison out of reach is the per-peer-authentication rung above this
+// one.)
+func (e *Engine) DigestPush(p Principal, ref FilterRef, label string, rd io.Reader) (service.PeerStatus, error) {
+	if !service.ValidFilterName(label) {
+		return service.PeerStatus{}, errf(KindInvalid,
+			"invalid peer label %q: labels follow the filter-name rule (%s)", label, service.FilterNamePattern())
+	}
+	if err := e.charge(p, ref, 1); err != nil {
+		return service.PeerStatus{}, err
+	}
+	status, err := e.reg.Peers().Push(ref.f.Name(), label, rd)
+	if err != nil {
+		e.reg.Limiter().Refund(ref.f.Name(), p.ID, 1)
+		return service.PeerStatus{}, pushErr(err)
+	}
+	return status, nil
+}
+
+// pushErr keeps conflict/invalid classification and downgrades unknown
+// push failures to KindInvalid — the envelope came off the wire, so an
+// unclassified parse problem is the pusher's transfer problem.
+func pushErr(err error) error {
+	if k := Classify(err); k == KindConflict || k == KindInvalid {
+		return err
+	}
+	return wrap(KindInvalid, err)
+}
+
+// RouteResult answers Route: the §7 routing decision for one item — serve
+// locally, probe a sibling whose digest claims it, or go to the origin. A
+// probe sent because of a polluted or merely unlucky digest is the wasted
+// round trip the paper's attack inflates.
+type RouteResult struct {
+	// Local reports whether this node's own filter claims the item.
+	Local bool
+	// Verdict is "local", "peer" or "origin".
+	Verdict string
+	// Peer names the first claiming sibling when Verdict is "peer".
+	Peer string
+	// Claims holds every sibling's individual answer, in peer order.
+	Claims []service.PeerClaim
+}
+
+// Route answers the routing question for one item.
+func (e *Engine) Route(ref FilterRef, item []byte) (RouteResult, error) {
+	if err := ValidateItem(item); err != nil {
+		return RouteResult{}, err
+	}
+	res := RouteResult{
+		Local:  ref.f.Store().Test(item),
+		Claims: e.reg.Peers().Claims(ref.f.Name(), item),
+	}
+	if res.Claims == nil {
+		res.Claims = []service.PeerClaim{}
+	}
+	switch {
+	case res.Local:
+		res.Verdict = "local"
+	default:
+		res.Verdict = "origin"
+		for _, pc := range res.Claims {
+			// Squid semantics: a digest routes until replaced, stale or not
+			// — the Stale flag in the claim lets stricter callers opt out.
+			if pc.Claims {
+				res.Verdict, res.Peer = "peer", pc.Peer
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// PeerStatus reports one filter's per-peer digest accounting.
+func (e *Engine) PeerStatus(ref FilterRef) ([]service.PeerStatus, error) {
+	return e.reg.Peers().Status(ref.f.Name())
+}
+
+// RefreshPeers synchronously fetches every configured peer's digest for
+// one filter — the deterministic alternative to waiting out the jittered
+// refresh interval. No configured peers classifies as KindConflict.
+func (e *Engine) RefreshPeers(ref FilterRef) ([]service.PeerStatus, error) {
+	return e.reg.Peers().RefreshNow(ref.f.Name())
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"evilbloom/internal/service"
+)
+
+// Principal is the identity a command runs as: the key its mutations are
+// charged to and attributed under. Two resolutions exist:
+//
+//   - Anonymous: the transport peer host (or, behind -trust-proxy, a
+//     header-claimed identity). NAT'd clients share one bucket — the
+//     coarse default the paper's §8 mitigation has to live with.
+//   - Authenticated: a token presented over HTTP (Authorization: Bearer
+//     name:secret) or RESP (AUTH / HELLO ... AUTH). The bucket key becomes
+//     "auth:<name>", shared across every plane and connection the client
+//     uses and distinct from its NAT host's bucket — budgets and pollution
+//     attribution follow the client, not the network path.
+type Principal struct {
+	// ID is the rate-limit bucket key and accounting identity.
+	ID string
+	// Name is the authenticated token name; empty for anonymous principals.
+	Name string
+}
+
+// Authenticated reports whether the principal presented valid credentials.
+func (p Principal) Authenticated() bool { return p.Name != "" }
+
+// authBucketPrefix namespaces authenticated bucket keys away from host
+// identities, so an authenticated client's budget cannot collide with —
+// or be stolen by — a transport address or header claim.
+const authBucketPrefix = "auth:"
+
+// AnonymousFromRemoteAddr resolves the unauthenticated principal for a raw
+// transport connection: the peer host, one bucket per NAT.
+func AnonymousFromRemoteAddr(remoteAddr string) Principal {
+	return Principal{ID: service.IdentityFromRemoteAddr(remoteAddr)}
+}
+
+// errBadCredentials deliberately does not say whether the name or the
+// secret was wrong.
+var errBadCredentials = &Error{kind: KindUnauthorized,
+	err: errors.New("invalid credentials: unknown principal or wrong secret")}
+
+// ConfigureAuth installs the token table from "name:secret" entries (the
+// -auth-token flag, repeatable). One-shot, before traffic, like the
+// registry's rate-limit and peer configuration. Names follow the
+// client-identity rule (printable ASCII, bounded) and cannot contain ':';
+// secrets must be non-empty.
+func (e *Engine) ConfigureAuth(entries []string) error {
+	e.authMu.Lock()
+	defer e.authMu.Unlock()
+	if e.authConfigured {
+		return fmt.Errorf("engine: auth tokens already configured")
+	}
+	tokens := make(map[string]string, len(entries))
+	for _, entry := range entries {
+		name, secret, ok := strings.Cut(entry, ":")
+		if !ok || secret == "" {
+			return fmt.Errorf("engine: auth token %q: want name:secret with a non-empty secret", entry)
+		}
+		if !service.ValidClientIdentity(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("engine: auth token name %q: want printable ASCII without whitespace or ':', at most %d bytes",
+				name, service.MaxClientIdentity)
+		}
+		if _, dup := tokens[name]; dup {
+			return fmt.Errorf("engine: duplicate auth token name %q", name)
+		}
+		tokens[name] = secret
+	}
+	e.authConfigured = true
+	e.tokens = tokens
+	return nil
+}
+
+// AuthEnabled reports whether any auth tokens are installed.
+func (e *Engine) AuthEnabled() bool {
+	e.authMu.RLock()
+	defer e.authMu.RUnlock()
+	return len(e.tokens) > 0
+}
+
+// Login authenticates name/secret against the token table, returning the
+// authenticated principal whose bucket is shared across planes. The
+// comparison is constant-time and the failure message does not reveal
+// whether the name exists.
+func (e *Engine) Login(name, secret string) (Principal, error) {
+	e.authMu.RLock()
+	want, ok := e.tokens[name]
+	e.authMu.RUnlock()
+	if !ok {
+		// Burn comparable time for unknown names so timing does not
+		// enumerate the token table.
+		subtle.ConstantTimeCompare([]byte(secret), []byte(secret))
+		return Principal{}, errBadCredentials
+	}
+	if subtle.ConstantTimeCompare([]byte(secret), []byte(want)) != 1 {
+		return Principal{}, errBadCredentials
+	}
+	return Principal{ID: authBucketPrefix + name, Name: name}, nil
+}
+
+// LoginToken authenticates a combined "name:secret" credential — the shape
+// a single-argument RESP AUTH or an HTTP bearer token carries.
+func (e *Engine) LoginToken(token string) (Principal, error) {
+	name, secret, ok := strings.Cut(token, ":")
+	if !ok {
+		return Principal{}, wrap(KindUnauthorized,
+			errors.New("malformed credentials; want name:secret"))
+	}
+	return e.Login(name, secret)
+}
+
+// HTTPPrincipal resolves a request's principal. Presented credentials are
+// authoritative: a bad bearer token is an authentication error, never a
+// silent fall-through to the anonymous identity (that would let a client
+// shed a throttled auth bucket by garbling its token). Without an
+// Authorization header the anonymous resolution applies — transport peer
+// host, or a trusted proxy claim.
+func (e *Engine) HTTPPrincipal(r *http.Request) (Principal, error) {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		const scheme = "Bearer "
+		if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+			return Principal{}, wrap(KindUnauthorized,
+				errors.New("unsupported Authorization scheme; use Bearer name:secret"))
+		}
+		return e.LoginToken(strings.TrimSpace(auth[len(scheme):]))
+	}
+	return Principal{ID: e.httpIdentity(r)}, nil
+}
+
+// httpIdentity resolves the anonymous identity a request's mutations are
+// charged to. By default that is the transport peer address — unforgeable
+// at this layer. With the registry's trust-proxy setting, a well-formed
+// X-Evilbloom-Client claim wins, then the *rightmost* entry of
+// X-Forwarded-For: an appending proxy tier vouches only for the hop it
+// appended (the last one); the leftmost entries arrive verbatim from the
+// client, and keying budgets off them would let an attacker mint a fresh
+// identity — and a fresh burst — per request. Malformed values fall
+// through rather than erroring, so a garbage header cannot dodge
+// accounting altogether.
+func (e *Engine) httpIdentity(r *http.Request) string {
+	if e.reg.Limiter().TrustProxy() {
+		if id := r.Header.Get(service.ClientIdentityHeader); validClaim(id) {
+			return id
+		}
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			last := xff
+			if i := strings.LastIndexByte(xff, ','); i >= 0 {
+				last = xff[i+1:]
+			}
+			if last = strings.TrimSpace(last); validClaim(last) {
+				return last
+			}
+		}
+	}
+	return service.IdentityFromRemoteAddr(r.RemoteAddr)
+}
+
+// validClaim bounds header-claimed identities and keeps them out of the
+// authenticated namespace: a proxy-trusted client must not be able to
+// claim "auth:alice" and spend alice's bucket without her secret.
+func validClaim(id string) bool {
+	return service.ValidClientIdentity(id) && !strings.HasPrefix(id, authBucketPrefix)
+}

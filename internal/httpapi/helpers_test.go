@@ -1,0 +1,16 @@
+package httpapi
+
+import "evilbloom/internal/service"
+
+// testConfig returns a small deterministic store config.
+func testConfig(mode service.Mode, shards int) service.Config {
+	return service.Config{
+		Shards:    shards,
+		Capacity:  20000,
+		TargetFPR: 1.0 / 1024,
+		Mode:      mode,
+		Seed:      3,
+		Key:       []byte("0123456789abcdef"),
+		RouteKey:  []byte("fedcba9876543210"),
+	}
+}

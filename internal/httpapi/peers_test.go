@@ -1,4 +1,4 @@
-package service
+package httpapi
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"evilbloom/internal/cachedigest"
+	"evilbloom/internal/service"
 	"evilbloom/internal/urlgen"
 )
 
@@ -216,15 +217,15 @@ func TestDigestPushStatusTable(t *testing.T) {
 
 // twoServers wires B into A's mesh: both carry the same-named filter, and B
 // fetches A's digest. Returns both base URLs and B's registry.
-func twoServers(t *testing.T, name string, refresh time.Duration) (a, b *httptest.Server, regA, regB *Registry) {
+func twoServers(t *testing.T, name string, refresh time.Duration) (a, b *httptest.Server, regA, regB *service.Registry) {
 	t.Helper()
-	regA = NewRegistry()
+	regA = service.NewRegistry()
 	a = httptest.NewServer(NewRegistryServer(regA))
 	t.Cleanup(a.Close)
-	regB = NewRegistry()
+	regB = service.NewRegistry()
 	b = httptest.NewServer(NewRegistryServer(regB))
 	t.Cleanup(b.Close)
-	if err := regB.ConfigurePeers(PeerConfig{Peers: []string{a.URL}, Refresh: refresh}); err != nil {
+	if err := regB.ConfigurePeers(service.PeerConfig{Peers: []string{a.URL}, Refresh: refresh}); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { regB.Close(); regA.Close() }) //nolint:errcheck // test teardown
@@ -297,10 +298,10 @@ func TestPeerFailureAccounting(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	reg := NewRegistry()
+	reg := service.NewRegistry()
 	ts := httptest.NewServer(NewRegistryServer(reg))
 	t.Cleanup(ts.Close)
-	if err := reg.ConfigurePeers(PeerConfig{Peers: []string{deadURL}, Refresh: time.Hour}); err != nil {
+	if err := reg.ConfigurePeers(service.PeerConfig{Peers: []string{deadURL}, Refresh: time.Hour}); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { reg.Close() }) //nolint:errcheck // test teardown
@@ -367,14 +368,14 @@ func TestDeleteAndCloseStopPeerRefresh(t *testing.T) {
 	if n := refreshLoopCount(); n != 0 {
 		t.Fatalf("%d refresh loops running before the test", n)
 	}
-	a := httptest.NewServer(NewRegistryServer(NewRegistry()))
+	a := httptest.NewServer(NewRegistryServer(service.NewRegistry()))
 	t.Cleanup(a.Close)
-	reg := NewRegistry()
-	if err := reg.ConfigurePeers(PeerConfig{Peers: []string{a.URL}, Refresh: 10 * time.Millisecond}); err != nil {
+	reg := service.NewRegistry()
+	if err := reg.ConfigurePeers(service.PeerConfig{Peers: []string{a.URL}, Refresh: 10 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := reg.Create(fmt.Sprintf("f%d", i), Config{Shards: 1, ShardBits: 64, HashCount: 2}); err != nil {
+		if _, err := reg.Create(fmt.Sprintf("f%d", i), service.Config{Shards: 1, ShardBits: 64, HashCount: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -399,7 +400,7 @@ func TestDeleteAndCloseStopPeerRefresh(t *testing.T) {
 	reg.Close() //nolint:errcheck // memory-only registry
 	waitNoRefreshLoops(t)
 	// A closed mesh refuses new watches rather than leaking them.
-	if _, err := reg.Create("late", Config{Shards: 1, ShardBits: 64, HashCount: 2}); err != nil {
+	if _, err := reg.Create("late", service.Config{Shards: 1, ShardBits: 64, HashCount: 2}); err != nil {
 		t.Fatal(err)
 	}
 	waitNoRefreshLoops(t)
@@ -436,39 +437,17 @@ func TestDigestPushBudget(t *testing.T) {
 		t.Errorf("oversized push error does not name the budget: %s", body)
 	}
 
-	// Label cap: MaxPushedPeers distinct labels fit, the next is refused;
+	// Label cap: service.MaxPushedPeers distinct labels fit, the next is refused;
 	// re-pushing an existing label is a replacement, not a new entry.
-	for i := 0; i < MaxPushedPeers; i++ {
+	for i := 0; i < service.MaxPushedPeers; i++ {
 		if code, body := pushDigest(t, ts.URL, "d", fmt.Sprintf("sib-%d", i), env); code != http.StatusOK {
 			t.Fatalf("push %d: status %d (%s)", i, code, body)
 		}
 	}
 	if code, _ := pushDigest(t, ts.URL, "d", "one-too-many", env); code != http.StatusConflict {
-		t.Errorf("push beyond MaxPushedPeers: status %d, want 409", code)
+		t.Errorf("push beyond service.MaxPushedPeers: status %d, want 409", code)
 	}
 	if code, _ := pushDigest(t, ts.URL, "d", "sib-0", env); code != http.StatusOK {
 		t.Errorf("replacing an existing label refused at the cap")
-	}
-}
-
-// Digest ETags must not repeat across store instances: the generation
-// counter restarts at zero on recovery, so without a per-boot salt a
-// restarted filter would re-issue ETags peers already hold and earn
-// spurious 304s for different content.
-func TestDigestETagUniqueAcrossBoots(t *testing.T) {
-	cfg := Config{Shards: 1, ShardBits: 128, HashCount: 4, Seed: 3, RouteKey: []byte("0123456789abcdef")}
-	a, err := NewSharded(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewSharded(cfg) // the "restarted" instance: same config, same generation
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Generation() != b.Generation() {
-		t.Fatalf("fresh stores disagree on generation: %d vs %d", a.Generation(), b.Generation())
-	}
-	if digestETag(a, a.Generation()) == digestETag(b, b.Generation()) {
-		t.Error("identical ETags from two store instances; a restart would earn spurious 304s")
 	}
 }

@@ -1,7 +1,8 @@
-package service
+package httpapi
 
 import (
 	"bytes"
+	"evilbloom/internal/service"
 	"net/http/httptest"
 	"testing"
 
@@ -18,8 +19,8 @@ import (
 // adversarially damaged filter.
 func TestRestartPreservesDeletionAttack(t *testing.T) {
 	dir := t.TempDir()
-	reg := NewRegistry()
-	if _, err := reg.OpenDataDir(dir, SyncInterval); err != nil {
+	reg := service.NewRegistry()
+	if _, err := reg.OpenDataDir(dir, service.SyncInterval); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(NewRegistryServer(reg))
@@ -78,8 +79,8 @@ func TestRestartPreservesDeletionAttack(t *testing.T) {
 	}
 
 	// Restart: a fresh registry recovers the filter from disk.
-	reg2 := NewRegistry()
-	if n, err := reg2.OpenDataDir(dir, SyncInterval); err != nil || n != 1 {
+	reg2 := service.NewRegistry()
+	if n, err := reg2.OpenDataDir(dir, service.SyncInterval); err != nil || n != 1 {
 		t.Fatalf("reopen: n=%d err=%v", n, err)
 	}
 	defer reg2.Close() //nolint:errcheck

@@ -1,38 +1,22 @@
-package service
+// Package httpapi is the HTTP/JSON codec over the command engine: it
+// decodes requests into engine commands, renders typed results as the
+// frozen v1/v2 wire shapes, and maps engine error kinds to status codes.
+// No validation, identity resolution, rate-limit charge or store access
+// happens here — that is the engine's pipeline, shared with the RESP
+// plane, so the two surfaces cannot drift apart.
+package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strconv"
-	"time"
 
 	"evilbloom/internal/cachedigest"
 	"evilbloom/internal/core"
-)
-
-// Wire format limits, all enforced independently: a request must satisfy
-// every one of them. Batch sizes are bounded so one request cannot hold a
-// shard lock for an unbounded stretch; item length is bounded because every
-// byte is hashed k times; the body cap bounds the server's JSON-decoding
-// memory, so a full MaxBatch of maximum-length items does not fit in one
-// request — split such batches.
-const (
-	// MaxBatch is the largest accepted add-batch/test-batch size.
-	MaxBatch = 10000
-	// MaxItemLen is the largest accepted item length in bytes.
-	MaxItemLen = 4096
-	// MaxBodyBytes caps request bodies. Exceeding it answers 413 with a
-	// message naming this limit.
-	MaxBodyBytes = 8 << 20
-	// MaxSnapshotBytes caps a PUT-with-snapshot-body request: the largest
-	// permissible filter (MaxFilterBits of storage) serialized, plus framing
-	// slack. The registry additionally reserves the decoded filter's budget
-	// before buffering the payload, so this is transport-level belt and
-	// braces, not the real control.
-	MaxSnapshotBytes = MaxFilterBits/8 + MaxBodyBytes
+	"evilbloom/internal/engine"
+	"evilbloom/internal/service"
 )
 
 // ---------------------------------------------------------------------------
@@ -97,18 +81,18 @@ type RouteResponse struct {
 	// Peer names the first claiming sibling when Verdict is "peer".
 	Peer string `json:"peer,omitempty"`
 	// Peers holds every sibling's individual answer, in peer order.
-	Peers []PeerClaim `json:"peers"`
+	Peers []service.PeerClaim `json:"peers"`
 }
 
 // peersResponse answers GET /v2/.../peers and POST /v2/.../peers/refresh.
 type peersResponse struct {
-	Peers []PeerStatus `json:"peers"`
+	Peers []service.PeerStatus `json:"peers"`
 }
 
 // digestPushResponse answers POST /v2/.../digest with the stored peer entry.
 type digestPushResponse struct {
-	Imported bool       `json:"imported"`
-	Peer     PeerStatus `json:"peer"`
+	Imported bool               `json:"imported"`
+	Peer     service.PeerStatus `json:"peer"`
 }
 
 // InfoResponse answers /v1/info: the public parameters of the serving
@@ -149,7 +133,7 @@ type shardStatsV1 struct {
 }
 
 // statsToV1 projects a Stats snapshot onto the frozen v1 shape.
-func statsToV1(st Stats) statsV1 {
+func statsToV1(st service.Stats) statsV1 {
 	out := statsV1{
 		Mode:      st.Mode,
 		Shards:    st.Shards,
@@ -187,28 +171,28 @@ type FilterSpec struct {
 }
 
 // Config resolves the wire spec into a service Config.
-func (sp FilterSpec) Config() (Config, error) {
-	variant, err := ParseVariant(sp.Variant)
+func (sp FilterSpec) Config() (service.Config, error) {
+	variant, err := service.ParseVariant(sp.Variant)
 	if err != nil {
-		return Config{}, err
+		return service.Config{}, err
 	}
-	mode, err := ParseMode(sp.Mode)
+	mode, err := service.ParseMode(sp.Mode)
 	if err != nil {
-		return Config{}, err
+		return service.Config{}, err
 	}
 	overflow, err := core.ParseOverflowPolicy(sp.Overflow)
 	if err != nil {
-		return Config{}, err
+		return service.Config{}, err
 	}
 	// Like the serve flags, contradictory fields are an error, not
 	// something to silently ignore: a client pinning a seed on a hardened
 	// filter would otherwise get random server-side keys and no hint that
 	// its seed was discarded. (Counting fields on a bloom variant are
 	// rejected by the Config validation itself.)
-	if mode == ModeHardened && sp.Seed != 0 {
-		return Config{}, fmt.Errorf("service: seed is meaningless for a hardened filter: the keyed family has no public seed")
+	if mode == service.ModeHardened && sp.Seed != 0 {
+		return service.Config{}, fmt.Errorf("service: seed is meaningless for a hardened filter: the keyed family has no public seed")
 	}
-	return Config{
+	return service.Config{
 		Variant:      variant,
 		Shards:       sp.Shards,
 		Capacity:     sp.Capacity,
@@ -251,51 +235,27 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// filterInfo assembles a filter's public self-description.
-func filterInfo(f *Filter) FilterInfo {
-	st := f.Store()
-	info := FilterInfo{
-		Name:         f.Name(),
-		Variant:      st.Variant().String(),
-		Mode:         st.Mode().String(),
-		Shards:       st.Shards(),
-		K:            st.K(),
-		ShardBits:    st.ShardBits(),
-		Capabilities: []string{"add", "test"},
+// filterInfo renders an engine description as the v2 wire shape.
+func filterInfo(d engine.FilterDescription) FilterInfo {
+	return FilterInfo{
+		Name:         d.Name,
+		Variant:      d.Variant,
+		Mode:         d.Mode,
+		Shards:       d.Shards,
+		K:            d.K,
+		ShardBits:    d.ShardBits,
+		Algorithm:    d.Algorithm,
+		Seed:         d.Seed,
+		CounterWidth: d.CounterWidth,
+		Overflow:     d.Overflow,
+		Capabilities: d.Capabilities,
 	}
-	switch st.Mode() {
-	case ModeNaive:
-		info.Algorithm = "murmur3-double-hashing"
-		seed := st.Seed()
-		info.Seed = &seed
-	case ModeHardened:
-		info.Algorithm = "siphash-2-4-recycling"
-	}
-	if st.Variant() == VariantCounting {
-		info.CounterWidth = st.CounterWidth()
-		info.Overflow = st.OverflowPolicy().String()
-	}
-	if st.Snapshotable() {
-		info.Capabilities = append(info.Capabilities, "snapshot")
-	}
-	if st.Removable() {
-		info.Capabilities = append(info.Capabilities, "remove")
-	}
-	if f.Durable() {
-		info.Capabilities = append(info.Capabilities, "compact")
-	}
-	if st.Mode() == ModeNaive {
-		// Digest export needs a family a peer can reproduce; hardened
-		// filters answer 409 on the digest endpoint instead.
-		info.Capabilities = append(info.Capabilities, "digest")
-	}
-	return info
 }
 
 // ---------------------------------------------------------------------------
 // Server.
 
-// Server exposes a filter Registry over HTTP/JSON.
+// Server exposes the command engine over HTTP/JSON.
 //
 // The versioned v2 surface manages named filters and routes item traffic to
 // them:
@@ -327,12 +287,20 @@ func filterInfo(f *Filter) FilterInfo {
 //	GET    /v2/filters/{name}/clients      -> ClientsReport (per-client mutation accounting)
 //
 // Every mutation (add, add-batch, remove, remove-batch, digest push) is
-// charged to the requesting client's per-filter budget; batches charge per
-// item. With rate limiting configured (Registry.ConfigureRateLimit,
+// charged to the requesting principal's per-filter budget; batches charge
+// per item. With rate limiting configured (Registry.ConfigureRateLimit,
 // `evilbloom serve -rate-mutations`) an exhausted budget answers 429 with a
 // Retry-After header and nothing is applied. Accounting runs even without a
 // budget, so the clients endpoint attributes pollution on every server; the
 // stats endpoint carries the aggregate under "rate_limit".
+//
+// Identity: anonymously, mutations charge to the transport peer host (or a
+// trusted proxy claim). With auth tokens configured (`evilbloom serve
+// -auth-token name:secret`), a client may send `Authorization: Bearer
+// name:secret`; its budget then follows the authenticated name across
+// every connection and plane (HTTP and RESP alike) instead of the NAT. A
+// presented-but-invalid credential answers 401 — never a silent
+// fall-through to the anonymous bucket.
 //
 // remove/remove-batch need the Remover capability (variant=counting) and
 // answer 405 with a capability error otherwise; a single remove of an item
@@ -344,11 +312,6 @@ func filterInfo(f *Filter) FilterInfo {
 // 409. peers/refresh on a registry with no configured peer URLs answers
 // 409.
 //
-// Compatibility note: until this revision the snapshot endpoint returned
-// the raw per-shard blobs behind a bare shard-count header. That format
-// was unverifiable (no version, variant or checksum) and unreplayable; it
-// is gone, replaced by the envelope documented in snapshot.go.
-//
 // The unversioned-era v1 surface survives as a shim over the registry's
 // "default" filter, byte-identical to the original single-filter server:
 //
@@ -359,13 +322,14 @@ func filterInfo(f *Filter) FilterInfo {
 //	GET  /v1/stats                              -> statsV1
 //	GET  /v1/info                               -> InfoResponse
 type Server struct {
-	reg *Registry
+	eng *engine.Engine
 	mux *http.ServeMux
 }
 
-// NewRegistryServer wraps a filter registry in the full v1+v2 HTTP API.
-func NewRegistryServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+// NewEngineServer wraps a command engine in the full v1+v2 HTTP API — the
+// constructor a process sharing one engine across planes uses.
+func NewEngineServer(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/add", s.v1(s.handleAdd))
 	s.mux.HandleFunc("/v1/test", s.v1(s.handleTest))
 	s.mux.HandleFunc("/v1/add-batch", s.v1(s.handleAddBatch))
@@ -379,55 +343,67 @@ func NewRegistryServer(reg *Registry) *Server {
 	return s
 }
 
+// NewRegistryServer wraps a filter registry in the HTTP API over a fresh,
+// unauthenticated engine — the compatibility constructor for embedders
+// that never touch the RESP plane.
+func NewRegistryServer(reg *service.Registry) *Server {
+	return NewEngineServer(engine.New(reg))
+}
+
 // NewServer wraps a single store in the HTTP API, registered as the
 // registry's default filter — the original single-filter constructor, kept
 // so embedders (tests, examples) need no registry ceremony.
-func NewServer(store *Sharded) *Server {
-	reg := NewRegistry()
-	if _, err := reg.Adopt(DefaultFilterName, store); err != nil {
+func NewServer(store *service.Sharded) *Server {
+	reg := service.NewRegistry()
+	if _, err := reg.Adopt(service.DefaultFilterName, store); err != nil {
 		panic(err) // fresh registry, constant valid name: unreachable
 	}
 	return NewRegistryServer(reg)
 }
 
-// Registry returns the underlying filter registry.
-func (s *Server) Registry() *Registry { return s.reg }
+// Engine returns the command engine this server fronts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// Store returns the default filter's store, or nil when none is registered.
-func (s *Server) Store() *Sharded {
-	f, err := s.reg.Get(DefaultFilterName)
-	if err != nil {
-		return nil
-	}
-	return f.Store()
-}
+// Registry returns the underlying filter registry.
+func (s *Server) Registry() *service.Registry { return s.eng.Registry() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// defaultStore resolves the v1 shim's target, answering the error itself.
-func (s *Server) defaultStore(w http.ResponseWriter) (*Sharded, bool) {
-	f, err := s.reg.Get(DefaultFilterName)
+// principal resolves the request's identity, answering 401 itself when a
+// presented credential is invalid.
+func (s *Server) principal(w http.ResponseWriter, r *http.Request) (engine.Principal, bool) {
+	p, err := s.eng.HTTPPrincipal(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "no default filter registered; use /v2/filters")
-		return nil, false
+		writeEngineError(w, err)
+		return engine.Principal{}, false
 	}
-	return f.Store(), true
+	return p, true
 }
 
-// v1 adapts an item handler to the /v1 shim. The filter name rides along
+// defaultFilter resolves the v1 shim's target, answering the error itself.
+func (s *Server) defaultFilter(w http.ResponseWriter) (engine.FilterRef, bool) {
+	ref, err := s.eng.Lookup(service.DefaultFilterName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no default filter registered; use /v2/filters")
+		return engine.FilterRef{}, false
+	}
+	return ref, true
+}
+
+// v1 adapts an item handler to the /v1 shim. The resolved ref rides along
 // so the shim's mutations charge the same per-client budgets as the
 // default filter's /v2 endpoints — legacy clients get no side door around
 // rate limiting.
-func (s *Server) v1(h func(http.ResponseWriter, *http.Request, string, *Sharded)) http.HandlerFunc {
+func (s *Server) v1(h func(http.ResponseWriter, *http.Request, engine.FilterRef)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		st, ok := s.defaultStore(w)
+		ref, ok := s.defaultFilter(w)
 		if !ok {
 			return
 		}
-		h(w, r, DefaultFilterName, st)
+		h(w, r, ref)
 	}
 }
 
@@ -436,11 +412,11 @@ func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	st, ok := s.defaultStore(w)
+	ref, ok := s.defaultFilter(w)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, statsToV1(st.Stats()))
+	writeJSON(w, http.StatusOK, statsToV1(s.eng.Stats(ref).Stats))
 }
 
 func (s *Server) handleInfoV1(w http.ResponseWriter, r *http.Request) {
@@ -448,25 +424,19 @@ func (s *Server) handleInfoV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	st, ok := s.defaultStore(w)
+	ref, ok := s.defaultFilter(w)
 	if !ok {
 		return
 	}
-	info := InfoResponse{
-		Mode:      st.Mode().String(),
-		Shards:    st.Shards(),
-		K:         st.K(),
-		ShardBits: st.ShardBits(),
-	}
-	switch st.Mode() {
-	case ModeNaive:
-		info.Algorithm = "murmur3-double-hashing"
-		seed := st.Seed()
-		info.Seed = &seed
-	case ModeHardened:
-		info.Algorithm = "siphash-2-4-recycling"
-	}
-	writeJSON(w, http.StatusOK, info)
+	d := s.eng.Describe(ref)
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Mode:      d.Mode,
+		Shards:    d.Shards,
+		K:         d.K,
+		ShardBits: d.ShardBits,
+		Algorithm: d.Algorithm,
+		Seed:      d.Seed,
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -477,10 +447,10 @@ func (s *Server) handleFilters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only; create filters with PUT /v2/filters/{name}")
 		return
 	}
-	filters := s.reg.List()
-	resp := listResponse{Filters: make([]FilterInfo, len(filters))}
-	for i, f := range filters {
-		resp.Filters[i] = filterInfo(f)
+	descs := s.eng.List()
+	resp := listResponse{Filters: make([]FilterInfo, len(descs))}
+	for i, d := range descs {
+		resp.Filters[i] = filterInfo(d)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -491,14 +461,14 @@ func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPut:
 		s.handleCreate(w, r, name)
 	case http.MethodGet:
-		f, err := s.reg.Get(name)
+		ref, err := s.eng.Lookup(name)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, filterInfo(f))
+		writeJSON(w, http.StatusOK, filterInfo(s.eng.Describe(ref)))
 	case http.MethodDelete:
-		if err := s.reg.Delete(name); err != nil {
+		if err := s.eng.DeleteFilter(name); err != nil {
 			writeError(w, http.StatusNotFound, err.Error())
 			return
 		}
@@ -512,15 +482,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name strin
 	// A binary body (Content-Type: application/octet-stream) is a snapshot
 	// envelope — create-from-snapshot; anything else is a JSON FilterSpec.
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		f, err := s.reg.CreateFromSnapshot(name, http.MaxBytesReader(w, r.Body, int64(MaxSnapshotBytes)))
-		if !checkCreateErr(w, err) {
+		d, err := s.eng.CreateFromSnapshot(name, http.MaxBytesReader(w, r.Body, int64(service.MaxSnapshotBytes)))
+		if err != nil {
+			writeEngineError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, filterInfo(f))
+		writeJSON(w, http.StatusCreated, filterInfo(d))
 		return
 	}
 	var spec FilterSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad filter spec: %v", err))
@@ -531,53 +502,36 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, name strin
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	f, err := s.reg.Create(name, cfg)
-	if !checkCreateErr(w, err) {
+	d, err := s.eng.CreateFilter(name, cfg)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, filterInfo(f))
-}
-
-// checkCreateErr maps filter-creation errors to statuses: 409 for conflicts
-// with existing state or limits (name taken, registry full, budget
-// exhausted, snapshot disagreeing with the configuration it implies), 400
-// for malformed requests.
-func checkCreateErr(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, ErrFilterExists), errors.Is(err, ErrRegistryFull),
-		errors.Is(err, ErrBudgetExhausted), errors.Is(err, ErrSnapshotMismatch):
-		writeError(w, http.StatusConflict, err.Error())
-	default:
-		writeError(w, http.StatusBadRequest, err.Error())
-	}
-	return false
+	writeJSON(w, http.StatusCreated, filterInfo(d))
 }
 
 // ---------------------------------------------------------------------------
 // v2: item operations on a named filter.
 
 func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
-	f, err := s.reg.Get(r.PathValue("name"))
+	ref, err := s.eng.Lookup(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	st := f.Store()
 	switch op := r.PathValue("op"); op {
 	case "add":
-		s.handleAdd(w, r, f.Name(), st)
+		s.handleAdd(w, r, ref)
 	case "test":
-		s.handleTest(w, r, f.Name(), st)
+		s.handleTest(w, r, ref)
 	case "add-batch":
-		s.handleAddBatch(w, r, f.Name(), st)
+		s.handleAddBatch(w, r, ref)
 	case "test-batch":
-		s.handleTestBatch(w, r, f.Name(), st)
+		s.handleTestBatch(w, r, ref)
 	case "remove":
-		s.handleRemove(w, r, f.Name(), st)
+		s.handleRemove(w, r, ref)
 	case "remove-batch":
-		s.handleRemoveBatch(w, r, f.Name(), st)
+		s.handleRemoveBatch(w, r, ref)
 	case "stats":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -585,187 +539,145 @@ func (s *Server) handleFilterOp(w http.ResponseWriter, r *http.Request) {
 		}
 		// The filter's own statistics plus the rate-limit aggregate, so one
 		// scrape shows both the damage and who was allowed to do it.
+		res := s.eng.Stats(ref)
 		writeJSON(w, http.StatusOK, struct {
-			Stats
-			RateLimit RateLimitStats `json:"rate_limit"`
-		}{st.Stats(), s.reg.Limiter().FilterStats(f.Name())})
+			service.Stats
+			RateLimit service.RateLimitStats `json:"rate_limit"`
+		}{res.Stats, res.RateLimit})
 	case "clients":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, s.reg.Limiter().Clients(f.Name()))
+		writeJSON(w, http.StatusOK, s.eng.Clients(ref))
 	case "info":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, filterInfo(f))
+		writeJSON(w, http.StatusOK, filterInfo(s.eng.Describe(ref)))
 	case "snapshot":
-		handleSnapshot(w, r, st)
+		s.handleSnapshot(w, r, ref)
 	case "compact":
-		handleCompact(w, r, f)
+		s.handleCompact(w, r, ref)
 	case "digest":
-		s.handleDigest(w, r, f)
+		s.handleDigest(w, r, ref)
 	case "route":
-		s.handleRoute(w, r, f)
+		s.handleRoute(w, r, ref)
 	case "peers":
-		s.handlePeers(w, r, f)
+		s.handlePeers(w, r, ref)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown filter operation %q", op))
 	}
 }
 
-// allowMutation charges n mutations on filter to the requesting client,
-// answering 429 with a Retry-After itself when the budget is exhausted.
-// The charge happens after the request is validated (malformed requests
-// cost nothing) and before any state changes.
-func (s *Server) allowMutation(w http.ResponseWriter, r *http.Request, filter string, n int) bool {
-	lim := s.reg.Limiter()
-	ok, retry := lim.Allow(filter, clientIdentity(r, lim.TrustProxy()), n)
-	if !ok {
-		writeThrottled(w, filter, n, retry)
-	}
-	return ok
-}
-
-// writeThrottled answers an exhausted mutation budget: 429 plus the
-// Retry-After the limiter computed, floored at one second.
-func writeThrottled(w http.ResponseWriter, filter string, n int, retry time.Duration) {
-	secs := int64(math.Ceil(retry.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	writeError(w, http.StatusTooManyRequests,
-		fmt.Sprintf("mutation budget exhausted for filter %q (%d mutation(s) requested); retry after %ds", filter, n, secs))
-}
-
-func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if !checkItem(w, req.Item) {
+	p, ok := s.principal(w, r)
+	if !ok {
 		return
 	}
-	if !s.allowMutation(w, r, name, 1) {
+	res, err := s.eng.Add(p, ref, []byte(req.Item))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	st.Add([]byte(req.Item))
-	writeJSON(w, http.StatusOK, addResponse{Added: 1, Count: st.Count()})
+	writeJSON(w, http.StatusOK, addResponse{Added: res.Added, Count: res.Count})
 }
 
-func (s *Server) handleTest(w http.ResponseWriter, r *http.Request, _ string, st *Sharded) {
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if !checkItem(w, req.Item) {
+	present, err := s.eng.Test(ref, []byte(req.Item))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, testResponse{Present: st.Test([]byte(req.Item))})
+	writeJSON(w, http.StatusOK, testResponse{Present: present})
 }
 
-func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
+func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	items, ok := checkBatch(w, req.Items)
+	p, ok := s.principal(w, r)
 	if !ok {
 		return
 	}
-	// Batches charge per item: the pollution a batch can do scales with its
-	// size, so a 10000-item batch must not cost what a single add does.
-	if !s.allowMutation(w, r, name, len(items)) {
+	res, err := s.eng.AddBatch(p, ref, toBytes(req.Items))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	st.AddBatch(items)
-	writeJSON(w, http.StatusOK, addResponse{Added: len(items), Count: st.Count()})
+	writeJSON(w, http.StatusOK, addResponse{Added: res.Added, Count: res.Count})
 }
 
-func (s *Server) handleTestBatch(w http.ResponseWriter, r *http.Request, _ string, st *Sharded) {
+func (s *Server) handleTestBatch(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	items, ok := checkBatch(w, req.Items)
-	if !ok {
+	items := toBytes(req.Items)
+	present, err := s.eng.TestBatch(ref, make([]bool, 0, len(items)), items)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	present := st.TestBatch(make([]bool, 0, len(items)), items)
 	writeJSON(w, http.StatusOK, testBatchResponse{Present: present})
 }
 
-func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if !checkItem(w, req.Item) {
+	p, ok := s.principal(w, r)
+	if !ok {
 		return
 	}
-	if !s.allowMutation(w, r, name, 1) {
+	res, err := s.eng.Remove(p, ref, []byte(req.Item))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	removed, err := st.Remove([]byte(req.Item))
-	if !checkRemoveErr(w, err) {
-		return
-	}
-	if !removed {
-		writeError(w, http.StatusConflict, "item not in filter; removal refused")
-		return
-	}
-	writeJSON(w, http.StatusOK, removeResponse{Removed: 1, Count: st.Count()})
+	writeJSON(w, http.StatusOK, removeResponse{Removed: res.Removed, Count: res.Count})
 }
 
-func (s *Server) handleRemoveBatch(w http.ResponseWriter, r *http.Request, name string, st *Sharded) {
+func (s *Server) handleRemoveBatch(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req batchRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	items, ok := checkBatch(w, req.Items)
+	p, ok := s.principal(w, r)
 	if !ok {
 		return
 	}
-	if !s.allowMutation(w, r, name, len(items)) {
+	res, err := s.eng.RemoveBatch(p, ref, toBytes(req.Items))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	removed, err := st.RemoveBatch(items)
-	if !checkRemoveErr(w, err) {
-		return
-	}
-	writeJSON(w, http.StatusOK, removeBatchResponse{Removed: removed, Count: st.Count()})
+	writeJSON(w, http.StatusOK, removeBatchResponse{Removed: res.Removed, Count: res.Count})
 }
 
-// checkRemoveErr maps removal errors to statuses: 405 for the missing
-// capability (the filter exists but its backend cannot delete), 500 for
-// anything else.
-func checkRemoveErr(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, ErrNotRemovable):
-		writeError(w, http.StatusMethodNotAllowed, err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
-	}
-	return false
-}
-
-func handleSnapshot(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	blob, err := st.Snapshot()
+	blob, err := s.eng.Snapshot(ref)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Evilbloom-Snapshot-Version", fmt.Sprint(snapshotVersion))
+	w.Header().Set("X-Evilbloom-Snapshot-Version", fmt.Sprint(service.SnapshotVersion))
 	w.WriteHeader(http.StatusOK)
 	w.Write(blob) //nolint:errcheck // client gone; nothing to do
 }
@@ -773,21 +685,17 @@ func handleSnapshot(w http.ResponseWriter, r *http.Request, st *Sharded) {
 // handleCompact forces a durable filter's snapshot+log rotation; a
 // memory-only filter answers 409 so operators notice the missing -data-dir
 // instead of trusting a no-op.
-func handleCompact(w http.ResponseWriter, r *http.Request, f *Filter) {
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	err := f.Compact()
-	switch {
-	case errors.Is(err, ErrNotDurable):
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+	gen, err := s.eng.Compact(ref)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, compactResponse{Compacted: true, Generation: f.Generation()})
+	writeJSON(w, http.StatusOK, compactResponse{Compacted: true, Generation: gen})
 }
 
 // ---------------------------------------------------------------------------
@@ -796,98 +704,56 @@ func handleCompact(w http.ResponseWriter, r *http.Request, f *Filter) {
 // handleDigest serves a filter's cache digest (GET, with a generation ETag
 // so unchanged digests cost a peer one conditional request and no transfer)
 // and accepts push-imported sibling digests (POST with ?peer=<label>).
-func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request, f *Filter) {
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	switch r.Method {
 	case http.MethodGet:
-		s.handleDigestGet(w, r, f.Store())
+		s.handleDigestGet(w, r, ref)
 	case http.MethodPost:
-		s.handleDigestPush(w, r, f)
+		s.handleDigestPush(w, r, ref)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET exports the digest; POST ?peer=<label> imports one")
 	}
 }
 
-// digestETag renders a store generation as the digest endpoint's ETag. The
-// store's per-boot salt is folded in because the generation counter resets
-// on restart: without it, a restarted filter's generation would re-pass
-// through values a peer already holds and earn a spurious 304 for
-// different content.
-func digestETag(st *Sharded, gen uint64) string {
-	return fmt.Sprintf("%q", fmt.Sprintf("evb-digest-%x-%d", st.etagSalt, gen))
-}
-
-func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, st *Sharded) {
+func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	// The conditional check reads only the O(shards) generation counter;
 	// an unchanged filter never pays for digest serialization. Matching is
 	// RFC 9110 If-None-Match semantics, not string equality: intermediaries
 	// legitimately send `*`, weak `W/"..."` forms and comma-joined lists of
 	// every tag they hold, and all of them must be able to earn the 304.
 	if match := r.Header.Get("If-None-Match"); match != "" {
-		if current := digestETag(st, st.Generation()); etagMatch(match, current) {
+		if current := s.eng.DigestETag(ref); etagMatch(match, current) {
 			w.Header().Set("ETag", current)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
-	blob, gen, err := st.DigestEnvelope()
-	switch {
-	case errors.Is(err, ErrDigestUnexportable):
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+	res, err := s.eng.Digest(ref)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("ETag", digestETag(st, gen))
+	w.Header().Set("ETag", res.ETag)
 	w.Header().Set("X-Evilbloom-Digest-Version", fmt.Sprint(cachedigest.EnvelopeVersion))
 	w.WriteHeader(http.StatusOK)
-	w.Write(blob) //nolint:errcheck // client gone; nothing to do
+	w.Write(res.Blob) //nolint:errcheck // client gone; nothing to do
 }
 
-func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, f *Filter) {
+func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	label := r.URL.Query().Get("peer")
 	if label == "" {
 		writeError(w, http.StatusBadRequest, "peer query parameter required: which sibling does this digest describe?")
 		return
 	}
-	// Labels become map keys echoed back through the peers JSON, so they
-	// obey the same length/charset rule as filter names — an arbitrary
-	// control-character label is 400, not a stored key.
-	if !ValidFilterName(label) {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("invalid peer label %q: labels follow the filter-name rule (%s)", label, filterName))
+	p, ok := s.principal(w, r)
+	if !ok {
 		return
 	}
-	// A pushed digest mutates this node's routing state, so it spends from
-	// the pusher's mutation budget like any other write. Unlike add/remove,
-	// the envelope can only be validated inside Push, so the charge is
-	// taken up front and refunded on any failure — a rejected push must not
-	// have cost the pusher budget or shown up as an allowed mutation.
-	// (One mutation per push, whatever the digest's size: a digest's
-	// routing leverage is bounded by the separate MaxPushedPeers /
-	// MaxPushedDigestBits retention budget, and pricing the §7 poison out
-	// of reach is the per-peer-authentication rung above this one.)
-	lim := s.reg.Limiter()
-	client := clientIdentity(r, lim.TrustProxy())
-	if ok, retry := lim.Allow(f.Name(), client, 1); !ok {
-		writeThrottled(w, f.Name(), 1, retry)
-		return
-	}
-	status, err := s.reg.Peers().Push(f.Name(), label,
-		http.MaxBytesReader(w, r.Body, int64(MaxSnapshotBytes)))
+	status, err := s.eng.DigestPush(p, ref, label,
+		http.MaxBytesReader(w, r.Body, int64(service.MaxSnapshotBytes)))
 	if err != nil {
-		lim.Refund(f.Name(), client, 1)
-	}
-	switch {
-	case errors.Is(err, cachedigest.ErrEnvelopeUnusable), errors.Is(err, ErrPushedDigestLimit):
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	case errors.Is(err, cachedigest.ErrEnvelopeCorrupt):
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, digestPushResponse{Imported: true, Peer: status})
@@ -895,52 +761,37 @@ func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, f *Fil
 
 // handleRoute answers the §7 routing question for one item: local cache,
 // sibling whose digest claims it, or origin.
-func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, f *Filter) {
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	var req itemRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if !checkItem(w, req.Item) {
+	res, err := s.eng.Route(ref, []byte(req.Item))
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
-	item := []byte(req.Item)
-	resp := RouteResponse{
-		Local: f.Store().Test(item),
-		Peers: s.reg.Peers().claims(f.Name(), item),
-	}
-	if resp.Peers == nil {
-		resp.Peers = []PeerClaim{}
-	}
-	switch {
-	case resp.Local:
-		resp.Verdict = "local"
-	default:
-		resp.Verdict = "origin"
-		for _, pc := range resp.Peers {
-			// Squid semantics: a digest routes until replaced, stale or not
-			// — the Stale flag in the claim lets stricter callers opt out.
-			if pc.Claims {
-				resp.Verdict, resp.Peer = "peer", pc.Peer
-				break
-			}
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, RouteResponse{
+		Local:   res.Local,
+		Verdict: res.Verdict,
+		Peer:    res.Peer,
+		Peers:   res.Claims,
+	})
 }
 
 // handlePeers reports one filter's per-peer digest accounting.
-func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request, f *Filter) {
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request, ref engine.FilterRef) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only; force a fetch with POST .../peers/refresh")
 		return
 	}
-	status, err := s.reg.Peers().status(f.Name())
+	status, err := s.eng.PeerStatus(ref)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	if status == nil {
-		status = []PeerStatus{}
+		status = []service.PeerStatus{}
 	}
 	writeJSON(w, http.StatusOK, peersResponse{Peers: status})
 }
@@ -953,21 +804,14 @@ func (s *Server) handlePeersRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	f, err := s.reg.Get(r.PathValue("name"))
+	ref, err := s.eng.Lookup(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	status, err := s.reg.Peers().RefreshNow(f.Name())
-	switch {
-	case errors.Is(err, ErrNoPeers):
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	case errors.Is(err, ErrFilterNotFound):
-		writeError(w, http.StatusNotFound, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+	status, err := s.eng.RefreshPeers(ref)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, peersResponse{Peers: status})
@@ -983,13 +827,13 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes; split the batch", MaxBodyBytes))
+				fmt.Sprintf("request body exceeds %d bytes; split the batch", service.MaxBodyBytes))
 			return false
 		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -998,38 +842,65 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// checkItem validates a single item, answering the error itself.
-func checkItem(w http.ResponseWriter, item string) bool {
-	if item == "" {
-		writeError(w, http.StatusBadRequest, "empty item")
-		return false
-	}
-	if len(item) > MaxItemLen {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("item exceeds %d bytes", MaxItemLen))
-		return false
-	}
-	return true
-}
-
-// checkBatch validates a batch and converts it to byte slices.
-func checkBatch(w http.ResponseWriter, items []string) ([][]byte, bool) {
-	if len(items) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
-		return nil, false
-	}
-	if len(items) > MaxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d items", MaxBatch))
-		return nil, false
-	}
+// toBytes converts wire strings to the byte slices the engine consumes;
+// validation is the engine's job, not the codec's.
+func toBytes(items []string) [][]byte {
 	out := make([][]byte, len(items))
 	for i, it := range items {
-		if it == "" || len(it) > MaxItemLen {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("item %d empty or exceeds %d bytes", i, MaxItemLen))
-			return nil, false
-		}
 		out[i] = []byte(it)
 	}
-	return out, true
+	return out
+}
+
+// writeEngineError renders an engine failure: kinds map to status codes,
+// busy errors additionally carry Retry-After, and validation errors keep
+// this plane's frozen phrasings.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var busy *engine.BusyError
+	if errors.As(err, &busy) {
+		w.Header().Set("Retry-After", strconv.FormatInt(busy.RetrySecs, 10))
+		writeError(w, http.StatusTooManyRequests, busy.Error())
+		return
+	}
+	status := http.StatusInternalServerError
+	switch engine.Classify(err) {
+	case engine.KindInvalid:
+		status = http.StatusBadRequest
+	case engine.KindNotFound:
+		status = http.StatusNotFound
+	case engine.KindCapability:
+		status = http.StatusMethodNotAllowed
+	case engine.KindConflict:
+		status = http.StatusConflict
+	case engine.KindUnauthorized:
+		status = http.StatusUnauthorized
+	case engine.KindTooLarge:
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeError(w, status, httpErrorMessage(err))
+}
+
+// httpErrorMessage keeps this plane's historical validation phrasings: the
+// engine reports a typed item/batch violation, and the HTTP surface has
+// always worded those messages this way — changing them would break
+// clients that match on body text.
+func httpErrorMessage(err error) string {
+	var item *engine.ItemError
+	if errors.As(err, &item) {
+		switch {
+		case item.Index >= 0:
+			return fmt.Sprintf("item %d empty or exceeds %d bytes", item.Index, service.MaxItemLen)
+		case item.Len == 0:
+			return "empty item"
+		default:
+			return fmt.Sprintf("item exceeds %d bytes", service.MaxItemLen)
+		}
+	}
+	var batch *engine.BatchTooLargeError
+	if errors.As(err, &batch) {
+		return fmt.Sprintf("batch exceeds %d items", service.MaxBatch)
+	}
+	return err.Error()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

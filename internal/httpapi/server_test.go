@@ -1,8 +1,9 @@
-package service
+package httpapi
 
 import (
 	"bytes"
 	"encoding/json"
+	"evilbloom/internal/service"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -14,9 +15,9 @@ import (
 )
 
 // newTestServer spins up an httptest server over a small store.
-func newTestServer(t *testing.T, mode Mode) (*httptest.Server, *Sharded) {
+func newTestServer(t *testing.T, mode service.Mode) (*httptest.Server, *service.Sharded) {
 	t.Helper()
-	store, err := NewSharded(testConfig(mode, 4))
+	store, err := service.NewSharded(testConfig(mode, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func getJSON(t *testing.T, base, path string, out any) int {
 }
 
 func TestServerAddTestRoundTrip(t *testing.T) {
-	ts, _ := newTestServer(t, ModeNaive)
+	ts, _ := newTestServer(t, service.ModeNaive)
 	var add addResponse
 	if code := postJSON(t, ts.URL, "/v1/add", itemRequest{Item: "http://a.example/1"}, &add); code != 200 {
 		t.Fatalf("add status %d", code)
@@ -82,7 +83,7 @@ func TestServerAddTestRoundTrip(t *testing.T) {
 }
 
 func TestServerBatchEndpoints(t *testing.T) {
-	ts, store := newTestServer(t, ModeHardened)
+	ts, store := newTestServer(t, service.ModeHardened)
 	gen := urlgen.New(5)
 	items := make([]string, 300)
 	for i := range items {
@@ -114,9 +115,9 @@ func TestServerBatchEndpoints(t *testing.T) {
 }
 
 func TestServerStatsAndInfo(t *testing.T) {
-	ts, _ := newTestServer(t, ModeNaive)
+	ts, _ := newTestServer(t, service.ModeNaive)
 	postJSON(t, ts.URL, "/v1/add", itemRequest{Item: "x"}, nil)
-	var st Stats
+	var st service.Stats
 	if code := getJSON(t, ts.URL, "/v1/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -131,7 +132,7 @@ func TestServerStatsAndInfo(t *testing.T) {
 		t.Errorf("naive info must publish the seed: %+v", info)
 	}
 
-	hts, _ := newTestServer(t, ModeHardened)
+	hts, _ := newTestServer(t, service.ModeHardened)
 	var hinfo InfoResponse
 	if code := getJSON(t, hts.URL, "/v1/info", &hinfo); code != 200 {
 		t.Fatalf("hardened info status %d", code)
@@ -145,7 +146,7 @@ func TestServerStatsAndInfo(t *testing.T) {
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t, ModeNaive)
+	ts, _ := newTestServer(t, service.ModeNaive)
 	cases := []struct {
 		name string
 		do   func() int
@@ -154,11 +155,11 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		{"post on stats", func() int { return postJSON(t, ts.URL, "/v1/stats", itemRequest{Item: "x"}, nil) }},
 		{"empty item", func() int { return postJSON(t, ts.URL, "/v1/add", itemRequest{}, nil) }},
 		{"oversize item", func() int {
-			return postJSON(t, ts.URL, "/v1/add", itemRequest{Item: strings.Repeat("a", MaxItemLen+1)}, nil)
+			return postJSON(t, ts.URL, "/v1/add", itemRequest{Item: strings.Repeat("a", service.MaxItemLen+1)}, nil)
 		}},
 		{"empty batch", func() int { return postJSON(t, ts.URL, "/v1/add-batch", batchRequest{}, nil) }},
 		{"oversize batch", func() int {
-			items := make([]string, MaxBatch+1)
+			items := make([]string, service.MaxBatch+1)
 			for i := range items {
 				items[i] = "x"
 			}
@@ -175,12 +176,12 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	}
 }
 
-// A body over MaxBodyBytes must be answered with 413 and an error naming
+// A body over service.MaxBodyBytes must be answered with 413 and an error naming
 // the limit, not a generic bad-request.
 func TestServerRejectsOversizeBody(t *testing.T) {
-	ts, _ := newTestServer(t, ModeNaive)
-	items := make([]string, 0, MaxBatch)
-	item := strings.Repeat("a", MaxItemLen)
+	ts, _ := newTestServer(t, service.ModeNaive)
+	items := make([]string, 0, service.MaxBatch)
+	item := strings.Repeat("a", service.MaxItemLen)
 	for len(items) < 3000 { // ~12 MB of payload, over the 8 MB cap
 		items = append(items, item)
 	}
@@ -197,7 +198,7 @@ func TestServerRejectsOversizeBody(t *testing.T) {
 // The acceptance scenario: sustained concurrent batch add/test traffic
 // through the HTTP layer, race-detector-clean.
 func TestServerConcurrentBatchTraffic(t *testing.T) {
-	ts, store := newTestServer(t, ModeNaive)
+	ts, store := newTestServer(t, service.ModeNaive)
 	const workers, rounds, batch = 8, 20, 50
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)

@@ -1,8 +1,9 @@
-package service
+package httpapi
 
 import (
 	"bytes"
 	"encoding/json"
+	"evilbloom/internal/service"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,9 +12,9 @@ import (
 )
 
 // newRegistryTestServer spins up an empty multi-filter server.
-func newRegistryTestServer(t *testing.T) (*httptest.Server, *Registry) {
+func newRegistryTestServer(t *testing.T) (*httptest.Server, *service.Registry) {
 	t.Helper()
-	reg := NewRegistry()
+	reg := service.NewRegistry()
 	ts := httptest.NewServer(NewRegistryServer(reg))
 	t.Cleanup(ts.Close)
 	return ts, reg
@@ -155,7 +156,7 @@ func TestV2ItemOpsAndCapabilities(t *testing.T) {
 	}
 
 	// Stats carry the variant and counting parameters.
-	var st Stats
+	var st service.Stats
 	doJSON(t, "GET", base+"/stats", nil, &st)
 	if st.Variant != "counting" || st.Count != 1 {
 		t.Errorf("stats %+v", st)
@@ -201,14 +202,14 @@ func TestV2Validation(t *testing.T) {
 			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Mode: "hardened", Seed: 7}, nil)
 		}, 400},
 		{"oversized geometry", func() int {
-			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: 1, ShardBits: MaxFilterBits + 1, HashCount: 4}, nil)
+			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: 1, ShardBits: service.MaxFilterBits + 1, HashCount: 4}, nil)
 		}, 400},
 		{"geometry whose bit product wraps mod 2^64", func() int {
 			// 8 × 2^61 wraps to 0: must be rejected, not allocated.
 			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: 8, ShardBits: 1 << 61, HashCount: 4}, nil)
 		}, 400},
-		{"shard count beyond MaxShards", func() int {
-			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: MaxShards * 2, ShardBits: 64, HashCount: 2}, nil)
+		{"shard count beyond service.MaxShards", func() int {
+			return doJSON(t, "PUT", ts.URL+"/v2/filters/x", FilterSpec{Shards: service.MaxShards * 2, ShardBits: 64, HashCount: 2}, nil)
 		}, 400},
 		{"bad name", func() int {
 			return doJSON(t, "PUT", ts.URL+"/v2/filters/.hidden", FilterSpec{}, nil)
@@ -256,7 +257,7 @@ func TestV1ShimRequiresDefault(t *testing.T) {
 	if code := doJSON(t, "POST", ts.URL+"/v1/add", itemRequest{Item: "x"}, nil); code != http.StatusNotFound {
 		t.Errorf("v1 without default: status %d, want 404", code)
 	}
-	if _, err := reg.Create(DefaultFilterName, Config{Shards: 1, ShardBits: 4096, HashCount: 4}); err != nil {
+	if _, err := reg.Create(service.DefaultFilterName, service.Config{Shards: 1, ShardBits: 4096, HashCount: 4}); err != nil {
 		t.Fatal(err)
 	}
 	var add addResponse
@@ -296,13 +297,16 @@ func TestV2Snapshot(t *testing.T) {
 	}
 	empty := fetch()
 	// The export travels in the versioned, checksummed envelope: magic,
-	// geometry header, CRC — decodeSnapshot validates all three.
-	h, _, err := decodeSnapshot(empty)
+	// geometry header, CRC — round-tripping it through create-from-snapshot
+	// validates all three and proves the geometry survived.
+	rt := service.NewRegistry()
+	f, err := rt.CreateFromSnapshot("rt", bytes.NewReader(empty))
 	if err != nil {
-		t.Fatalf("snapshot envelope does not decode: %v", err)
+		t.Fatalf("snapshot envelope does not restore: %v", err)
 	}
-	if h.shards != 2 || h.shardBits != 1024 || h.k != 4 || h.variant != VariantCounting {
-		t.Errorf("envelope header %+v, want 2×1024 k=4 counting", h)
+	if st := f.Store(); st.Shards() != 2 || st.ShardBits() != 1024 || st.K() != 4 || st.Variant() != service.VariantCounting {
+		t.Errorf("restored %d×%d k=%d %v, want 2×1024 k=4 counting",
+			st.Shards(), st.ShardBits(), st.K(), st.Variant())
 	}
 	doJSON(t, "POST", ts.URL+"/v2/filters/snap/add", itemRequest{Item: "x"}, nil)
 	after := fetch()
@@ -312,12 +316,12 @@ func TestV2Snapshot(t *testing.T) {
 	if bytes.Equal(empty, after) {
 		t.Error("snapshot unchanged by an insertion")
 	}
-	if _, _, err := decodeSnapshot(after); err != nil {
-		t.Fatalf("post-insertion envelope does not decode: %v", err)
+	if _, err := rt.CreateFromSnapshot("rt2", bytes.NewReader(after)); err != nil {
+		t.Fatalf("post-insertion envelope does not restore: %v", err)
 	}
 	// Corrupting any byte must be detected by the checksum.
 	after[len(after)/2] ^= 0xff
-	if _, _, err := decodeSnapshot(after); err == nil {
-		t.Error("corrupted envelope decoded cleanly")
+	if _, err := rt.CreateFromSnapshot("rt3", bytes.NewReader(after)); err == nil {
+		t.Error("corrupted envelope restored cleanly")
 	}
 }

@@ -1,7 +1,8 @@
-package service
+package httpapi
 
 import (
 	"bytes"
+	"evilbloom/internal/service"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -15,11 +16,11 @@ import (
 // producing them even though it now routes through the registry's default
 // filter. If this test breaks, a v1 client broke.
 func TestV1WireFormatFrozen(t *testing.T) {
-	store, err := NewSharded(Config{
+	store, err := service.NewSharded(service.Config{
 		Shards:    4,
 		Capacity:  20000,
 		TargetFPR: 1.0 / 1024,
-		Mode:      ModeNaive,
+		Mode:      service.ModeNaive,
 		Seed:      3,
 		Key:       []byte("0123456789abcdef"),
 		RouteKey:  []byte("fedcba9876543210"),

@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"net"
 	"strconv"
 	"sync"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"evilbloom/internal/core"
+	"evilbloom/internal/engine"
 	"evilbloom/internal/service"
 )
 
@@ -31,11 +31,16 @@ const (
 	serverVersion = "1.0"
 )
 
-// Server serves the RESP plane of a registry. The zero value is not usable;
-// construct with NewServer. Mutation commands spend the registry's rate-limit
-// buckets under the same RemoteAddr-host identity rule as the HTTP plane.
+// Server serves the RESP plane as a codec over the command engine: it
+// decodes commands, stages pipelined runs, and renders engine results and
+// typed errors as RESP replies. All validation, identity, rate-limit
+// charging, and dispatch happen in the engine, so a command spends exactly
+// the same budget here as it would over HTTP. The zero value is not usable;
+// construct with NewServer or NewEngineServer. Connections start under the
+// anonymous RemoteAddr-host identity and may upgrade with AUTH (or HELLO ...
+// AUTH) to an authenticated principal whose bucket is shared across planes.
 type Server struct {
-	reg *service.Registry
+	eng *engine.Engine
 
 	mu         sync.Mutex
 	listeners  map[net.Listener]struct{}
@@ -45,14 +50,24 @@ type Server struct {
 	connID     atomic.Int64
 }
 
-// NewServer returns a server over reg.
+// NewServer returns a server over its own engine wrapping reg. Prefer
+// NewEngineServer when the HTTP plane shares the process, so both codecs
+// share one auth table.
 func NewServer(reg *service.Registry) *Server {
+	return NewEngineServer(engine.New(reg))
+}
+
+// NewEngineServer returns a server speaking for eng.
+func NewEngineServer(eng *engine.Engine) *Server {
 	return &Server{
-		reg:       reg,
+		eng:       eng,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
 }
+
+// Engine returns the command engine the server fronts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Serve accepts connections on ln until Shutdown. Like http.Server.Serve it
 // blocks, returning ErrServerClosed after a clean shutdown.
@@ -137,13 +152,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	h := &connHandler{
-		srv:      s,
-		conn:     conn,
-		r:        NewReader(conn),
-		w:        bufio.NewWriterSize(conn, 32<<10),
-		identity: service.IdentityFromRemoteAddr(conn.RemoteAddr().String()),
-		proto:    2,
-		id:       s.connID.Add(1),
+		srv:       s,
+		conn:      conn,
+		r:         NewReader(conn),
+		w:         bufio.NewWriterSize(conn, 32<<10),
+		principal: engine.AnonymousFromRemoteAddr(conn.RemoteAddr().String()),
+		proto:     2,
+		id:        s.connID.Add(1),
 	}
 	batch := make([]Command, 0, 16)
 	for !h.closing && !s.inShutdown.Load() {
@@ -196,51 +211,40 @@ func (h *connHandler) readBatch(batch *[]Command) (int, error) {
 // connHandler is the per-connection execution state. Scratch slices are
 // reused across batches so the steady-state data path does not allocate.
 type connHandler struct {
-	srv      *Server
-	conn     net.Conn
-	r        *Reader
-	w        *bufio.Writer
-	identity string
-	proto    int
-	id       int64
-	closing  bool
+	srv       *Server
+	conn      net.Conn
+	r         *Reader
+	w         *bufio.Writer
+	principal engine.Principal
+	proto     int
+	id        int64
+	closing   bool
 
-	g           group
-	boolScratch []bool
+	g group
 }
 
-// Batchable command kinds. Consecutive commands with the same kind and
-// filter execute as one store batch call.
-const (
-	kindNone = iota
-	kindAdd
-	kindTest
-	kindDel
-)
-
-// pend records one command's slice of the current group: how many of the
-// group's items belong to it, its reply shape, and whether the rate limiter
-// refused it (busy commands contribute no items but still reply in order).
+// pend records one staged command's reply shape: how many of the run's
+// items belong to it and whether it replies as an array (the M-variants).
+// Charging outcomes live in the run's parallel Chunks.
 type pend struct {
-	n         int
-	multi     bool
-	busy      bool
-	retrySecs int64
-	filter    string
+	n     int
+	multi bool
 }
 
+// group is the codec half of run-collapsing: consecutive commands with the
+// same kind and filter stage into one engine.Run, executed by ExecuteRun as
+// one (or two) store passes with per-command charging.
 type group struct {
-	kind   int
 	filter string
-	store  *service.Sharded
-	items  [][]byte
+	ref    engine.FilterRef
+	run    engine.Run
 	pends  []pend
 }
 
 func (g *group) reset() {
-	g.kind = kindNone
-	g.store = nil
-	g.items = g.items[:0]
+	g.filter = ""
+	g.ref = engine.FilterRef{}
+	g.run.Reset(0)
 	g.pends = g.pends[:0]
 }
 
@@ -255,15 +259,17 @@ func (h *connHandler) execBatch(cmds []Command) {
 		name := args[0]
 		switch {
 		case equalFold(name, "BF.ADD"):
-			h.itemCommand(args, kindAdd, false, 2)
+			h.itemCommand(args, engine.RunAdd, false)
 		case equalFold(name, "BF.MADD"):
-			h.itemCommand(args, kindAdd, true, 2)
+			h.itemCommand(args, engine.RunAdd, true)
 		case equalFold(name, "BF.EXISTS"):
-			h.itemCommand(args, kindTest, false, 2)
+			h.itemCommand(args, engine.RunTest, false)
 		case equalFold(name, "BF.MEXISTS"):
-			h.itemCommand(args, kindTest, true, 2)
+			h.itemCommand(args, engine.RunTest, true)
 		case equalFold(name, "CF.DEL"):
-			h.itemCommand(args, kindDel, false, 2)
+			h.itemCommand(args, engine.RunRemove, false)
+		case equalFold(name, "CF.MDEL"):
+			h.itemCommand(args, engine.RunRemove, true)
 		default:
 			h.flushGroup()
 			h.controlCommand(args)
@@ -273,129 +279,80 @@ func (h *connHandler) execBatch(cmds []Command) {
 }
 
 // itemCommand validates and stages one BF.ADD/BF.MADD/BF.EXISTS/BF.MEXISTS/
-// CF.DEL. minArgs is the index of the first item (command word + filter
-// name).
-func (h *connHandler) itemCommand(args [][]byte, kind int, multi bool, minArgs int) {
-	if len(args) < minArgs+1 {
-		h.flushGroup()
-		h.writeArityError(args[0])
-		return
-	}
-	if !multi && len(args) != minArgs+1 {
+// CF.DEL/CF.MDEL. Arguments past the command word and filter name are the
+// items; validation is the engine's, rendered with the -ERR prefix.
+func (h *connHandler) itemCommand(args [][]byte, kind engine.RunKind, multi bool) {
+	const minArgs = 2 // command word + filter name
+	if len(args) < minArgs+1 || (!multi && len(args) != minArgs+1) {
 		h.flushGroup()
 		h.writeArityError(args[0])
 		return
 	}
 	items := args[minArgs:]
-	if len(items) > service.MaxBatch {
+	if err := engine.ValidateItems(items); err != nil {
 		h.flushGroup()
-		writeError(h.w, fmt.Sprintf("ERR batch of %d items exceeds limit %d", len(items), service.MaxBatch))
+		writeError(h.w, "ERR "+err.Error())
 		return
 	}
-	for _, it := range items {
-		if len(it) == 0 {
-			h.flushGroup()
-			writeError(h.w, "ERR empty item")
-			return
-		}
-		if len(it) > service.MaxItemLen {
-			h.flushGroup()
-			writeError(h.w, fmt.Sprintf("ERR item of %d bytes exceeds limit %d", len(it), service.MaxItemLen))
-			return
-		}
-	}
 	filter := string(args[1])
-	if h.g.kind != kind || h.g.filter != filter {
+	if h.g.run.Kind != kind || h.g.filter != filter {
 		h.flushGroup()
-		f, err := h.srv.reg.Get(filter)
+		ref, err := h.srv.eng.Lookup(filter)
 		if err != nil {
 			writeError(h.w, fmt.Sprintf("ERR no such filter %q; BF.RESERVE it first", filter))
 			return
 		}
-		h.g.kind = kind
 		h.g.filter = filter
-		h.g.store = f.Store()
+		h.g.ref = ref
+		h.g.run.Reset(kind)
 	}
-	p := pend{n: len(items), multi: multi, filter: filter}
-	if kind == kindAdd || kind == kindDel {
-		// One command = one charge, exactly as one HTTP request would be
-		// charged, so pipelining cannot stretch a bucket: a refused command
-		// stays out of the group and answers -BUSY in sequence.
-		ok, retry := h.srv.reg.Limiter().Allow(filter, h.identity, len(items))
-		if !ok {
-			p.busy, p.n = true, len(items)
-			p.retrySecs = retrySeconds(retry)
-			h.g.pends = append(h.g.pends, p)
-			return
-		}
-	}
-	h.g.items = append(h.g.items, items...)
-	h.g.pends = append(h.g.pends, p)
+	h.g.run.Items = append(h.g.run.Items, items...)
+	h.g.run.AddChunk(len(items))
+	h.g.pends = append(h.g.pends, pend{n: len(items), multi: multi})
 }
 
-// flushGroup executes the staged run — one batched store pass — and writes
-// its replies in command order.
+// flushGroup executes the staged run through the engine — which charges
+// each staged command in order, then makes one batched store pass — and
+// renders its replies in command order.
 func (h *connHandler) flushGroup() {
 	g := &h.g
 	if len(g.pends) == 0 {
 		return
 	}
-	switch g.kind {
-	case kindAdd:
-		// "Newly added" = not present before this run's single AddBatch
-		// pass. Test-then-add is not atomic (neither is RedisBloom's), and
-		// duplicates within one run each report 1; see the package comment.
-		h.boolScratch = g.store.TestBatch(h.boolScratch[:0], g.items)
-		g.store.AddBatch(g.items)
-		idx := 0
-		for _, p := range g.pends {
-			if p.busy {
-				h.writeBusy(p)
-				continue
-			}
-			if p.multi {
-				writeArrayHeader(h.w, p.n)
-			}
-			for j := 0; j < p.n; j++ {
-				writeBool(h.w, !h.boolScratch[idx])
-				idx++
-			}
+	h.srv.eng.ExecuteRun(h.principal, g.ref, &g.run)
+	idx := 0
+	for i, p := range g.pends {
+		if c := g.run.Chunks[i]; c.Busy {
+			h.writeBusy(g.filter, c)
+			continue
 		}
-	case kindTest:
-		h.boolScratch = g.store.TestBatch(h.boolScratch[:0], g.items)
-		idx := 0
-		for _, p := range g.pends {
-			if p.multi {
-				writeArrayHeader(h.w, p.n)
-			}
-			for j := 0; j < p.n; j++ {
-				writeBool(h.w, h.boolScratch[idx])
-				idx++
-			}
+		if g.run.Err != nil {
+			// Whole-run failure (capability refusal on CF.DEL/CF.MDEL):
+			// the bucket was charged before the capability check,
+			// mirroring HTTP's charge-then-405 order.
+			writeError(h.w, runErrorReply(g.run.Err))
+			continue
 		}
-	case kindDel:
-		removed, err := g.store.RemoveBatch(g.items)
-		idx := 0
-		for _, p := range g.pends {
-			if p.busy {
-				h.writeBusy(p)
-				continue
-			}
-			if err != nil {
-				// ErrNotRemovable: the whole run failed; the bucket was
-				// charged before the capability check, mirroring HTTP's
-				// charge-then-405 order.
-				writeError(h.w, fmt.Sprintf("ERR %s", err))
-				idx += p.n
-				continue
-			}
-			for j := 0; j < p.n; j++ {
-				writeBool(h.w, removed[idx])
-				idx++
-			}
+		if p.multi {
+			writeArrayHeader(h.w, p.n)
+		}
+		for j := 0; j < p.n; j++ {
+			writeBool(h.w, g.run.Bools[idx])
+			idx++
 		}
 	}
 	g.reset()
+}
+
+// runErrorReply maps an engine error to its RESP reply class: capability
+// refusals (deleting from a plain bloom backend) render as -WRONGTYPE —
+// the operation does not fit the key's type, Redis's own class for that —
+// and everything else as -ERR.
+func runErrorReply(err error) string {
+	if engine.Classify(err) == engine.KindCapability {
+		return "WRONGTYPE " + err.Error()
+	}
+	return "ERR " + err.Error()
 }
 
 func writeBool(w *bufio.Writer, v bool) {
@@ -406,19 +363,11 @@ func writeBool(w *bufio.Writer, v bool) {
 	}
 }
 
-func retrySeconds(retry time.Duration) int64 {
-	secs := int64(math.Ceil(retry.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
-
 // writeBusy is the RESP rendering of the HTTP plane's 429 + Retry-After.
-func (h *connHandler) writeBusy(p pend) {
+func (h *connHandler) writeBusy(filter string, c engine.Chunk) {
 	writeError(h.w, fmt.Sprintf(
 		"BUSY mutation budget exhausted for filter %q (%d mutation(s) requested); retry after %ds",
-		p.filter, p.n, p.retrySecs))
+		filter, c.N, c.RetrySecs))
 }
 
 func (h *connHandler) writeArityError(cmd []byte) {
@@ -444,13 +393,15 @@ func (h *connHandler) controlCommand(args [][]byte) {
 			return
 		}
 		writeBulk(h.w, args[1])
+	case equalFold(name, "AUTH"):
+		h.auth(args)
 	case equalFold(name, "HELLO"):
 		h.hello(args)
 	case equalFold(name, "COMMAND"):
 		// Enough for redis-cli to start up: COMMAND COUNT answers a number,
 		// everything else an empty array (redis-cli degrades gracefully).
 		if len(args) >= 2 && equalFold(args[1], "COUNT") {
-			writeInt(h.w, 12)
+			writeInt(h.w, 14)
 			return
 		}
 		writeArrayHeader(h.w, 0)
@@ -466,16 +417,54 @@ func (h *connHandler) controlCommand(args [][]byte) {
 	}
 }
 
-func (h *connHandler) hello(args [][]byte) {
-	if len(args) > 2 {
-		writeError(h.w, "ERR unsupported HELLO options; use HELLO [2|3]")
+// auth handles AUTH name secret (Redis's two-argument form) and AUTH
+// name:secret (the combined token an HTTP bearer carries). On success the
+// connection's principal becomes the authenticated client, so every later
+// mutation charges the cross-plane "auth:<name>" bucket instead of the
+// transport host's.
+func (h *connHandler) auth(args [][]byte) {
+	if !h.srv.eng.AuthEnabled() {
+		writeError(h.w, "ERR Client sent AUTH, but no auth tokens are configured")
 		return
 	}
-	if len(args) == 2 {
+	var p engine.Principal
+	var err error
+	switch len(args) {
+	case 2:
+		p, err = h.srv.eng.LoginToken(string(args[1]))
+	case 3:
+		p, err = h.srv.eng.Login(string(args[1]), string(args[2]))
+	default:
+		h.writeArityError(args[0])
+		return
+	}
+	if err != nil {
+		writeError(h.w, "ERR "+err.Error())
+		return
+	}
+	h.principal = p
+	writeSimple(h.w, "OK")
+}
+
+// hello handles HELLO [proto [AUTH name secret]].
+func (h *connHandler) hello(args [][]byte) {
+	if len(args) > 2 && !(len(args) == 5 && equalFold(args[2], "AUTH")) {
+		writeError(h.w, "ERR unsupported HELLO options; use HELLO [2|3] [AUTH name secret]")
+		return
+	}
+	if len(args) >= 2 {
 		v, err := parseInt(args[1])
 		if err != nil || (v != 2 && v != 3) {
 			writeError(h.w, "NOPROTO unsupported protocol version")
 			return
+		}
+		if len(args) == 5 {
+			p, err := h.srv.eng.Login(string(args[3]), string(args[4]))
+			if err != nil {
+				writeError(h.w, "ERR "+err.Error())
+				return
+			}
+			h.principal = p
 		}
 		h.proto = int(v)
 	}
@@ -572,7 +561,7 @@ func (h *connHandler) reserve(args [][]byte) {
 			return
 		}
 	}
-	if _, err := h.srv.reg.Create(name, cfg); err != nil {
+	if _, err := h.srv.eng.CreateFilter(name, cfg); err != nil {
 		writeError(h.w, "ERR "+err.Error())
 		return
 	}
@@ -588,16 +577,15 @@ func (h *connHandler) info(args [][]byte) {
 		return
 	}
 	name := string(args[1])
-	f, err := h.srv.reg.Get(name)
+	ref, err := h.srv.eng.Lookup(name)
 	if err != nil {
 		writeError(h.w, fmt.Sprintf("ERR no such filter %q", name))
 		return
 	}
-	st := f.Store()
-	stats := st.Stats()
-	naive := st.Mode() == service.ModeNaive
+	stats := h.srv.eng.Stats(ref).Stats
+	desc := h.srv.eng.Describe(ref)
 	pairs := 10
-	if naive {
+	if desc.Seed != nil {
 		pairs++
 	}
 	writeMapHeader(h.w, pairs, h.proto)
@@ -621,9 +609,9 @@ func (h *connHandler) info(args [][]byte) {
 	writeBulkFloat(h.w, stats.Fill)
 	writeBulkString(h.w, "estimated_fpr")
 	writeBulkFloat(h.w, stats.FPR)
-	if naive {
+	if desc.Seed != nil {
 		writeBulkString(h.w, "seed")
-		writeInt(h.w, int64(st.Seed()))
+		writeInt(h.w, int64(*desc.Seed))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
 )
 
@@ -364,7 +365,7 @@ func TestCrossPlaneRateLimit(t *testing.T) {
 	if err := reg.ConfigureRateLimit(service.RateLimitConfig{MutationsPerSec: 0.1, Burst: burst}); err != nil {
 		t.Fatal(err)
 	}
-	httpSrv := httptest.NewServer(service.NewRegistryServer(reg))
+	httpSrv := httptest.NewServer(httpapi.NewRegistryServer(reg))
 	defer httpSrv.Close()
 	respAddr := startServer(t, reg)
 	cli := dialTest(t, respAddr)
@@ -420,7 +421,7 @@ func TestCrossPlaneRateLimitRESPFirst(t *testing.T) {
 	if err := reg.ConfigureRateLimit(service.RateLimitConfig{MutationsPerSec: 0.1, Burst: 4}); err != nil {
 		t.Fatal(err)
 	}
-	httpSrv := httptest.NewServer(service.NewRegistryServer(reg))
+	httpSrv := httptest.NewServer(httpapi.NewRegistryServer(reg))
 	defer httpSrv.Close()
 	respAddr := startServer(t, reg)
 	cli := dialTest(t, respAddr)

@@ -17,6 +17,15 @@ import (
 var ErrDigestUnexportable = errors.New(
 	"service: hardened filters export no digest: the keyed index family never travels (use a naive filter for digest exchange)")
 
+// DigestETag renders a store generation as the digest endpoint's entity
+// tag. The store's per-boot salt is folded in because the generation
+// counter resets on restart: without it, a restarted filter's generation
+// would re-pass through values a peer already holds and earn a spurious
+// 304 for different content.
+func (s *Sharded) DigestETag(gen uint64) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("evb-digest-%x-%d", s.etagSalt, gen))
+}
+
 // DigestEnvelope serializes the store's occupancy into a cache-digest
 // envelope (see package cachedigest for the byte layout) and returns it with
 // the generation it captures. Works on any variant with the digestSource

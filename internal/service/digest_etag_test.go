@@ -1,0 +1,25 @@
+package service
+
+import "testing"
+
+// Digest ETags must not repeat across store instances: the generation
+// counter restarts at zero on recovery, so without a per-boot salt a
+// restarted filter would re-issue ETags peers already hold and earn
+// spurious 304s for different content.
+func TestDigestETagUniqueAcrossBoots(t *testing.T) {
+	cfg := Config{Shards: 1, ShardBits: 128, HashCount: 4, Seed: 3, RouteKey: []byte("0123456789abcdef")}
+	a, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSharded(cfg) // the "restarted" instance: same config, same generation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != b.Generation() {
+		t.Fatalf("fresh stores disagree on generation: %d vs %d", a.Generation(), b.Generation())
+	}
+	if a.DigestETag(a.Generation()) == b.DigestETag(b.Generation()) {
+		t.Error("identical ETags from two store instances; a restart would earn spurious 304s")
+	}
+}

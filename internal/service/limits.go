@@ -1,0 +1,26 @@
+package service
+
+// Wire format limits, all enforced independently: a request must satisfy
+// every one of them. Batch sizes are bounded so one request cannot hold a
+// shard lock for an unbounded stretch; item length is bounded because every
+// byte is hashed k times; the body cap bounds the server's JSON-decoding
+// memory, so a full MaxBatch of maximum-length items does not fit in one
+// request — split such batches. The limits live in service (not in a wire
+// package) because they protect the store itself: every ingress plane —
+// HTTP, RESP, or whatever comes next — enforces the same numbers through
+// the engine's validation pass.
+const (
+	// MaxBatch is the largest accepted add-batch/test-batch size.
+	MaxBatch = 10000
+	// MaxItemLen is the largest accepted item length in bytes.
+	MaxItemLen = 4096
+	// MaxBodyBytes caps request bodies. Exceeding it answers 413 with a
+	// message naming this limit.
+	MaxBodyBytes = 8 << 20
+	// MaxSnapshotBytes caps a PUT-with-snapshot-body request: the largest
+	// permissible filter (MaxFilterBits of storage) serialized, plus framing
+	// slack. The registry additionally reserves the decoded filter's budget
+	// before buffering the payload, so this is transport-level belt and
+	// braces, not the real control.
+	MaxSnapshotBytes = MaxFilterBits/8 + MaxBodyBytes
+)

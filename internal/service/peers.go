@@ -394,7 +394,7 @@ func (p *Peers) RefreshNow(name string) ([]PeerStatus, error) {
 		return nil, ErrNoPeers
 	}
 	p.fetchAll(w)
-	return p.status(name)
+	return p.Status(name)
 }
 
 // Push imports a digest envelope under a peer label — the push half of the
@@ -538,9 +538,9 @@ func (p *Peers) statusOf(st *peerDigest) PeerStatus {
 	return out
 }
 
-// status snapshots every peer of one filter: configured peers in their
+// Status snapshots every peer of one filter: configured peers in their
 // configured order, then pushed peers sorted by label.
-func (p *Peers) status(name string) ([]PeerStatus, error) {
+func (p *Peers) Status(name string) ([]PeerStatus, error) {
 	p.mu.Lock()
 	w := p.watches[name]
 	p.mu.Unlock()
@@ -579,9 +579,9 @@ type PeerClaim struct {
 	Stale      bool    `json:"stale,omitempty"`
 }
 
-// claims answers one item against every held digest of one filter, in
+// Claims answers one item against every held digest of one filter, in
 // status order. Peers holding no digest claim nothing.
-func (p *Peers) claims(name string, item []byte) []PeerClaim {
+func (p *Peers) Claims(name string, item []byte) []PeerClaim {
 	p.mu.Lock()
 	w := p.watches[name]
 	p.mu.Unlock()

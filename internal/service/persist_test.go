@@ -6,8 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -594,129 +592,6 @@ func TestDurableDeleteRemovesState(t *testing.T) {
 	}
 	if n != 1 {
 		t.Errorf("recovered %d filters, want 1 (the re-created one)", n)
-	}
-}
-
-// The PUT-with-snapshot-body path end to end: export a filter, re-create a
-// clone under a new name, and exercise the rejection statuses (corrupt 400,
-// hardened 409, name conflict 409).
-func TestCreateFromSnapshotHTTP(t *testing.T) {
-	ts, _ := newRegistryTestServer(t)
-	doJSON(t, "PUT", ts.URL+"/v2/filters/src",
-		FilterSpec{Variant: "counting", Mode: "naive", Shards: 2, ShardBits: 1024, HashCount: 4, Seed: 3}, nil)
-	items := []string{"alpha", "beta", "gamma", "delta"}
-	doJSON(t, "POST", ts.URL+"/v2/filters/src/add-batch", batchRequest{Items: items}, nil)
-
-	fetchSnap := func() []byte {
-		t.Helper()
-		resp, err := http.Get(ts.URL + "/v2/filters/src/snapshot")
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var buf bytes.Buffer
-		if _, err := buf.ReadFrom(resp.Body); err != nil {
-			t.Fatal(err)
-		}
-		return buf.Bytes()
-	}
-	putSnap := func(name string, blob []byte) (int, string) {
-		t.Helper()
-		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v2/filters/"+name, bytes.NewReader(blob))
-		if err != nil {
-			t.Fatal(err)
-		}
-		req.Header.Set("Content-Type", "application/octet-stream")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var body bytes.Buffer
-		body.ReadFrom(resp.Body) //nolint:errcheck
-		return resp.StatusCode, body.String()
-	}
-
-	snap := fetchSnap()
-	if code, body := putSnap("clone", snap); code != http.StatusCreated {
-		t.Fatalf("create-from-snapshot: status %d (%s)", code, body)
-	}
-	var info FilterInfo
-	doJSON(t, "GET", ts.URL+"/v2/filters/clone", nil, &info)
-	if info.Variant != "counting" || info.Seed == nil || *info.Seed != 3 {
-		t.Errorf("clone info %+v", info)
-	}
-	for _, it := range items {
-		var tr testResponse
-		doJSON(t, "POST", ts.URL+"/v2/filters/clone/test", itemRequest{Item: it}, &tr)
-		if !tr.Present {
-			t.Errorf("clone lost %q", it)
-		}
-	}
-	var srcStats, cloneStats Stats
-	doJSON(t, "GET", ts.URL+"/v2/filters/src/stats", nil, &srcStats)
-	doJSON(t, "GET", ts.URL+"/v2/filters/clone/stats", nil, &cloneStats)
-	if !reflect.DeepEqual(srcStats, cloneStats) {
-		t.Errorf("clone stats diverge:\n  src=%+v\n  dst=%+v", srcStats, cloneStats)
-	}
-
-	// Rejections.
-	if code, _ := putSnap("clone", snap); code != http.StatusConflict {
-		t.Errorf("snapshot onto taken name: status %d, want 409", code)
-	}
-	bad := bytes.Clone(snap)
-	bad[len(bad)-1] ^= 0xff // trailer CRC
-	if code, _ := putSnap("corrupt", bad); code != http.StatusBadRequest {
-		t.Errorf("corrupt envelope: status %d, want 400", code)
-	}
-	if code, _ := putSnap("short", snap[:len(snap)-9]); code != http.StatusBadRequest {
-		t.Errorf("truncated envelope: status %d, want 400", code)
-	}
-	doJSON(t, "PUT", ts.URL+"/v2/filters/hard", FilterSpec{Mode: "hardened", Shards: 1, ShardBits: 1024, HashCount: 4}, nil)
-	resp, err := http.Get(ts.URL + "/v2/filters/hard/snapshot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var hsnap bytes.Buffer
-	hsnap.ReadFrom(resp.Body) //nolint:errcheck
-	resp.Body.Close()
-	if code, body := putSnap("hard2", hsnap.Bytes()); code != http.StatusConflict {
-		t.Errorf("hardened snapshot over the wire: status %d (%s), want 409", code, body)
-	}
-}
-
-// The compact endpoint: 409 on a memory-only filter, generation bump on a
-// durable one.
-func TestCompactHTTP(t *testing.T) {
-	// Memory-only server.
-	ts, _ := newRegistryTestServer(t)
-	doJSON(t, "PUT", ts.URL+"/v2/filters/mem", FilterSpec{Shards: 1, ShardBits: 1024, HashCount: 4}, nil)
-	if code := doJSON(t, "POST", ts.URL+"/v2/filters/mem/compact", nil, nil); code != http.StatusConflict {
-		t.Errorf("compact on memory-only filter: status %d, want 409", code)
-	}
-
-	// Durable server.
-	reg := NewRegistry()
-	if _, err := reg.OpenDataDir(t.TempDir(), SyncNever); err != nil {
-		t.Fatal(err)
-	}
-	ts2 := httptest.NewServer(NewRegistryServer(reg))
-	defer ts2.Close()
-	defer reg.Close() //nolint:errcheck
-	doJSON(t, "PUT", ts2.URL+"/v2/filters/dur", FilterSpec{Shards: 1, ShardBits: 1024, HashCount: 4}, nil)
-	doJSON(t, "POST", ts2.URL+"/v2/filters/dur/add", itemRequest{Item: "x"}, nil)
-	var cr compactResponse
-	if code := doJSON(t, "POST", ts2.URL+"/v2/filters/dur/compact", nil, &cr); code != 200 || !cr.Compacted || cr.Generation != 1 {
-		t.Errorf("compact: code %d resp %+v, want 200 generation 1", code, cr)
-	}
-	var info FilterInfo
-	doJSON(t, "GET", ts2.URL+"/v2/filters/dur", nil, &info)
-	found := false
-	for _, c := range info.Capabilities {
-		found = found || c == "compact"
-	}
-	if !found {
-		t.Errorf("durable filter does not advertise compact: %+v", info.Capabilities)
 	}
 }
 

@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
-	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 )
@@ -36,12 +34,8 @@ import (
 // hardened keyed. attack.RemoteThrottledPollution measures the middle tier.
 
 // Rate-limit defaults; RateLimitConfig fields override them.
-const (
-	// DefaultRateClientsMax bounds each filter's client accounting table.
-	DefaultRateClientsMax = 1024
-	// maxClientIdentity bounds header-supplied client identities.
-	maxClientIdentity = 128
-)
+// DefaultRateClientsMax bounds each filter's client accounting table.
+const DefaultRateClientsMax = 1024
 
 // ClientIdentityHeader is the header a client may use to self-identify for
 // rate limiting and accounting. It is honored only when the server runs
@@ -452,39 +446,14 @@ func (l *Limiter) FilterStats(filter string) RateLimitStats {
 	return st
 }
 
-// clientIdentity resolves the identity a request's mutations are charged
-// to. By default that is the transport peer address — unforgeable at this
-// layer. With trustProxy, a well-formed X-Evilbloom-Client claim wins,
-// then the *rightmost* entry of X-Forwarded-For: an appending proxy tier
-// vouches only for the hop it appended (the last one); the leftmost
-// entries arrive verbatim from the client, and keying budgets off them
-// would let an attacker mint a fresh identity — and a fresh burst — per
-// request. Malformed values fall through rather than erroring, so a
-// garbage header cannot dodge accounting altogether.
-func clientIdentity(r *http.Request, trustProxy bool) string {
-	if trustProxy {
-		if id := r.Header.Get(ClientIdentityHeader); validClientIdentity(id) {
-			return id
-		}
-		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
-			last := xff
-			if i := strings.LastIndexByte(xff, ','); i >= 0 {
-				last = xff[i+1:]
-			}
-			if last = strings.TrimSpace(last); validClientIdentity(last) {
-				return last
-			}
-		}
-	}
-	return IdentityFromRemoteAddr(r.RemoteAddr)
-}
-
 // IdentityFromRemoteAddr resolves the transport-peer identity every wire
 // plane charges mutations to when no trusted proxy claim applies: the host
 // part of a listener-reported remote address. The RESP plane uses it
 // directly (no headers exist there to trust), so a client exhausting its
 // budget over HTTP is equally exhausted over RESP — one bucket per peer
-// host, not per plane.
+// host, not per plane. (Header-claimed and authenticated identities are
+// resolved a layer up, in internal/engine, which owns the Principal
+// abstraction; the limiter itself only ever sees opaque bucket keys.)
 func IdentityFromRemoteAddr(remoteAddr string) string {
 	host, _, err := net.SplitHostPort(remoteAddr)
 	if err != nil || host == "" {
@@ -493,11 +462,15 @@ func IdentityFromRemoteAddr(remoteAddr string) string {
 	return host
 }
 
-// validClientIdentity bounds header-supplied identities: non-empty, at
-// most maxClientIdentity bytes, printable ASCII with no whitespace — they
-// become map keys and JSON strings echoed back on the clients endpoint.
-func validClientIdentity(id string) bool {
-	if id == "" || len(id) > maxClientIdentity {
+// MaxClientIdentity bounds claimed client identities (header-supplied or
+// token names): they become map keys and JSON strings echoed back on the
+// clients endpoint.
+const MaxClientIdentity = 128
+
+// ValidClientIdentity bounds claimed identities: non-empty, at most
+// MaxClientIdentity bytes, printable ASCII with no whitespace.
+func ValidClientIdentity(id string) bool {
+	if id == "" || len(id) > MaxClientIdentity {
 		return false
 	}
 	for i := 0; i < len(id); i++ {
@@ -506,4 +479,13 @@ func validClientIdentity(id string) bool {
 		}
 	}
 	return true
+}
+
+// SetNow swaps the limiter's clock — a test hook, so token arithmetic can
+// be pinned exactly from packages that drive the limiter through a wire
+// plane rather than in-process.
+func (l *Limiter) SetNow(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
 }

@@ -51,6 +51,11 @@ var filterName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 // ValidFilterName reports whether name is acceptable to Create.
 func ValidFilterName(name string) bool { return filterName.MatchString(name) }
 
+// FilterNamePattern returns the filter-name rule as a pattern string, for
+// error messages that tell a client what a valid name (or peer label, which
+// follows the same rule) looks like.
+func FilterNamePattern() string { return filterName.String() }
+
 // Filter is one named entry in a Registry: a Sharded store plus its name.
 // The store carries its own (normalized) configuration; secrets stay inside
 // it and are never exposed through the registry.
@@ -328,6 +333,15 @@ func (r *Registry) reserve(name string, bits uint64) error {
 	}
 	r.reserved[name] = bits
 	return nil
+}
+
+// StorageInUse reports the storage budget currently charged — bits held by
+// live and reserved filters together — and the number of in-flight
+// reservations. Tests assert a failed create rolls both back to zero.
+func (r *Registry) StorageInUse() (bits uint64, reservations int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bits, len(r.reserved)
 }
 
 // unreserve rolls back a reservation whose build failed.

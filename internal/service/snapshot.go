@@ -54,6 +54,10 @@ const (
 	snapshotTrailerLen = 4
 )
 
+// SnapshotVersion is the wire version of the snapshot envelope, served on
+// the snapshot endpoint's version header.
+const SnapshotVersion = snapshotVersion
+
 // Snapshot envelope errors, matched by the HTTP layer to pick status codes:
 // corrupt envelopes are the client's transfer problem (400), mismatches are
 // a conflict with the live filter's immutable configuration (409).
