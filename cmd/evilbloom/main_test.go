@@ -127,6 +127,14 @@ func TestServeFlagValidation(t *testing.T) {
 		{"serve", "-rate-mutations", "5", "-rate-burst", "0"},     // non-positive burst
 		{"serve", "-rate-mutations", "5", "-rate-burst", "-1"},    // ditto
 		{"serve", "-rate-clients-max", "0"},                       // table cap must hold someone
+		{"serve", "-topology", "ring"},                            // topology needs -peer
+		{"serve", "-self", "http://h:1"},                          // self names a roster entry
+		{"serve", "-peer", "http://h:1", "-topology", "mesh"},     // unknown topology
+		{"serve", "-peer", "http://h:1", "-topology", "ring"},     // ring needs -self
+		{"serve", "-peer", "http://h:1", "-topology", "hub"},      // hub needs -self
+		{"serve", "-route-quorum", "0"},                           // quorum must be ≥ 1
+		{"serve", "-peer-token", "noseparator"},                   // want name:secret
+		{"serve", "-peer-token", "nodeA:"},                        // empty secret
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {
@@ -147,6 +155,9 @@ func TestServeFlagValidation(t *testing.T) {
 		{"bloom", "naive", []string{"-rate-mutations", "100", "-rate-burst", "500"}},
 		{"bloom", "naive", []string{"-rate-mutations", "0.5"}},
 		{"bloom", "naive", []string{"-trust-proxy", "-rate-clients-max", "64"}}, // accounting-only tuning
+		{"bloom", "naive", []string{"-peer", "http://h:1", "-peer", "http://h:2", "-topology", "ring", "-self", "http://h:1"}},
+		{"bloom", "naive", []string{"-peer", "http://h:1", "-peer", "http://h:2", "-topology", "hub", "-self", "http://h:2"}},
+		{"bloom", "naive", []string{"-route-quorum", "2"}}, // push-only quorum voter
 	}
 	for _, tc := range good {
 		args := append([]string{"-variant", tc.variant, "-mode", tc.mode}, tc.extra...)

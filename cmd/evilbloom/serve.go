@@ -39,8 +39,12 @@ type serveFlags struct {
 	dataDir      *string
 	fsync        *string
 	peers        stringList
+	peerTokens   stringList
 	authTokens   stringList
 	peerRefresh  *time.Duration
+	topology     *string
+	self         *string
+	routeQuorum  *int
 	rateMut      *float64
 	rateBurst    *float64
 	rateClients  *int
@@ -79,12 +83,16 @@ func newServeFlagSet() (*flag.FlagSet, *serveFlags) {
 		dataDir:      fs.String("data-dir", "", "directory for durable filter state (snapshots + operation logs); empty serves from memory only"),
 		fsync:        fs.String("fsync", "interval", "operation-log durability: always, interval or never (needs -data-dir)"),
 		peerRefresh:  fs.Duration("peer-refresh", service.DefaultPeerRefresh, "digest refresh interval for -peer siblings"),
+		topology:     fs.String("topology", "", "mesh fetch topology over the -peer roster: pairs (default), ring or hub; ring and hub need -self"),
+		self:         fs.String("self", "", "this node's own base URL within the -peer roster (required for -topology ring or hub)"),
+		routeQuorum:  fs.Int("route-quorum", 0, "sibling digest claims a route verdict needs before answering \"peer\" (default 1, the first-claiming-peer rule)"),
 		rateMut:      fs.Float64("rate-mutations", 0, "per-client mutation budget in items/second across add/remove/digest-push (batches charge per item; 0 serves unthrottled, accounting only)"),
 		rateBurst:    fs.Float64("rate-burst", 0, "mutation burst each client may spend at once (needs -rate-mutations; default one second of budget, floor 1)"),
 		rateClients:  fs.Int("rate-clients-max", service.DefaultRateClientsMax, "per-filter client accounting-table cap; least-recently-seen identities are evicted beyond it"),
 		trustProxy:   fs.Bool("trust-proxy", false, "trust X-Evilbloom-Client, then the rightmost X-Forwarded-For entry, for client identity (only behind a proxy tier that sets or sanitizes them)"),
 	}
 	fs.Var(&v.peers, "peer", "sibling evilbloomd base URL for cache-digest exchange (repeatable)")
+	fs.Var(&v.peerTokens, "peer-token", "name:secret mesh credential (repeatable; the FIRST entry is this node's own): digests travel HMAC-sealed, fetches authenticate, and unauthenticated digest pushes are refused")
 	fs.Var(&v.authTokens, "auth-token", "name:secret client credential (repeatable); authenticated clients get a cross-plane rate-limit bucket keyed by name instead of by network address")
 	return fs, v
 }
@@ -137,12 +145,31 @@ func (v *serveFlags) config(fs *flag.FlagSet) (service.Config, error) {
 	}
 
 	// Peer-exchange flags: the refresh interval paces digest fetch loops
-	// that exist only when siblings are configured.
+	// that exist only when siblings are configured, and the topology shapes
+	// the roster those loops poll. (-peer-token and -route-quorum stand
+	// alone: a push-only node still verifies pushes and votes with a
+	// quorum.)
 	if set["peer-refresh"] && len(v.peers) == 0 {
 		return service.Config{}, fmt.Errorf("-peer-refresh needs -peer; without siblings there is no digest exchange to pace")
 	}
 	if *v.peerRefresh <= 0 {
 		return service.Config{}, fmt.Errorf("-peer-refresh must be positive, got %v", *v.peerRefresh)
+	}
+	if set["topology"] && len(v.peers) == 0 {
+		return service.Config{}, fmt.Errorf("-topology needs -peer; without a roster there are no fetch edges to shape")
+	}
+	if set["self"] && len(v.peers) == 0 {
+		return service.Config{}, fmt.Errorf("-self needs -peer; it names this node's entry in the roster")
+	}
+	topo, err := service.ParseTopology(*v.topology)
+	if err != nil {
+		return service.Config{}, err
+	}
+	if (topo == service.TopologyRing || topo == service.TopologyHub) && *v.self == "" {
+		return service.Config{}, fmt.Errorf("-topology %s needs -self: roster order decides the fetch edges, so the node must know which entry is its own", topo)
+	}
+	if set["route-quorum"] && *v.routeQuorum < 1 {
+		return service.Config{}, fmt.Errorf("-route-quorum must be at least 1, got %d", *v.routeQuorum)
 	}
 
 	// Rate-limit flags: the burst spends from a budget, so it needs one.
@@ -214,17 +241,45 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "evilbloom serve: per-client mutation budget %.3g/s (burst %.3g, table cap %d) on add/remove/digest-push; exhausted budgets answer 429\n",
 			rateCfg.MutationsPerSec, rateCfg.EffectiveBurst(), rateCfg.MaxClients)
 	}
+	// One command engine fronts both wire planes: HTTP and RESP are codecs
+	// over the same validation, identity, rate-limit, and dispatch pipeline,
+	// so a command costs the same no matter which protocol carries it. Built
+	// before the mesh joins so the credential roster is the peer subsystem's
+	// authority from the very first refresh.
+	eng := engine.New(reg)
+	if len(values.peerTokens) > 0 {
+		if err := eng.ConfigurePeerAuth(values.peerTokens); err != nil {
+			return err
+		}
+		selfName, _, _ := strings.Cut(values.peerTokens[0], ":")
+		fmt.Fprintf(os.Stderr, "evilbloom serve: mesh roster of %d credential(s); digests sealed as %q, unauthenticated pushes refused\n",
+			len(values.peerTokens), selfName)
+	}
+	topo, err := service.ParseTopology(*values.topology)
+	if err != nil {
+		return err
+	}
 	if len(values.peers) > 0 {
 		// Join the mesh before any filter exists so every filter — flag
 		// default, recovered, or created over HTTP — exchanges digests.
 		if err := reg.ConfigurePeers(service.PeerConfig{
-			Peers:   values.peers,
-			Refresh: *values.peerRefresh,
+			Peers:       values.peers,
+			Topology:    topo,
+			Self:        *values.self,
+			RouteQuorum: *values.routeQuorum,
+			Refresh:     *values.peerRefresh,
 		}); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "evilbloom serve: exchanging cache digests with %d peer(s) every %v: %s\n",
-			len(values.peers), *values.peerRefresh, strings.Join(values.peers, ", "))
+		fmt.Fprintf(os.Stderr, "evilbloom serve: exchanging cache digests with %d roster member(s) every %v under %s topology (route quorum %d): %s\n",
+			len(values.peers), *values.peerRefresh, topo, reg.Peers().Quorum(), strings.Join(values.peers, ", "))
+	} else if *values.routeQuorum > 0 {
+		// A push-only mesh member: no fetch loops, but pushed digests still
+		// feed route verdicts, and those verdicts honor the quorum.
+		if err := reg.Peers().SetRouteQuorum(*values.routeQuorum); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "evilbloom serve: route verdicts need %d sibling claim(s)\n", *values.routeQuorum)
 	}
 	if *values.dataDir != "" {
 		policy, err := service.ParseSyncPolicy(*values.fsync)
@@ -273,10 +328,6 @@ func cmdServe(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "evilbloom serve: manage named filters via PUT/GET/DELETE /v2/filters/{name}; /v1/* serves the default filter\n")
 
-	// One command engine fronts both wire planes: HTTP and RESP are codecs
-	// over the same validation, identity, rate-limit, and dispatch pipeline,
-	// so a command costs the same no matter which protocol carries it.
-	eng := engine.New(reg)
 	if len(values.authTokens) > 0 {
 		if err := eng.ConfigureAuth(values.authTokens); err != nil {
 			ln.Close()

@@ -38,6 +38,10 @@ func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
 	return &RemoteClient{base: base, prefix: "/v1", hc: hc}
 }
 
+// Base returns the server base URL this client targets — the string a
+// mesh's peer-status rows report as the sibling's identity.
+func (c *RemoteClient) Base() string { return c.base }
+
 // ForFilter returns a client for the named filter's /v2 endpoints, sharing
 // the transport (and identity, if any).
 func (c *RemoteClient) ForFilter(name string) *RemoteClient {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 )
 
 // This file is the adversary's side of the §7 cache-digest deployment:
@@ -25,10 +26,12 @@ type RemoteRoutePeer struct {
 // RemoteRoute is the server's routing decision for one item
 // (POST /v2/filters/{name}/route).
 type RemoteRoute struct {
-	Local   bool              `json:"local"`
-	Verdict string            `json:"verdict"` // "local", "peer" or "origin"
-	Peer    string            `json:"peer"`
-	Peers   []RemoteRoutePeer `json:"peers"`
+	Local    bool              `json:"local"`
+	Verdict  string            `json:"verdict"` // "local", "peer" or "origin"
+	Peer     string            `json:"peer"`
+	Claiming int               `json:"claiming"` // siblings whose digest claims the item
+	Quorum   int               `json:"quorum"`   // claims a peer verdict requires
+	Peers    []RemoteRoutePeer `json:"peers"`
 }
 
 // Route asks the server where it would send a request for item — the
@@ -90,6 +93,31 @@ func (c *RemoteClient) Digest() ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// RemotePeerRevocation is the server's acknowledgment of a credential
+// revocation (DELETE /v2/peer-tokens/{name}).
+type RemotePeerRevocation struct {
+	Revoked        string `json:"revoked"`
+	DigestsEvicted int    `json:"digests_evicted"`
+}
+
+// RevokePeerToken revokes one mesh peer's credential on the server this
+// client targets, ejecting that sibling live: its pushes stop
+// authenticating, its sealed digests stop verifying, and everything it
+// already landed is scrubbed. Server-scoped, not filter-scoped — a
+// credential covers every filter.
+func (c *RemoteClient) RevokePeerToken(name string) (*RemotePeerRevocation, error) {
+	path := "/v2/peer-tokens/" + url.PathEscape(name)
+	resp, err := c.do(http.MethodDelete, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rev RemotePeerRevocation
+	if err := decodeRemote(resp, path, &rev); err != nil {
+		return nil, err
+	}
+	return &rev, nil
+}
+
 // RemoteDigestPollution is the §7 experiment lifted onto two real servers:
 // proxy A and proxy B are evilbloom nodes peered over HTTP, each holding a
 // same-named filter summarizing its cache. A malicious client fills A's
@@ -109,6 +137,16 @@ type RemoteDigestPollution struct {
 	Proxy *RemoteClient
 	// Peer is a filter-scoped client for server B, the routing victim.
 	Peer *RemoteClient
+	// Honest, when non-nil, is a filter-scoped client for a third node H —
+	// an honest sibling whose digest B also routes by. It is seeded with
+	// CleanN items from HonestTraffic, so in a quorum mesh its lightly
+	// loaded digest must corroborate every "peer" verdict the saturated
+	// evil digest claims.
+	Honest *RemoteClient
+	// HonestTraffic supplies H's cache (required when Honest is set). A
+	// stream distinct from CleanTraffic: the siblings cache different
+	// objects, as real proxies would.
+	HonestTraffic Generator
 	// CleanTraffic supplies the honest warm-up items cached on A before
 	// the attack window (the paper's 51 pre-cached URLs).
 	CleanTraffic Generator
@@ -199,35 +237,65 @@ func (c *RemoteDigestPollution) Run(polluted bool) (*RemoteDigestReport, error) 
 	}
 	rep.ServerWeight = stats.Weight
 
-	// The digest exchange: B refreshes its view of A — in deployment the
-	// jittered interval does this; the experiment forces it for
-	// determinism, exactly like ExchangeDigests in the in-process §7 run.
+	// Seed the honest third sibling, when the deployment has one. Its
+	// cache is real traffic, so its digest stays light — the corroboration
+	// a quorum verdict will demand.
+	if c.Honest != nil {
+		if c.HonestTraffic == nil {
+			return nil, fmt.Errorf("attack: Honest node set without HonestTraffic")
+		}
+		for i := 0; i < c.CleanN; i++ {
+			if err := c.Honest.Add(c.HonestTraffic.Next()); err != nil {
+				return nil, fmt.Errorf("attack: seeding honest sibling: %w", err)
+			}
+		}
+	}
+
+	// The digest exchange: B refreshes its view of its siblings — in
+	// deployment the jittered interval does this; the experiment forces it
+	// for determinism, exactly like ExchangeDigests in the in-process §7
+	// run. The report describes A's digest (matched by base URL; first
+	// digest held when the roster entry differs, the two-node layout).
 	peers, err := c.Peer.RefreshPeers()
 	if err != nil {
 		return nil, err
 	}
 	for _, p := range peers {
-		if p.HasDigest {
+		if p.HasDigest && (p.Peer == c.Proxy.Base() || rep.DigestBits == 0) {
 			rep.DigestBits = p.DigestBits
 			rep.DigestWeight = p.DigestWeight
 			rep.DigestGeneration = p.Generation
-			break
+			if p.Peer == c.Proxy.Base() {
+				break
+			}
 		}
 	}
 	if rep.DigestBits == 0 {
 		return nil, fmt.Errorf("attack: peer holds no digest after refresh: %+v", peers)
 	}
 
-	// Probe B with items cached nowhere: every peer verdict is a false hit.
-	for i := 0; i < c.ProbeN; i++ {
-		rt, err := c.Peer.Route(c.Probes.Next())
-		if err != nil {
-			return nil, err
-		}
-		if rt.Verdict == "peer" {
-			rep.FalseHits++
-		}
+	rep.FalseHits, err = c.Probe()
+	if err != nil {
+		return nil, err
 	}
 	rep.FalseHitRate = float64(rep.FalseHits) / float64(c.ProbeN)
 	return rep, nil
+}
+
+// Probe sends ProbeN fresh probe items — cached nowhere — through B's
+// routing oracle and counts peer verdicts; every one is a false hit
+// wasting a round trip. Reusable after Run: the Probes stream continues,
+// so a caller can re-measure the same mesh after revoking the evil
+// sibling's credential.
+func (c *RemoteDigestPollution) Probe() (falseHits int, err error) {
+	for i := 0; i < c.ProbeN; i++ {
+		rt, err := c.Peer.Route(c.Probes.Next())
+		if err != nil {
+			return falseHits, err
+		}
+		if rt.Verdict == "peer" {
+			falseHits++
+		}
+	}
+	return falseHits, nil
 }

@@ -8,6 +8,7 @@ import (
 	"evilbloom/internal/attack"
 	"evilbloom/internal/httpapi"
 	"evilbloom/internal/service"
+	"evilbloom/internal/service/meshtest"
 	"evilbloom/internal/urlgen"
 )
 
@@ -118,6 +119,120 @@ func TestRemoteDigestPollutionReproducesSection7Gap(t *testing.T) {
 	if polluted.ServerWeight != polluted.DigestWeight {
 		t.Errorf("server weight %d differs from exchanged digest weight %d",
 			polluted.ServerWeight, polluted.DigestWeight)
+	}
+}
+
+// quorumCampaign wires the three-node §7 deployment onto a running mesh:
+// node 0 is the routing victim B, node 1 the evil sibling E whose cache the
+// adversary populates, node 2 the honest sibling H. Phase sizes match the
+// two-node acceptance test so the baselines are comparable.
+func quorumCampaign(m *meshtest.Mesh) *attack.RemoteDigestPollution {
+	return &attack.RemoteDigestPollution{
+		Proxy:         attack.NewRemoteClient(m.Nodes[1].URL, nil).ForFilter(m.Filter),
+		Peer:          attack.NewRemoteClient(m.Nodes[0].URL, nil).ForFilter(m.Filter),
+		Honest:        attack.NewRemoteClient(m.Nodes[2].URL, nil).ForFilter(m.Filter),
+		HonestTraffic: urlgen.New(5),
+		CleanTraffic:  urlgen.New(1),
+		ExtraTraffic:  urlgen.New(8),
+		Probes:        urlgen.New(1000),
+		CleanN:        51,
+		ExtraN:        100,
+		ProbeN:        100,
+		PerItemBudget: 30000,
+	}
+}
+
+// The three-node acceptance scenario: one evil sibling saturates its
+// digest; a single-claim verdict rule misroutes nearly everything (the PR 4
+// baseline, unchanged by adding a third node); a quorum of two blunts the
+// attack to the honest sibling's ≈3% corroboration rate; and revoking the
+// evil credential ejects it live — its digest is scrubbed, refreshes stop
+// importing it, and verdicts stay honest. Deterministic seeds and geometry;
+// run under -race in CI's mesh-smoke job.
+func TestRemoteDigestPollutionQuorum(t *testing.T) {
+	// Baseline: unauthenticated pairs mesh, verdict threshold 1. The evil
+	// digest alone decides routing, exactly as in the two-node experiment.
+	baseMesh := meshtest.StartMesh(t, 3, meshtest.Opts{})
+	base, err := quorumCampaign(baseMesh).Run(true)
+	if err != nil {
+		t.Fatalf("baseline campaign: %v", err)
+	}
+	t.Logf("baseline (no quorum): %d/%d false hits (rate %.2f), digest weight %d/%d",
+		base.FalseHits, base.Probes, base.FalseHitRate, base.DigestWeight, base.DigestBits)
+	if base.FalseHitRate < 0.7 {
+		t.Errorf("baseline false-hit rate %.2f, want ≥ 0.70", base.FalseHitRate)
+	}
+
+	// Quorum mesh: authenticated, verdict needs 2 of 2 sibling claims. The
+	// saturated evil digest claims every probe; the honest digest (51
+	// cached items in 384 bits, k=4 → fill ≈ 0.41, corroboration ≈ fill⁴
+	// ≈ 3%) rarely agrees.
+	mesh := meshtest.StartMesh(t, 3, meshtest.Opts{Auth: true, RouteQuorum: 2})
+	campaign := quorumCampaign(mesh)
+	rep, err := campaign.Run(true)
+	if err != nil {
+		t.Fatalf("quorum campaign: %v", err)
+	}
+	t.Logf("quorum 2: %d/%d false hits (rate %.2f), digest weight %d/%d",
+		rep.FalseHits, rep.Probes, rep.FalseHitRate, rep.DigestWeight, rep.DigestBits)
+	if rep.DigestWeight != rep.DigestBits {
+		t.Errorf("evil digest not saturated: weight %d of %d bits", rep.DigestWeight, rep.DigestBits)
+	}
+	if rep.FalseHitRate >= 0.10 {
+		t.Errorf("quorum false-hit rate %.2f, want < 0.10", rep.FalseHitRate)
+	}
+	// The verdict arithmetic is visible on the wire.
+	rt, err := campaign.Peer.Route([]byte("quorum-probe-item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Quorum != 2 {
+		t.Errorf("route reports quorum %d, want 2", rt.Quorum)
+	}
+
+	// Revocation: ejecting the evil sibling's credential on the victim
+	// scrubs its digest and refuses everything it seals from now on.
+	victim := attack.NewRemoteClient(mesh.Nodes[0].URL, nil)
+	rev, err := victim.RevokePeerToken(meshtest.PeerName(1))
+	if err != nil {
+		t.Fatalf("revocation: %v", err)
+	}
+	if rev.Revoked != meshtest.PeerName(1) || rev.DigestsEvicted < 1 {
+		t.Errorf("revocation = %+v, want node1 with ≥ 1 digest evicted", rev)
+	}
+	// A forced refresh must NOT re-import: the evil node still seals with
+	// its secret, but the victim no longer holds a live credential for it.
+	peers, err := campaign.Peer.RefreshPeers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evilURL := mesh.Nodes[1].URL
+	found := false
+	for _, p := range peers {
+		if p.Peer != evilURL {
+			continue
+		}
+		found = true
+		if p.HasDigest {
+			t.Errorf("revoked peer's digest re-imported: %+v", p)
+		}
+		if p.LastError == "" {
+			t.Errorf("revoked peer refresh recorded no error: %+v", p)
+		}
+	}
+	if !found {
+		t.Fatalf("victim's peer status does not list the evil node %s: %+v", evilURL, peers)
+	}
+	// With the evil digest gone, only the honest sibling claims — below
+	// quorum, so verdicts are honest again.
+	falseHits, err := campaign.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(falseHits) / float64(campaign.ProbeN)
+	t.Logf("post-revocation: %d/%d false hits (rate %.2f)", falseHits, campaign.ProbeN, rate)
+	if rate >= 0.10 {
+		t.Errorf("post-revocation false-hit rate %.2f, want < 0.10", rate)
 	}
 }
 

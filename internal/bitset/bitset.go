@@ -109,6 +109,32 @@ func (b *BitSet) StoreFrom(o *BitSet) error {
 	return nil
 }
 
+// Words returns the number of backing 64-bit words.
+func (b *BitSet) Words() int { return len(b.words) }
+
+// Word returns backing word i (bits i*64 … i*64+63, LSB first).
+// Out-of-range indexes return 0.
+func (b *BitSet) Word(i int) uint64 {
+	if i < 0 || i >= len(b.words) {
+		return 0
+	}
+	return b.words[i]
+}
+
+// SetWord overwrites backing word i wholesale — the digest-delta apply path,
+// which patches only the words a peer reported changed. Bits beyond Size in
+// the last word are trimmed so the set stays canonical; out-of-range indexes
+// are ignored.
+func (b *BitSet) SetWord(i int, w uint64) {
+	if i < 0 || i >= len(b.words) {
+		return
+	}
+	b.words[i] = w
+	if i == len(b.words)-1 {
+		b.trimTail()
+	}
+}
+
 // Weight returns the Hamming weight w_H(z): the number of set bits.
 func (b *BitSet) Weight() uint64 {
 	var n int

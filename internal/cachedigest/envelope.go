@@ -253,6 +253,7 @@ type PeerDigest struct {
 	bits  []*bitset.BitSet
 	route hashes.SipKey
 	mask  uint64
+	proto hashes.IndexFamily
 	pool  sync.Pool // of *digestScratch
 }
 
@@ -294,6 +295,7 @@ func OpenEnvelope(data []byte) (*PeerDigest, error) {
 		bits:  make([]*bitset.BitSet, info.Shards),
 		route: hashes.SipKeyFromBytes(info.RouteKey),
 		mask:  uint64(info.Shards - 1),
+		proto: proto,
 	}
 	payload := body[EnvelopeHeaderLen:]
 	blobLen := info.shardBlobLen()

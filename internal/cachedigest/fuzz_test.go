@@ -1,0 +1,144 @@
+package cachedigest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"evilbloom/internal/bitset"
+)
+
+// fuzzKey is the MAC key the fuzz harness seals and unseals with.
+var fuzzKey = []byte("fuzz-mesh-secret")
+
+// fuzzEnvelope builds the valid seed envelope without a *testing.T (the
+// fuzz seed phase has only *testing.F).
+func fuzzEnvelope() []byte {
+	info := EnvelopeInfo{
+		Family:     FamilyMurmurDouble,
+		Generation: 42,
+		Seed:       7,
+		Shards:     2,
+		ShardBits:  128,
+		K:          4,
+		Count:      3,
+	}
+	copy(info.RouteKey[:], "0123456789abcdef")
+	a, b := bitset.New(128), bitset.New(128)
+	a.Set(1)
+	a.Set(77)
+	b.Set(127)
+	env, err := EncodeEnvelope(info, []*bitset.BitSet{a, b})
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// fuzzDelta builds a valid seed delta against the seed envelope's
+// generation 42 (two shards × 128 bits → 4 global words).
+func fuzzDelta(baseGen uint64) []byte {
+	frame, err := EncodeDelta(
+		DeltaInfo{BaseGeneration: baseGen, NewGeneration: baseGen + 8, NewCount: 5, TotalWords: 4},
+		[]DeltaWord{{Index: 0, Value: 0x8000000000000022}, {Index: 3, Value: 1}})
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// FuzzDigestEnvelope throws arbitrary bytes at every decoder a mesh peer
+// exposes to the network: full envelopes, delta frames, and the HMAC
+// trailer around both. The invariants:
+//
+//   - nothing panics, whatever the bytes;
+//   - every rejection is a typed sentinel (Corrupt, Unusable — including
+//     the Gap refinement — or Unauthenticated), never an untyped error;
+//   - a frame that unseals under a key re-seals byte-identically (the MAC
+//     is deterministic and the trailer split exact);
+//   - tampering with a sealed frame — truncated MAC, bit-flipped payload —
+//     is always refused;
+//   - an applied delta never changes the held digest or its geometry.
+func FuzzDigestEnvelope(f *testing.F) {
+	env := fuzzEnvelope()
+	delta := fuzzDelta(42)
+
+	// Valid frames, bare and sealed.
+	f.Add(env)
+	f.Add(delta)
+	f.Add(fuzzDelta(0))
+	f.Add(Seal(env, fuzzKey))
+	f.Add(Seal(delta, fuzzKey))
+	// Tampered sealed frames: truncated MAC, bit-flipped payload.
+	sealed := Seal(env, fuzzKey)
+	f.Add(sealed[:len(sealed)-1])
+	f.Add(sealed[:len(env)])
+	f.Add(flipByte(sealed, 20))
+	f.Add(flipByte(Seal(delta, fuzzKey), DeltaHeaderLen))
+	// Generation-gap and geometry-gap deltas.
+	f.Add(fuzzDelta(41))
+	gap, _ := EncodeDelta(DeltaInfo{BaseGeneration: 42, NewGeneration: 50, TotalWords: 8},
+		[]DeltaWord{{Index: 7, Value: 1}})
+	f.Add(gap)
+	// Header-only prefixes and magic confusions.
+	f.Add(env[:EnvelopeHeaderLen])
+	f.Add(delta[:DeltaHeaderLen])
+	f.Add([]byte("EVBDIGD1"))
+	f.Add([]byte("EVBDIGE1"))
+	f.Add(bytes.Repeat([]byte{0xff}, 96))
+
+	held, err := OpenEnvelope(env)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Full-envelope path.
+		if d, err := OpenEnvelope(data); err == nil {
+			d.Test([]byte("probe"))
+			d.Weight()
+		} else if !typedEnvelopeErr(err) {
+			t.Fatalf("OpenEnvelope: untyped error %v", err)
+		}
+
+		// Delta path: decode, then apply against the held digest.
+		if _, _, err := DecodeDelta(data); err != nil && !typedEnvelopeErr(err) {
+			t.Fatalf("DecodeDelta: untyped error %v", err)
+		}
+		if next, err := held.ApplyDelta(data); err == nil {
+			if next.Bits() != held.Bits() || next.Info().Shards != held.Info().Shards {
+				t.Fatalf("ApplyDelta changed geometry: %d/%d bits", next.Bits(), held.Bits())
+			}
+			if held.Generation() != 42 || held.Weight() != 3 {
+				t.Fatalf("ApplyDelta mutated the held digest: gen %d weight %d", held.Generation(), held.Weight())
+			}
+		} else if !typedEnvelopeErr(err) {
+			t.Fatalf("ApplyDelta: untyped error %v", err)
+		}
+
+		// MAC trailer path. Success means data really was sealed with the
+		// key, so re-sealing the payload must reproduce it bit for bit —
+		// and any single-byte corruption must be refused.
+		if payload, err := Unseal(data, fuzzKey); err == nil {
+			if !bytes.Equal(Seal(payload, fuzzKey), data) {
+				t.Fatal("Unseal/Seal round trip is not the identity")
+			}
+			if _, err := Unseal(flipByte(data, 0), fuzzKey); !errors.Is(err, ErrEnvelopeUnauthenticated) {
+				t.Fatalf("bit-flipped sealed frame accepted: %v", err)
+			}
+			if _, err := Unseal(data[:len(data)-1], fuzzKey); !errors.Is(err, ErrEnvelopeUnauthenticated) {
+				t.Fatalf("truncated sealed frame accepted: %v", err)
+			}
+		} else if !errors.Is(err, ErrEnvelopeUnauthenticated) {
+			t.Fatalf("Unseal: untyped error %v", err)
+		}
+	})
+}
+
+// typedEnvelopeErr reports whether err is one of the wire-format sentinels
+// a peer maps to a status code — the only errors the decoders may return.
+func typedEnvelopeErr(err error) bool {
+	return errors.Is(err, ErrEnvelopeCorrupt) ||
+		errors.Is(err, ErrEnvelopeUnusable) ||
+		errors.Is(err, ErrEnvelopeUnauthenticated)
+}

@@ -1,0 +1,66 @@
+package cachedigest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Keyed MAC trailer: the authentication layer of the mesh exchange. A CRC
+// catches transfer corruption but authenticates nothing — any sibling (or
+// anyone on the path) can forge a structurally valid envelope, which is
+// exactly the §7 adversary. In an authenticated mesh every digest frame
+// (full envelope or delta) therefore travels with an HMAC-SHA256 trailer
+// keyed by the sealing peer's mesh credential:
+//
+//	[frame bytes, CRC included][32-byte HMAC-SHA256(key, frame)]
+//
+// The MAC covers the complete frame including its CRC, so the integrity
+// check and the authenticity check cannot disagree about what was received.
+// Whether a frame is sealed is contextual, not sniffed from length: a node
+// seals exactly when the exchange presented a mesh credential, and the
+// receiver knows which peer's key to verify with from the accompanying
+// peer name (the X-Evilbloom-Peer response header, or the push principal).
+//
+// The key is the credential's secret, shared pairwise via the mesh roster
+// (-peer-token). Naor–Yogev's adversarial-environments framing applies: the
+// MAC does not make the digest's *content* trustworthy — a compromised but
+// credentialed sibling still pollutes — it makes the content *attributable*,
+// which is what lets a mesh eject an evil sibling by revoking one credential.
+
+// MACTrailerLen is the size of the keyed trailer appended to a sealed frame.
+const MACTrailerLen = sha256.Size
+
+// ErrEnvelopeUnauthenticated marks frames whose MAC trailer is missing,
+// truncated, or fails verification against the claimed peer's key. Mapped to
+// 401 by the HTTP layer — the sibling's identity, not the transfer, is what
+// failed.
+var ErrEnvelopeUnauthenticated = errors.New("cachedigest: digest frame not authenticated by the peer's mesh credential")
+
+// Seal appends the keyed MAC trailer to a digest frame (full envelope or
+// delta). The input slice is not modified.
+func Seal(frame, key []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(frame) //nolint:errcheck // hash writes cannot fail
+	out := make([]byte, 0, len(frame)+MACTrailerLen)
+	out = append(out, frame...)
+	return mac.Sum(out)
+}
+
+// Unseal verifies a sealed frame against key and returns the frame with the
+// trailer stripped. Verification is constant-time (hmac.Equal); any failure
+// — short input, wrong key, flipped bit anywhere in frame or trailer — is
+// ErrEnvelopeUnauthenticated, deliberately without detail.
+func Unseal(data, key []byte) ([]byte, error) {
+	if len(data) < MACTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the MAC trailer", ErrEnvelopeUnauthenticated, len(data))
+	}
+	frame, trailer := data[:len(data)-MACTrailerLen], data[len(data)-MACTrailerLen:]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(frame) //nolint:errcheck // hash writes cannot fail
+	if !hmac.Equal(mac.Sum(nil), trailer) {
+		return nil, ErrEnvelopeUnauthenticated
+	}
+	return frame, nil
+}

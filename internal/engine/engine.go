@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"evilbloom/internal/cachedigest"
 	"evilbloom/internal/service"
 )
 
@@ -36,6 +37,9 @@ type Engine struct {
 	authMu         sync.RWMutex
 	authConfigured bool
 	tokens         map[string]string
+
+	// peers is the mesh credential roster (-peer-token); see peerauth.go.
+	peers peerAuth
 }
 
 // New wraps reg in a command engine.
@@ -418,6 +422,54 @@ func (e *Engine) Digest(ref FilterRef) (DigestResult, error) {
 	return DigestResult{Blob: blob, ETag: st.DigestETag(gen)}, nil
 }
 
+// DigestExchangeResult answers DigestExchange.
+type DigestExchangeResult struct {
+	// Blob is the digest frame — a full envelope or a delta — sealed with
+	// this node's mesh credential when Sealer is non-empty.
+	Blob []byte
+	// ETag is the entity tag for the content the frame brings the peer to.
+	ETag string
+	// Delta reports whether Blob is a delta frame.
+	Delta bool
+	// Sealer is this node's peer name when the frame carries a MAC trailer.
+	Sealer string
+}
+
+// DigestExchange is the mesh-aware digest export: haveETag is the content
+// the requesting peer last ACKed (a delta may be diffed against it),
+// deltaOK its capability to apply one, peerToken the mesh credential it
+// presented. A valid credential earns a response sealed with THIS node's
+// own credential; presenting one to a node with no roster — or a bad one
+// anywhere — is KindUnauthorized, never a silent downgrade to unsealed.
+// The conditional-GET 304 path stays upstream of this call and keys off
+// If-None-Match alone; haveETag only ever selects the frame kind.
+func (e *Engine) DigestExchange(ref FilterRef, haveETag string, deltaOK bool, peerToken string) (DigestExchangeResult, error) {
+	sealer, sealSecret := "", ""
+	if peerToken != "" {
+		if !e.PeerAuthEnabled() {
+			return DigestExchangeResult{}, errf(KindUnauthorized,
+				"peer credentials presented, but this node has no mesh roster (-peer-token)")
+		}
+		if _, err := e.PeerLogin(peerToken); err != nil {
+			return DigestExchangeResult{}, err
+		}
+		name, secret, ok := e.selfCred()
+		if !ok {
+			return DigestExchangeResult{}, errf(KindUnauthorized,
+				"this node's own mesh credential was revoked; it can no longer seal digests")
+		}
+		sealer, sealSecret = name, secret
+	}
+	blob, etag, _, isDelta, err := ref.f.Store().DigestExchange(haveETag, deltaOK)
+	if err != nil {
+		return DigestExchangeResult{}, err
+	}
+	if sealer != "" {
+		blob = cachedigest.Seal(blob, []byte(sealSecret))
+	}
+	return DigestExchangeResult{Blob: blob, ETag: etag, Delta: isDelta, Sealer: sealer}, nil
+}
+
 // DigestPush imports a sibling's digest envelope under label, as p. A
 // pushed digest mutates this node's routing state, so it spends from the
 // pusher's mutation budget like any other write. Unlike add/remove, the
@@ -425,18 +477,40 @@ func (e *Engine) Digest(ref FilterRef) (DigestResult, error) {
 // up front and refunded on any failure — a rejected push must not have
 // cost the pusher budget or shown up as an allowed mutation. (One
 // mutation per push, whatever the digest's size: a digest's routing
-// leverage is bounded by the separate retention budget, and pricing the
-// §7 poison out of reach is the per-peer-authentication rung above this
-// one.)
-func (e *Engine) DigestPush(p Principal, ref FilterRef, label string, rd io.Reader) (service.PeerStatus, error) {
+// leverage is bounded by the separate retention budget.)
+//
+// peerToken is the mesh credential presented alongside the push. On an
+// authenticated mesh it is mandatory — an unauthenticated push is refused
+// with KindUnauthorized before any budget is spent — and the body must be
+// sealed by the presenting peer's credential. The charge then lands on the
+// peer principal's bucket, not the transport identity's. Presenting a
+// token to a node with no roster is refused too: credentials must never
+// silently degrade.
+func (e *Engine) DigestPush(p Principal, ref FilterRef, label string, rd io.Reader, peerToken string) (service.PeerStatus, error) {
 	if !service.ValidFilterName(label) {
 		return service.PeerStatus{}, errf(KindInvalid,
 			"invalid peer label %q: labels follow the filter-name rule (%s)", label, service.FilterNamePattern())
 	}
+	sealer := ""
+	sealed := false
+	if e.PeerAuthEnabled() {
+		if peerToken == "" {
+			return service.PeerStatus{}, errf(KindUnauthorized,
+				"this mesh requires a peer credential to push digests (%s)", service.HeaderPeerToken)
+		}
+		pp, err := e.PeerLogin(peerToken)
+		if err != nil {
+			return service.PeerStatus{}, err
+		}
+		p, sealer, sealed = pp, pp.Name, true
+	} else if peerToken != "" {
+		return service.PeerStatus{}, errf(KindUnauthorized,
+			"peer credentials presented, but this node has no mesh roster (-peer-token)")
+	}
 	if err := e.charge(p, ref, 1); err != nil {
 		return service.PeerStatus{}, err
 	}
-	status, err := e.reg.Peers().Push(ref.f.Name(), label, rd)
+	status, err := e.reg.Peers().Push(ref.f.Name(), label, rd, sealer, sealed)
 	if err != nil {
 		e.reg.Limiter().Refund(ref.f.Name(), p.ID, 1)
 		return service.PeerStatus{}, pushErr(err)
@@ -444,11 +518,12 @@ func (e *Engine) DigestPush(p Principal, ref FilterRef, label string, rd io.Read
 	return status, nil
 }
 
-// pushErr keeps conflict/invalid classification and downgrades unknown
-// push failures to KindInvalid — the envelope came off the wire, so an
-// unclassified parse problem is the pusher's transfer problem.
+// pushErr keeps conflict/invalid/unauthorized classification and
+// downgrades unknown push failures to KindInvalid — the envelope came off
+// the wire, so an unclassified parse problem is the pusher's transfer
+// problem.
 func pushErr(err error) error {
-	if k := Classify(err); k == KindConflict || k == KindInvalid {
+	if k := Classify(err); k == KindConflict || k == KindInvalid || k == KindUnauthorized {
 		return err
 	}
 	return wrap(KindInvalid, err)
@@ -467,9 +542,16 @@ type RouteResult struct {
 	Peer string
 	// Claims holds every sibling's individual answer, in peer order.
 	Claims []service.PeerClaim
+	// ClaimCount is how many siblings claim the item; Quorum is how many
+	// it takes for a "peer" verdict. With quorum 1 this is PR 4's
+	// first-claiming-peer rule; with quorum ≥ 2 a single poisoned digest
+	// cannot swing the verdict by itself.
+	ClaimCount int
+	Quorum     int
 }
 
-// Route answers the routing question for one item.
+// Route answers the routing question for one item: a committee vote over
+// the held sibling digests, thresholded by the configured route quorum.
 func (e *Engine) Route(ref FilterRef, item []byte) (RouteResult, error) {
 	if err := ValidateItem(item); err != nil {
 		return RouteResult{}, err
@@ -477,23 +559,28 @@ func (e *Engine) Route(ref FilterRef, item []byte) (RouteResult, error) {
 	res := RouteResult{
 		Local:  ref.f.Store().Test(item),
 		Claims: e.reg.Peers().Claims(ref.f.Name(), item),
+		Quorum: e.reg.Peers().Quorum(),
 	}
 	if res.Claims == nil {
 		res.Claims = []service.PeerClaim{}
 	}
+	claiming, quorumMet := service.QuorumVerdict(res.Claims, res.Quorum)
+	res.ClaimCount = claiming
 	switch {
 	case res.Local:
 		res.Verdict = "local"
-	default:
-		res.Verdict = "origin"
+	case quorumMet:
+		res.Verdict = "peer"
 		for _, pc := range res.Claims {
 			// Squid semantics: a digest routes until replaced, stale or not
 			// — the Stale flag in the claim lets stricter callers opt out.
 			if pc.Claims {
-				res.Verdict, res.Peer = "peer", pc.Peer
+				res.Peer = pc.Peer
 				break
 			}
 		}
+	default:
+		res.Verdict = "origin"
 	}
 	return res, nil
 }

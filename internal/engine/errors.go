@@ -133,6 +133,10 @@ func Classify(err error) Kind {
 	switch {
 	case errors.Is(err, service.ErrFilterNotFound):
 		return KindNotFound
+	case errors.Is(err, cachedigest.ErrEnvelopeUnauthenticated):
+		// Checked before ErrEnvelopeUnusable/Corrupt: a failed MAC is an
+		// identity problem (401), not a transfer problem.
+		return KindUnauthorized
 	case errors.Is(err, service.ErrNotRemovable):
 		return KindCapability
 	case errors.Is(err, service.ErrFilterExists),

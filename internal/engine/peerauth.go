@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"evilbloom/internal/cachedigest"
+	"evilbloom/internal/service"
+)
+
+// Mesh peer credentials: the -peer-token mirror of -auth-token. A client
+// token answers "which client is spending this mutation budget"; a peer
+// token answers "which node vouches for this digest". Keeping the tables
+// separate keeps the threat models separate — a leaked client secret must
+// not let its holder seal digests, and a sibling's mesh credential must not
+// spend a client's budget. A peer principal's bucket lives under its own
+// prefix for the same reason client buckets live under "auth:".
+//
+// The roster is symmetric: every node is started with the same -peer-token
+// list, its own entry first. Digests travel with an HMAC trailer keyed by
+// the *sealing* node's secret (see cachedigest.Seal), so verification needs
+// the roster, not a per-pair key exchange. Revoking one credential —
+// RevokePeerToken, DELETE /v2/peer-tokens/{name} — immediately ejects that
+// sibling: its pushes stop authenticating, its sealed fetches stop
+// verifying, and every digest it already landed is scrubbed via
+// service.Peers.Evict.
+
+// peerBucketPrefix namespaces peer-principal bucket keys away from both
+// host identities and client auth buckets.
+const peerBucketPrefix = "peer:"
+
+// peerAuth is the engine's mesh credential table.
+type peerAuth struct {
+	mu         sync.RWMutex
+	configured bool
+	self       string            // this node's own principal name
+	secrets    map[string]string // principal name → MAC secret
+}
+
+// ConfigurePeerAuth installs the mesh roster from "name:secret" entries
+// (the -peer-token flag, repeatable). The FIRST entry is this node's own
+// credential — the secret it seals outgoing digests with and the token it
+// presents when fetching. One-shot, before traffic, and it registers the
+// engine as the peer subsystem's authority so fetch loops can verify and
+// revocation can scrub.
+func (e *Engine) ConfigurePeerAuth(entries []string) error {
+	if len(entries) == 0 {
+		return errors.New("engine: peer auth needs at least one name:secret entry (the node's own)")
+	}
+	e.peers.mu.Lock()
+	defer e.peers.mu.Unlock()
+	if e.peers.configured {
+		return errors.New("engine: peer tokens already configured")
+	}
+	secrets := make(map[string]string, len(entries))
+	self := ""
+	for i, entry := range entries {
+		name, secret, ok := strings.Cut(entry, ":")
+		if !ok || secret == "" {
+			return fmt.Errorf("engine: peer token %q: want name:secret with a non-empty secret", entry)
+		}
+		if !service.ValidClientIdentity(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("engine: peer token name %q: want printable ASCII without whitespace or ':', at most %d bytes",
+				name, service.MaxClientIdentity)
+		}
+		if _, dup := secrets[name]; dup {
+			return fmt.Errorf("engine: duplicate peer token name %q", name)
+		}
+		secrets[name] = secret
+		if i == 0 {
+			self = name
+		}
+	}
+	e.peers.configured = true
+	e.peers.self = self
+	e.peers.secrets = secrets
+	e.reg.Peers().SetAuthority((*peerAuthority)(e))
+	return nil
+}
+
+// PeerAuthEnabled reports whether a mesh credential roster is installed.
+func (e *Engine) PeerAuthEnabled() bool {
+	e.peers.mu.RLock()
+	defer e.peers.mu.RUnlock()
+	return len(e.peers.secrets) > 0
+}
+
+// PeerLogin authenticates a combined "name:secret" mesh credential and
+// returns the peer principal. Constant-time, like client Login, and the
+// failure message does not reveal whether the name exists.
+func (e *Engine) PeerLogin(token string) (Principal, error) {
+	name, secret, ok := strings.Cut(token, ":")
+	if !ok {
+		return Principal{}, wrap(KindUnauthorized,
+			errors.New("malformed peer credentials; want name:secret"))
+	}
+	e.peers.mu.RLock()
+	want, known := e.peers.secrets[name]
+	e.peers.mu.RUnlock()
+	if !known {
+		// Burn comparable time for unknown names so timing does not
+		// enumerate the roster.
+		subtle.ConstantTimeCompare([]byte(secret), []byte(secret))
+		return Principal{}, errBadCredentials
+	}
+	if subtle.ConstantTimeCompare([]byte(secret), []byte(want)) != 1 {
+		return Principal{}, errBadCredentials
+	}
+	return Principal{ID: peerBucketPrefix + name, Name: name}, nil
+}
+
+// RevokePeerToken removes one peer's mesh credential and scrubs every
+// digest it authenticated, across all filters. Returns how many digests
+// were evicted and whether the name was on the roster at all. Revoking is
+// deliberately NOT one-shot-guarded: ejecting an evil sibling mid-campaign
+// is the whole point.
+func (e *Engine) RevokePeerToken(name string) (evicted int, found bool) {
+	e.peers.mu.Lock()
+	_, found = e.peers.secrets[name]
+	delete(e.peers.secrets, name)
+	e.peers.mu.Unlock()
+	if !found {
+		return 0, false
+	}
+	// Evict AFTER the credential is gone, never while holding peers.mu: the
+	// fetch path's record() checks Authorized inside the watch lock, so
+	// this ordering guarantees an in-flight digest either fails that check
+	// or is stored before Evict scrubs it — no interleaving lets a revoked
+	// peer's digest survive.
+	return e.reg.Peers().Evict(name), true
+}
+
+// selfCred returns this node's own (name, secret) — false if peer auth is
+// unconfigured or the node's own credential was revoked.
+func (e *Engine) selfCred() (name, secret string, ok bool) {
+	e.peers.mu.RLock()
+	defer e.peers.mu.RUnlock()
+	if e.peers.self == "" {
+		return "", "", false
+	}
+	secret, ok = e.peers.secrets[e.peers.self]
+	return e.peers.self, secret, ok
+}
+
+// peerAuthority adapts the engine's credential table to the service layer's
+// PeerAuthority interface (service cannot import engine; the registry's
+// peer subsystem sees only this narrow view).
+type peerAuthority Engine
+
+func (a *peerAuthority) SelfToken() (string, bool) {
+	name, secret, ok := (*Engine)(a).selfCred()
+	if !ok {
+		return "", false
+	}
+	return name + ":" + secret, true
+}
+
+func (a *peerAuthority) Unseal(name string, data []byte) ([]byte, error) {
+	e := (*Engine)(a)
+	e.peers.mu.RLock()
+	secret, ok := e.peers.secrets[name]
+	e.peers.mu.RUnlock()
+	if !ok {
+		// An unknown or revoked sealer fails exactly like a bad MAC: the
+		// frame is not authenticated by a live credential.
+		return nil, fmt.Errorf("%w: no live credential for peer %q", cachedigest.ErrEnvelopeUnauthenticated, name)
+	}
+	return cachedigest.Unseal(data, []byte(secret))
+}
+
+func (a *peerAuthority) Authorized(name string) bool {
+	e := (*Engine)(a)
+	e.peers.mu.RLock()
+	defer e.peers.mu.RUnlock()
+	_, ok := e.peers.secrets[name]
+	return ok
+}

@@ -163,8 +163,11 @@ func (e *Engine) httpIdentity(r *http.Request) string {
 }
 
 // validClaim bounds header-claimed identities and keeps them out of the
-// authenticated namespace: a proxy-trusted client must not be able to
-// claim "auth:alice" and spend alice's bucket without her secret.
+// authenticated namespaces: a proxy-trusted client must not be able to
+// claim "auth:alice" (or "peer:nodeB") and spend that bucket without the
+// secret.
 func validClaim(id string) bool {
-	return service.ValidClientIdentity(id) && !strings.HasPrefix(id, authBucketPrefix)
+	return service.ValidClientIdentity(id) &&
+		!strings.HasPrefix(id, authBucketPrefix) &&
+		!strings.HasPrefix(id, peerBucketPrefix)
 }

@@ -126,7 +126,7 @@ func TestDigestPushLabelValidation(t *testing.T) {
 		t.Errorf("valid label refused: %d (%s)", code, body)
 	}
 	// Direct (non-HTTP) pushes enforce the same rule.
-	if _, err := reg.Peers().Push("d", "bad label", nil); err == nil {
+	if _, err := reg.Peers().Push("d", "bad label", nil, "", false); err == nil {
 		t.Error("Push accepted an invalid label")
 	}
 }

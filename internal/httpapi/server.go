@@ -82,6 +82,10 @@ type RouteResponse struct {
 	Peer string `json:"peer,omitempty"`
 	// Peers holds every sibling's individual answer, in peer order.
 	Peers []service.PeerClaim `json:"peers"`
+	// Claiming is how many siblings claim the item; Quorum is how many it
+	// takes for a "peer" verdict (-route-quorum, default 1).
+	Claiming int `json:"claiming"`
+	Quorum   int `json:"quorum"`
 }
 
 // peersResponse answers GET /v2/.../peers and POST /v2/.../peers/refresh.
@@ -93,6 +97,12 @@ type peersResponse struct {
 type digestPushResponse struct {
 	Imported bool               `json:"imported"`
 	Peer     service.PeerStatus `json:"peer"`
+}
+
+// peerTokenRevokeResponse answers DELETE /v2/peer-tokens/{name}.
+type peerTokenRevokeResponse struct {
+	Revoked        string `json:"revoked"`
+	DigestsEvicted int    `json:"digests_evicted"`
 }
 
 // InfoResponse answers /v1/info: the public parameters of the serving
@@ -340,6 +350,7 @@ func NewEngineServer(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("/v2/filters/{name}", s.handleFilter)
 	s.mux.HandleFunc("/v2/filters/{name}/{op}", s.handleFilterOp)
 	s.mux.HandleFunc("/v2/filters/{name}/peers/refresh", s.handlePeersRefresh)
+	s.mux.HandleFunc("/v2/peer-tokens/{name}", s.handlePeerToken)
 	return s
 }
 
@@ -721,6 +732,9 @@ func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, ref eng
 	// RFC 9110 If-None-Match semantics, not string equality: intermediaries
 	// legitimately send `*`, weak `W/"..."` forms and comma-joined lists of
 	// every tag they hold, and all of them must be able to earn the 304.
+	// Only If-None-Match can earn it: the delta-path Digest-Have header
+	// names what the peer holds, not what it would accept unchanged, and
+	// must never short-circuit a transfer of content the peer lacks.
 	if match := r.Header.Get("If-None-Match"); match != "" {
 		if current := s.eng.DigestETag(ref); etagMatch(match, current) {
 			w.Header().Set("ETag", current)
@@ -728,7 +742,10 @@ func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, ref eng
 			return
 		}
 	}
-	res, err := s.eng.Digest(ref)
+	res, err := s.eng.DigestExchange(ref,
+		r.Header.Get(service.HeaderDigestHave),
+		r.Header.Get(service.HeaderDigestDelta) == "1",
+		r.Header.Get(service.HeaderPeerToken))
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -736,6 +753,14 @@ func (s *Server) handleDigestGet(w http.ResponseWriter, r *http.Request, ref eng
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("ETag", res.ETag)
 	w.Header().Set("X-Evilbloom-Digest-Version", fmt.Sprint(cachedigest.EnvelopeVersion))
+	frame := "full"
+	if res.Delta {
+		frame = "delta"
+	}
+	w.Header().Set(service.HeaderDigestFrame, frame)
+	if res.Sealer != "" {
+		w.Header().Set(service.HeaderPeer, res.Sealer)
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(res.Blob) //nolint:errcheck // client gone; nothing to do
 }
@@ -751,12 +776,33 @@ func (s *Server) handleDigestPush(w http.ResponseWriter, r *http.Request, ref en
 		return
 	}
 	status, err := s.eng.DigestPush(p, ref, label,
-		http.MaxBytesReader(w, r.Body, int64(service.MaxSnapshotBytes)))
+		http.MaxBytesReader(w, r.Body, int64(service.MaxSnapshotBytes)),
+		r.Header.Get(service.HeaderPeerToken))
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, digestPushResponse{Imported: true, Peer: status})
+}
+
+// handlePeerToken revokes one mesh credential (DELETE /v2/peer-tokens/{name})
+// — ejecting an evil sibling live: its pushes stop authenticating, its
+// sealed digests stop verifying, and everything it already landed is
+// scrubbed. Like the rest of this demonstration server's management surface
+// the endpoint is open; a production deployment would gate it behind an
+// operator credential.
+func (s *Server) handlePeerToken(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "DELETE revokes a peer credential")
+		return
+	}
+	name := r.PathValue("name")
+	evicted, found := s.eng.RevokePeerToken(name)
+	if !found {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no peer credential named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, peerTokenRevokeResponse{Revoked: name, DigestsEvicted: evicted})
 }
 
 // handleRoute answers the §7 routing question for one item: local cache,
@@ -772,10 +818,12 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ref engine.
 		return
 	}
 	writeJSON(w, http.StatusOK, RouteResponse{
-		Local:   res.Local,
-		Verdict: res.Verdict,
-		Peer:    res.Peer,
-		Peers:   res.Claims,
+		Local:    res.Local,
+		Verdict:  res.Verdict,
+		Peer:     res.Peer,
+		Peers:    res.Claims,
+		Claiming: res.ClaimCount,
+		Quorum:   res.Quorum,
 	})
 }
 

@@ -63,11 +63,41 @@ var ErrNoPeers = errors.New("service: no peers configured (start the server with
 // or MaxPushedDigestBits of retained digest storage per filter.
 var ErrPushedDigestLimit = errors.New("service: pushed-digest budget exhausted; delete the filter or push smaller digests")
 
+// Mesh exchange headers. The fetch side advertises its identity and delta
+// capability; the serve side names who sealed the frame and what kind of
+// frame it is. All optional: a bare PR 4 exchange uses none of them.
+const (
+	// HeaderPeerToken carries the fetching node's own mesh credential
+	// ("name:secret"), the GET-side mirror of the push principal.
+	HeaderPeerToken = "X-Evilbloom-Peer-Token"
+	// HeaderPeer names the peer whose credential sealed a digest response;
+	// absent on unsealed responses.
+	HeaderPeer = "X-Evilbloom-Peer"
+	// HeaderDigestDelta ("1") advertises that the fetcher can apply delta
+	// frames.
+	HeaderDigestDelta = "X-Evilbloom-Digest-Delta"
+	// HeaderDigestHave echoes the digest ETag the fetcher currently holds —
+	// its last ACK, the base a delta may be diffed against. Deliberately
+	// distinct from If-None-Match: Have drives delta selection, never 304.
+	HeaderDigestHave = "X-Evilbloom-Digest-Have"
+	// HeaderDigestFrame reports what was served: "full" or "delta".
+	HeaderDigestFrame = "X-Evilbloom-Digest-Frame"
+)
+
 // PeerConfig wires a registry into a digest-exchange mesh.
 type PeerConfig struct {
-	// Peers lists sibling base URLs (e.g. "http://10.0.0.2:8379"). Each
-	// local filter fetches /v2/filters/{name}/digest from every peer.
+	// Peers lists the mesh roster's base URLs (e.g. "http://10.0.0.2:8379").
+	// Under the default pairs topology with no Self this is PR 4's "every
+	// other node" list; under ring/hub it is the full roster including this
+	// node, with Self naming which entry is ours.
 	Peers []string
+	// Topology picks which roster members this node fetches (default pairs).
+	Topology Topology
+	// Self is this node's own roster entry (required for ring and hub).
+	Self string
+	// RouteQuorum is how many sibling claims a route verdict needs before
+	// answering "peer" (default 1, PR 4's first-claiming-peer rule).
+	RouteQuorum int
 	// Refresh is the fetch interval (DefaultPeerRefresh when zero).
 	Refresh time.Duration
 	// Jitter is the refresh jitter fraction in [0,1) (DefaultPeerJitter
@@ -86,13 +116,61 @@ type PeerConfig struct {
 // accepts pushes, so the route endpoint works on every registry.
 type Peers struct {
 	mu         sync.Mutex
-	urls       []string
+	urls       []string // resolved fetch targets, not the full roster
 	refresh    time.Duration
 	jitter     float64
 	staleAfter time.Duration
 	client     *http.Client
 	watches    map[string]*peerWatch
 	closed     bool
+
+	// quorum is the route verdict threshold (atomic-free: written under mu
+	// at configure time or via SetRouteQuorum before traffic, read under mu).
+	quorum int
+
+	// authority, when set, supplies mesh credentials: the token to present
+	// on fetches, MAC verification for sealed frames, and the live
+	// revocation check. Guarded by authMu; nil means an unauthenticated
+	// mesh (the PR 4 exchange).
+	authMu    sync.RWMutex
+	authority PeerAuthority
+}
+
+// SetAuthority installs the engine-side credential store. Called once at
+// startup, before the mesh serves traffic.
+func (p *Peers) SetAuthority(a PeerAuthority) {
+	p.authMu.Lock()
+	p.authority = a
+	p.authMu.Unlock()
+}
+
+func (p *Peers) getAuthority() PeerAuthority {
+	p.authMu.RLock()
+	defer p.authMu.RUnlock()
+	return p.authority
+}
+
+// SetRouteQuorum sets the route verdict threshold independently of
+// configure — a node with no fetch targets (push-only mesh membership)
+// still votes with a quorum.
+func (p *Peers) SetRouteQuorum(q int) error {
+	if q < 1 {
+		return fmt.Errorf("service: route quorum %d, want ≥ 1", q)
+	}
+	p.mu.Lock()
+	p.quorum = q
+	p.mu.Unlock()
+	return nil
+}
+
+// Quorum returns the route verdict threshold (at least 1).
+func (p *Peers) Quorum() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.quorum < 1 {
+		return 1
+	}
+	return p.quorum
 }
 
 // peerWatch is one local filter's view of the mesh.
@@ -117,8 +195,11 @@ type peerDigest struct {
 
 	digest      *cachedigest.PeerDigest // nil until the first good exchange
 	etag        string
+	sealedBy    string // peer name whose credential sealed the held digest
 	fetches     uint64 // completed GETs answered 200
 	notModified uint64 // GETs short-circuited by If-None-Match (304)
+	deltaCount  uint64 // 200s answered with a delta frame instead of a full envelope
+	bytesIn     uint64 // digest frame bytes received across all 200s (MAC trailer included)
 	failures    uint64 // transport errors and non-200/304 answers
 	consecutive uint64 // failures since the last success
 	lastErr     string
@@ -150,6 +231,23 @@ func (p *Peers) configure(cfg PeerConfig) error {
 		return fmt.Errorf("service: invalid peer config (refresh=%v jitter=%v stale=%v)",
 			cfg.Refresh, cfg.Jitter, cfg.StaleAfter)
 	}
+	if cfg.RouteQuorum < 0 {
+		return fmt.Errorf("service: route quorum %d, want ≥ 1", cfg.RouteQuorum)
+	}
+	topo := cfg.Topology
+	if topo == "" {
+		topo = TopologyPairs
+	}
+	if len(cfg.Peers) == 0 {
+		return ErrNoPeers
+	}
+	targets, err := resolveTargets(cfg.Peers, topo, cfg.Self)
+	if err != nil {
+		return err
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("%w: the roster resolves to no fetch targets under %s topology", ErrNoPeers, topo)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -158,10 +256,10 @@ func (p *Peers) configure(cfg PeerConfig) error {
 	if len(p.urls) > 0 {
 		return errors.New("service: peers already configured")
 	}
-	if len(cfg.Peers) == 0 {
-		return ErrNoPeers
+	if cfg.RouteQuorum > 0 {
+		p.quorum = cfg.RouteQuorum
 	}
-	p.urls = append([]string(nil), cfg.Peers...)
+	p.urls = targets
 	if cfg.Refresh > 0 {
 		p.refresh = cfg.Refresh
 	}
@@ -280,24 +378,48 @@ func (p *Peers) fetchAll(w *peerWatch) {
 }
 
 // fetchOne performs one conditional digest GET against a peer and folds the
-// outcome into its accounting.
+// outcome into its accounting. A generation-gap delta — the peer diffed
+// against a base this node does not hold — retries once as a plain full
+// fetch, so a gap costs one extra round trip, never a stale digest.
 func (p *Peers) fetchOne(w *peerWatch, st *peerDigest) {
+	if err := p.exchangeOne(w, st, true); errors.Is(err, cachedigest.ErrDeltaGap) {
+		p.exchangeOne(w, st, false) //nolint:errcheck // outcome is folded into st's accounting
+	}
+}
+
+// exchangeOne runs one digest GET. allowDelta advertises delta capability
+// and the held digest's ETag; fetchOne retries without it on a generation
+// gap. The returned error mirrors what record folded into accounting.
+func (p *Peers) exchangeOne(w *peerWatch, st *peerDigest, allowDelta bool) error {
 	w.mu.RLock()
 	etag := st.etag
+	held := st.digest
 	w.mu.RUnlock()
 
 	req, err := http.NewRequest(http.MethodGet, st.peer+"/v2/filters/"+url.PathEscape(w.name)+"/digest", nil)
 	if err != nil {
-		p.record(w, st, nil, "", err)
-		return
+		return p.record(w, st, fetchResult{err: err})
 	}
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	auth := p.getAuthority()
+	sealedMesh := false
+	if auth != nil {
+		if tok, ok := auth.SelfToken(); ok {
+			sealedMesh = true
+			req.Header.Set(HeaderPeerToken, tok)
+		}
+	}
+	if allowDelta {
+		req.Header.Set(HeaderDigestDelta, "1")
+		if etag != "" && held != nil {
+			req.Header.Set(HeaderDigestHave, etag)
+		}
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
-		p.record(w, st, nil, "", err)
-		return
+		return p.record(w, st, fetchResult{err: err})
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -308,14 +430,15 @@ func (p *Peers) fetchOne(w *peerWatch, st *peerDigest) {
 		st.lastErr = ""
 		st.lastUpdate = time.Now()
 		w.mu.Unlock()
+		return nil
 	case http.StatusOK:
-		d, err := readEnvelope(resp.Body)
-		if err != nil {
+		res := readDigestResponse(resp, held, sealedMesh, auth)
+		if res.err != nil {
 			// A decode failure can leave unread payload behind; drain it
 			// (bounded) so the keep-alive connection survives the error.
 			drainBody(resp.Body)
 		}
-		p.record(w, st, d, resp.Header.Get("ETag"), err)
+		return p.record(w, st, res)
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		// Drain the (bounded) remainder before the deferred Close: a body
@@ -323,8 +446,64 @@ func (p *Peers) fetchOne(w *peerWatch, st *peerDigest) {
 		// connection, so a flapping peer answering long errors would force
 		// a fresh TCP(+TLS) dial on every refresh tick.
 		drainBody(resp.Body)
-		p.record(w, st, nil, "", fmt.Errorf("peer answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg))))
+		return p.record(w, st, fetchResult{err: fmt.Errorf("peer answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))})
 	}
+}
+
+// fetchResult is one 200-exchange's outcome, handed to record.
+type fetchResult struct {
+	digest   *cachedigest.PeerDigest
+	etag     string
+	sealedBy string
+	bytes    uint64
+	delta    bool
+	err      error
+}
+
+// readDigestResponse buffers, authenticates and decodes a 200 digest
+// response. In a sealed mesh (this node presented its credential) an
+// unsealed answer is refused outright — a downgrade must read as a failure,
+// not quietly import unauthenticated bits. held is the digest a delta would
+// be applied to.
+func readDigestResponse(resp *http.Response, held *cachedigest.PeerDigest, sealedMesh bool, auth PeerAuthority) fetchResult {
+	sealer := resp.Header.Get(HeaderPeer)
+	sealed := sealer != ""
+	if sealedMesh && !sealed {
+		return fetchResult{err: errors.New("authenticated mesh, but the peer answered an unsealed digest")}
+	}
+	if sealed && auth == nil {
+		return fetchResult{err: fmt.Errorf("peer sealed its digest as %q, but this node holds no mesh credentials", sealer)}
+	}
+	frame, n, err := readFrame(resp.Body, sealed)
+	if err != nil {
+		return fetchResult{err: err}
+	}
+	if sealed {
+		if frame, err = auth.Unseal(sealer, frame); err != nil {
+			return fetchResult{err: err}
+		}
+	}
+	res := fetchResult{etag: resp.Header.Get("ETag"), sealedBy: sealer, bytes: n}
+	if cachedigest.IsDeltaFrame(frame) {
+		if held == nil {
+			res.err = fmt.Errorf("%w: delta answered with no digest held", cachedigest.ErrDeltaGap)
+			return res
+		}
+		d, err := held.ApplyDelta(frame)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.digest, res.delta = d, true
+		return res
+	}
+	d, err := cachedigest.OpenEnvelope(frame)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.digest = d
+	return res
 }
 
 // maxErrorDrain bounds how much of a failed exchange's body is read to
@@ -338,44 +517,81 @@ func drainBody(rd io.Reader) {
 	io.Copy(io.Discard, io.LimitReader(rd, maxErrorDrain)) //nolint:errcheck // best-effort connection rescue
 }
 
-// record folds a completed (non-304) exchange into a peer's accounting.
-func (p *Peers) record(w *peerWatch, st *peerDigest, d *cachedigest.PeerDigest, etag string, err error) {
+// record folds a completed (non-304) exchange into a peer's accounting and
+// returns the exchange's effective error. For sealed exchanges the
+// authority's Authorized check is re-run here, INSIDE w.mu, at the moment
+// the digest would land: Evict scrubs under the same lock after the
+// credential is removed, so a peer revoked mid-fetch either fails this
+// check or is scrubbed right after storing — its in-flight digest never
+// outlives the revocation.
+func (p *Peers) record(w *peerWatch, st *peerDigest, res fetchResult) error {
+	auth := p.getAuthority()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err != nil {
+	st.bytesIn += res.bytes
+	if res.err == nil && res.sealedBy != "" && auth != nil && !auth.Authorized(res.sealedBy) {
+		res.err = fmt.Errorf("peer %q's mesh credential was revoked mid-exchange", res.sealedBy)
+	}
+	if res.err != nil {
 		st.failures++
 		st.consecutive++
-		st.lastErr = err.Error()
-		return // the last good digest keeps serving, flagged stale by age
+		st.lastErr = res.err.Error()
+		return res.err // the last good digest keeps serving, flagged stale by age
 	}
 	st.fetches++
+	if res.delta {
+		st.deltaCount++
+	}
 	st.consecutive = 0
 	st.lastErr = ""
-	st.digest = d
-	st.etag = etag
+	st.digest = res.digest
+	st.etag = res.etag
+	st.sealedBy = res.sealedBy
 	st.lastUpdate = time.Now()
+	return nil
 }
 
-// readEnvelope buffers and decodes a digest envelope from rd, size-checking
-// from the 88-byte header before trusting the body's claimed length.
-func readEnvelope(rd io.Reader) (*cachedigest.PeerDigest, error) {
+// readFrame buffers one digest frame — full envelope or delta — from rd,
+// size-checking from the fixed header before trusting the body's claimed
+// length, plus the MAC trailer when the exchange is sealed. It returns the
+// frame (trailer included) and the byte count read.
+func readFrame(rd io.Reader, sealed bool) ([]byte, uint64, error) {
+	// The delta header (48 bytes) is a prefix-length below the envelope's
+	// 88; read the short prefix, sniff the magic, then extend as needed.
 	hdr := make([]byte, cachedigest.EnvelopeHeaderLen)
-	if _, err := io.ReadFull(rd, hdr); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	if _, err := io.ReadFull(rd, hdr[:cachedigest.DeltaHeaderLen]); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading header: %v", cachedigest.ErrEnvelopeCorrupt, err)
 	}
-	info, err := cachedigest.DecodeEnvelopeInfo(hdr)
-	if err != nil {
-		return nil, err
+	var size int
+	if cachedigest.IsDeltaFrame(hdr) {
+		info, err := cachedigest.DecodeDeltaInfo(hdr[:cachedigest.DeltaHeaderLen])
+		if err != nil {
+			return nil, 0, err
+		}
+		size = cachedigest.DeltaSize(info)
+		hdr = hdr[:cachedigest.DeltaHeaderLen]
+	} else {
+		if _, err := io.ReadFull(rd, hdr[cachedigest.DeltaHeaderLen:]); err != nil {
+			return nil, 0, fmt.Errorf("%w: reading header: %v", cachedigest.ErrEnvelopeCorrupt, err)
+		}
+		info, err := cachedigest.DecodeEnvelopeInfo(hdr)
+		if err != nil {
+			return nil, 0, err
+		}
+		size = info.EnvelopeSize()
 	}
-	env := make([]byte, info.EnvelopeSize())
-	copy(env, hdr)
-	if _, err := io.ReadFull(rd, env[len(hdr):]); err != nil {
-		return nil, fmt.Errorf("%w: reading payload: %v", cachedigest.ErrEnvelopeCorrupt, err)
+	if sealed {
+		size += cachedigest.MACTrailerLen
+	}
+	frame := make([]byte, size)
+	copy(frame, hdr)
+	if _, err := io.ReadFull(rd, frame[len(hdr):]); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading payload: %v", cachedigest.ErrEnvelopeCorrupt, err)
 	}
 	if n, _ := io.ReadFull(rd, make([]byte, 1)); n != 0 {
-		return nil, fmt.Errorf("%w: trailing bytes after envelope", cachedigest.ErrEnvelopeCorrupt)
+		return nil, 0, fmt.Errorf("%w: trailing bytes after digest frame", cachedigest.ErrEnvelopeCorrupt)
 	}
-	return cachedigest.OpenEnvelope(env)
+	return frame, uint64(size), nil
 }
 
 // RefreshNow synchronously refreshes every configured peer of one filter —
@@ -398,13 +614,19 @@ func (p *Peers) RefreshNow(name string) ([]PeerStatus, error) {
 }
 
 // Push imports a digest envelope under a peer label — the push half of the
-// gossip, for peers that cannot be dialed back. Push is unauthenticated,
-// so it follows the registry's header-first discipline: the digest's size
-// is read from the 88-byte header and reserved against the per-filter
-// MaxPushedPeers / MaxPushedDigestBits budget BEFORE the payload is
-// buffered, and the reservation is filled or rolled back — a pusher cannot
-// make the node hold more digest bytes than the budget it was granted.
-func (p *Peers) Push(name, label string, rd io.Reader) (PeerStatus, error) {
+// gossip, for peers that cannot be dialed back. It follows the registry's
+// header-first discipline: the digest's size is read from the 88-byte
+// header and reserved against the per-filter MaxPushedPeers /
+// MaxPushedDigestBits budget BEFORE the payload is buffered, and the
+// reservation is filled or rolled back — a pusher cannot make the node
+// hold more digest bytes than the budget it was granted.
+//
+// sealer is the authenticated mesh principal behind the push ("" on an
+// unauthenticated mesh; the engine enforces that an authenticated mesh
+// never passes ""), retained for attribution and scrubbed by Evict. When
+// sealed is true the body carries a MAC trailer keyed by sealer's
+// credential and is verified before the envelope is opened.
+func (p *Peers) Push(name, label string, rd io.Reader, sealer string, sealed bool) (PeerStatus, error) {
 	// Labels are retained as map keys and echoed through the peers JSON, so
 	// they follow the filter-name rule (bounded length, no control or
 	// separator characters). The HTTP layer rejects bad labels with 400
@@ -430,16 +652,36 @@ func (p *Peers) Push(name, label string, rd io.Reader) (PeerStatus, error) {
 	if err := w.reservePush(label, bits); err != nil {
 		return PeerStatus{}, err
 	}
-	env := make([]byte, info.EnvelopeSize())
+	size := info.EnvelopeSize()
+	if sealed {
+		size += cachedigest.MACTrailerLen
+	}
+	env := make([]byte, size)
 	copy(env, hdr)
+	auth := p.getAuthority()
 	var d *cachedigest.PeerDigest
 	if _, err = io.ReadFull(rd, env[len(hdr):]); err != nil {
 		err = fmt.Errorf("%w: reading payload: %v", cachedigest.ErrEnvelopeCorrupt, err)
 	} else {
-		d, err = cachedigest.OpenEnvelope(env)
+		frame := env
+		if sealed {
+			if auth == nil {
+				err = fmt.Errorf("%w: sealed push, but this node holds no mesh credentials", cachedigest.ErrEnvelopeUnauthenticated)
+			} else {
+				frame, err = auth.Unseal(sealer, env)
+			}
+		}
+		if err == nil {
+			d, err = cachedigest.OpenEnvelope(frame)
+		}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Same revoked-mid-flight discipline as record: the principal must
+	// still be authorized at the moment the digest lands.
+	if err == nil && sealer != "" && auth != nil && !auth.Authorized(sealer) {
+		err = fmt.Errorf("peer %q's mesh credential was revoked mid-push", sealer)
+	}
 	if err != nil {
 		w.pushedBits -= bits // roll the reservation back
 		return PeerStatus{}, err
@@ -456,8 +698,48 @@ func (p *Peers) Push(name, label string, rd io.Reader) (PeerStatus, error) {
 	st.consecutive = 0
 	st.lastErr = ""
 	st.digest = d
+	st.sealedBy = sealer
 	st.lastUpdate = time.Now()
 	return p.statusOf(st), nil
+}
+
+// Evict scrubs every digest attributed to the named peer principal across
+// all filters — the teeth behind credential revocation. Fetched entries
+// lose their digest (the refresh loop keeps polling and keeps failing
+// while the peer's frames verify against a revoked credential); pushed
+// entries are dropped entirely and their budget charge released. Returns
+// how many digests were scrubbed.
+func (p *Peers) Evict(peer string) int {
+	p.mu.Lock()
+	watches := make([]*peerWatch, 0, len(p.watches))
+	for _, w := range p.watches {
+		watches = append(watches, w)
+	}
+	p.mu.Unlock()
+	evicted := 0
+	for _, w := range watches {
+		w.mu.Lock()
+		for _, st := range w.fetched {
+			if st.sealedBy == peer && st.digest != nil {
+				st.digest = nil
+				st.etag = ""
+				st.sealedBy = ""
+				st.lastErr = "peer credential revoked"
+				evicted++
+			}
+		}
+		for label, st := range w.pushed {
+			if st.sealedBy == peer {
+				if st.digest != nil {
+					w.pushedBits -= st.digest.Bits()
+					evicted++
+				}
+				delete(w.pushed, label)
+			}
+		}
+		w.mu.Unlock()
+	}
+	return evicted
 }
 
 // reservePush charges bits of pushed-digest budget for label before any
@@ -508,6 +790,14 @@ type PeerStatus struct {
 	Failures            uint64 `json:"failures,omitempty"`
 	ConsecutiveFailures uint64 `json:"consecutive_failures,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
+	// SealedBy names the mesh principal whose credential authenticated the
+	// held digest ("" on an unauthenticated exchange).
+	SealedBy string `json:"sealed_by,omitempty"`
+	// DeltaFetches counts 200s answered with a delta frame instead of a
+	// full envelope; BytesFetched totals digest frame bytes received — the
+	// pair that makes the delta bandwidth saving observable.
+	DeltaFetches uint64 `json:"delta_fetches,omitempty"`
+	BytesFetched uint64 `json:"bytes_fetched,omitempty"`
 }
 
 // statusOf snapshots one peer's accounting. The caller holds w.mu.
@@ -521,6 +811,9 @@ func (p *Peers) statusOf(st *peerDigest) PeerStatus {
 		Failures:            st.failures,
 		ConsecutiveFailures: st.consecutive,
 		LastError:           st.lastErr,
+		SealedBy:            st.sealedBy,
+		DeltaFetches:        st.deltaCount,
+		BytesFetched:        st.bytesIn,
 	}
 	if st.pushed {
 		out.Source = "pushed"

@@ -269,6 +269,12 @@ type Sharded struct {
 	// different shards touch disjoint state and commute under replay). Set
 	// once via SetJournal before the store serves traffic.
 	journal Journal
+	// deltaMu serializes digest-delta exchanges and guards deltaBase, the
+	// occupancy snapshot of the last digest served to a delta-capable peer.
+	// Only DigestExchange touches either; the membership hot path never
+	// sees this lock.
+	deltaMu   sync.Mutex
+	deltaBase *digestBaseline
 }
 
 // Journal receives the store's effective mutations — the append-only

@@ -24,6 +24,9 @@ cleanup() {
   [[ -n "${SERVER_B_PID:-}" ]] && kill "$SERVER_B_PID" 2>/dev/null || true
   [[ -n "${SERVER_C_PID:-}" ]] && kill "$SERVER_C_PID" 2>/dev/null || true
   [[ -n "${SERVER_D_PID:-}" ]] && kill "$SERVER_D_PID" 2>/dev/null || true
+  [[ -n "${SERVER_E_PID:-}" ]] && kill "$SERVER_E_PID" 2>/dev/null || true
+  [[ -n "${SERVER_F_PID:-}" ]] && kill "$SERVER_F_PID" 2>/dev/null || true
+  [[ -n "${SERVER_G_PID:-}" ]] && kill "$SERVER_G_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -400,5 +403,129 @@ say "stopping server D (graceful drain covers the RESP listener)"
 kill -TERM "$SERVER_D_PID"
 wait "$SERVER_D_PID" || fail "server D exited non-zero on SIGTERM"
 grep -q "durable state flushed\|bye" "$LOG_D" || fail "server D did not drain cleanly"
+
+# ---------------------------------------------------------------------------
+# Authenticated three-node quorum mesh: servers E (quorum-2 router), F
+# (honest sibling) and G (evil sibling) share a credential roster
+# (-peer-token, each node's own entry first). The section asserts the whole
+# mesh story end to end: quorum route verdicts (two corroborating siblings
+# route "peer", one alone does not), delta frames on sparse refreshes,
+# anonymous digest pushes bouncing with 401, and live credential revocation
+# ejecting the evil sibling — its saturated digest is evicted and its
+# refreshes stop verifying. Refresh interval is an hour: every exchange
+# after boot is driven explicitly, so verdicts are deterministic.
+
+say "=== authenticated three-node quorum mesh ==="
+E_ADDR="127.0.0.1:${SMOKE_PORT5:-18383}"
+F_ADDR="127.0.0.1:${SMOKE_PORT6:-18384}"
+G_ADDR="127.0.0.1:${SMOKE_PORT7:-18385}"
+E_BASE="http://$E_ADDR"; F_BASE="http://$F_ADDR"; G_BASE="http://$G_ADDR"
+LOG_E="$(dirname "$BIN")/serve-e.log"
+LOG_F="$(dirname "$BIN")/serve-f.log"
+LOG_G="$(dirname "$BIN")/serve-g.log"
+ROSTER=(-peer "$E_BASE" -peer "$F_BASE" -peer "$G_BASE" -peer-refresh 1h -route-quorum 2)
+
+say "starting mesh nodes E/F/G on $E_ADDR/$F_ADDR/$G_ADDR (quorum 2, shared roster)"
+"$BIN" serve -addr "$E_ADDR" "${ROSTER[@]}" -self "$E_BASE" \
+  -peer-token nodeE:se -peer-token nodeF:sf -peer-token nodeG:sg >"$LOG_E" 2>&1 &
+SERVER_E_PID=$!
+"$BIN" serve -addr "$F_ADDR" "${ROSTER[@]}" -self "$F_BASE" \
+  -peer-token nodeF:sf -peer-token nodeE:se -peer-token nodeG:sg >"$LOG_F" 2>&1 &
+SERVER_F_PID=$!
+"$BIN" serve -addr "$G_ADDR" "${ROSTER[@]}" -self "$G_BASE" \
+  -peer-token nodeG:sg -peer-token nodeE:se -peer-token nodeF:sf >"$LOG_G" 2>&1 &
+SERVER_G_PID=$!
+mesh_wait() { # name base log pid
+  for i in $(seq 1 50); do
+    curl -sf "$2/v1/info" >/dev/null 2>&1 && return 0
+    kill -0 "$4" 2>/dev/null || { LOG="$3" fail "mesh node $1 exited during startup"; }
+    sleep 0.1
+  done
+  LOG="$3" fail "mesh node $1 never came up"
+}
+mesh_wait E "$E_BASE" "$LOG_E" "$SERVER_E_PID"
+mesh_wait F "$F_BASE" "$LOG_F" "$SERVER_F_PID"
+mesh_wait G "$G_BASE" "$LOG_G" "$SERVER_G_PID"
+
+say "creating the shared 'mesh' filter on all three nodes"
+for b in "$E_BASE" "$F_BASE" "$G_BASE"; do
+  curl -sf -X PUT "$b/v2/filters/mesh" -d "$MESH" >/dev/null || fail "creating mesh filter on $b failed"
+done
+
+say "caching shared-item on both siblings: quorum 2 is met, E routes 'peer'"
+curl -sf -X POST "$F_BASE/v2/filters/mesh/add" -d '{"item":"shared-item"}' >/dev/null
+curl -sf -X POST "$G_BASE/v2/filters/mesh/add" -d '{"item":"shared-item"}' >/dev/null
+curl -sf -X POST "$E_BASE/v2/filters/mesh/peers/refresh" >/dev/null
+ROUTE=$(curl -sf -X POST "$E_BASE/v2/filters/mesh/route" -d '{"item":"shared-item"}')
+echo "$ROUTE" | grep -q '"verdict":"peer"' || fail "corroborated item not routed to a peer: $ROUTE"
+echo "$ROUTE" | grep -q '"claiming":2' || fail "route did not report two claimants: $ROUTE"
+echo "$ROUTE" | grep -q '"quorum":2' || fail "route did not report the quorum: $ROUTE"
+
+say "caching solo-item on one sibling only: quorum 2 unmet, E routes 'origin'"
+curl -sf -X POST "$F_BASE/v2/filters/mesh/add" -d '{"item":"solo-item"}' >/dev/null
+REFRESH=$(curl -sf -X POST "$E_BASE/v2/filters/mesh/peers/refresh")
+ROUTE=$(curl -sf -X POST "$E_BASE/v2/filters/mesh/route" -d '{"item":"solo-item"}')
+echo "$ROUTE" | grep -q '"verdict":"origin"' || fail "single-sibling item beat quorum 2: $ROUTE"
+echo "$ROUTE" | grep -q '"claiming":1' || fail "route did not report the lone claimant: $ROUTE"
+
+say "the sparse second refresh rode a delta frame, not a full envelope"
+echo "$REFRESH" | grep -q '"delta_fetches":' || fail "no delta fetch recorded: $REFRESH"
+
+say "an anonymous digest push bounces off the authenticated mesh with 401"
+PUSH_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary @"$DIGEST_FILE" "$E_BASE/v2/filters/mesh/digest?peer=evil")
+[[ "$PUSH_CODE" == "401" ]] || fail "anonymous digest push answered $PUSH_CODE, want 401"
+
+say "evil sibling G saturates its digest (60 inserts into 64 bits)"
+EVIL=$(printf '"evil-%s",' $(seq 1 60))
+curl -sf -X POST "$G_BASE/v2/filters/mesh/add-batch" -d "{\"items\":[${EVIL%,}]}" >/dev/null \
+  || fail "evil pollution batch failed"
+peer_weight_max() { # heaviest digest E holds of any sibling
+  curl -sf "$E_BASE/v2/filters/mesh/peers" | grep -o '"digest_weight":[0-9]*' \
+    | grep -o '[0-9]*$' | sort -n | tail -1
+}
+curl -sf -X POST "$E_BASE/v2/filters/mesh/peers/refresh" >/dev/null
+WEIGHT=$(peer_weight_max)
+say "heaviest sibling digest on E after pollution: $WEIGHT/64 bits"
+[[ "${WEIGHT:-0}" -ge 60 ]] || fail "evil digest not saturated on E (weight ${WEIGHT:-0})"
+
+say "quorum blunts the saturated digest: ghost probes still need an honest accomplice"
+QUORUM_GHOSTS=0
+for i in $(seq 0 19); do
+  curl -sf -X POST "$E_BASE/v2/filters/mesh/route" -d "{\"item\":\"quorum-ghost-$i\"}" \
+    | grep -q '"verdict":"peer"' && QUORUM_GHOSTS=$((QUORUM_GHOSTS + 1))
+done
+say "$QUORUM_GHOSTS/20 ghost probes misdirected under quorum 2 (saturated sibling alone cannot vote)"
+[[ "$QUORUM_GHOSTS" -le 3 ]] || fail "quorum 2 still misdirected $QUORUM_GHOSTS/20 ghosts"
+
+say "revoking nodeG's credential on E: eviction is live"
+REVOKE=$(curl -sf -X DELETE "$E_BASE/v2/peer-tokens/nodeG")
+echo "$REVOKE" | grep -q '"revoked":"nodeG"' || fail "unexpected revocation response: $REVOKE"
+# G sealed digests for both same-named filters E watches (mesh AND the
+# default filter every serve process creates), so eviction scrubs ≥ 1.
+EVICTED=$(echo "$REVOKE" | grep -o '"digests_evicted":[0-9]*' | grep -o '[0-9]*$')
+[[ "${EVICTED:-0}" -ge 1 ]] || fail "revocation evicted nothing: $REVOKE"
+
+say "G's refreshes stop verifying; its digest stays out"
+REFRESH=$(curl -sf -X POST "$E_BASE/v2/filters/mesh/peers/refresh")
+echo "$REFRESH" | grep -q 'no live credential for peer' || fail "revoked refetch recorded no credential error: $REFRESH"
+WEIGHT=$(peer_weight_max)
+say "heaviest sibling digest on E after revocation: ${WEIGHT:-0}/64 bits (honest sibling only)"
+[[ "${WEIGHT:-0}" -le 20 ]] || fail "saturated evil digest survived revocation (weight $WEIGHT)"
+
+say "post-revocation ghost probes all route to the origin"
+POST_GHOSTS=0
+for i in $(seq 0 19); do
+  curl -sf -X POST "$E_BASE/v2/filters/mesh/route" -d "{\"item\":\"quorum-ghost-$i\"}" \
+    | grep -q '"verdict":"peer"' && POST_GHOSTS=$((POST_GHOSTS + 1))
+done
+[[ "$POST_GHOSTS" == "0" ]] || fail "revoked sibling still misdirects $POST_GHOSTS/20 ghosts"
+
+say "stopping mesh nodes E/F/G"
+for pid in "$SERVER_E_PID" "$SERVER_F_PID" "$SERVER_G_PID"; do
+  kill -TERM "$pid"
+  wait "$pid" || fail "a mesh node exited non-zero on SIGTERM"
+done
+unset SERVER_E_PID SERVER_F_PID SERVER_G_PID
 
 say "OK"
