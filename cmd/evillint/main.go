@@ -1,0 +1,107 @@
+// Command evillint is the repo's invariant checker: a multichecker that
+// runs the internal/lint analyzer suite over the module and fails the
+// build on any unsuppressed finding. It replaces the token-grep that
+// scripts/layering.sh used to be — the analyzers resolve types, so
+// import aliases, method values, and renames cannot dodge them.
+//
+// Usage:
+//
+//	go run ./cmd/evillint [-list] [-v] [packages...]
+//
+// With no package patterns it checks ./... . Exit status is 1 when any
+// finding is not suppressed by a //lint:allow annotation, 2 on analysis
+// malfunction (load or type-check failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"evilbloom/internal/lint"
+	"evilbloom/internal/lint/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings with their //lint:allow reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: evillint [-list] [-v] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks the module's invariant suite; see -list for the analyzers.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.LoadModule(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(prog, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := 0
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s: %s: suppressed (%s): %s\n", relPos(root, f.Pos), f.Analyzer, f.Reason, f.Message)
+			}
+			continue
+		}
+		failed++
+		fmt.Printf("%s: %s: %s\n", relPos(root, f.Pos), f.Analyzer, f.Message)
+	}
+	if *verbose {
+		fmt.Printf("evillint: %d finding(s), %d suppressed, %d package(s) checked\n",
+			failed, suppressed, countTargets(prog))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func countTargets(prog *analysis.Program) int {
+	n := 0
+	for _, pkg := range prog.Packages {
+		if pkg.Target {
+			n++
+		}
+	}
+	return n
+}
+
+// relPos renders a finding position relative to the module root, the way
+// go vet prints them.
+func relPos(root string, pos token.Position) string {
+	file := pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && len(rel) < len(file) {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", file, pos.Line, pos.Column)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "evillint: %v\n", err)
+	os.Exit(2)
+}

@@ -34,6 +34,8 @@ func (b *BitSet) Size() uint64 { return b.size }
 // Set sets bit i to 1. It reports whether the bit was previously unset, which
 // lets Bloom filters count newly-set bits without a separate Test call.
 // Out-of-range indexes are ignored and report false.
+//
+//lint:allow atomicpublish plain-write twin of SetAtomic: callers serialize externally and must not expose the set to lock-free readers
 func (b *BitSet) Set(i uint64) bool {
 	if i >= b.size {
 		return false
@@ -45,6 +47,8 @@ func (b *BitSet) Set(i uint64) bool {
 }
 
 // Clear sets bit i to 0. It reports whether the bit was previously set.
+//
+//lint:allow atomicpublish plain-write twin: callers serialize externally and must not expose the set to lock-free readers
 func (b *BitSet) Clear(i uint64) bool {
 	if i >= b.size {
 		return false
@@ -125,6 +129,8 @@ func (b *BitSet) Word(i int) uint64 {
 // which patches only the words a peer reported changed. Bits beyond Size in
 // the last word are trimmed so the set stays canonical; out-of-range indexes
 // are ignored.
+//
+//lint:allow atomicpublish plain-write twin: delta application happens on an unpublished working copy, then publishes via StoreFrom
 func (b *BitSet) SetWord(i int, w uint64) {
 	if i < 0 || i >= len(b.words) {
 		return
@@ -168,6 +174,8 @@ func (b *BitSet) Support() []uint64 {
 }
 
 // SetAll sets every bit to 1 (a fully saturated filter).
+//
+//lint:allow atomicpublish plain-write twin: saturation is a test/attack-harness operation on unpublished sets
 func (b *BitSet) SetAll() {
 	for i := range b.words {
 		b.words[i] = ^uint64(0)
@@ -176,6 +184,8 @@ func (b *BitSet) SetAll() {
 }
 
 // Reset clears every bit.
+//
+//lint:allow atomicpublish plain-write twin: callers serialize externally and must not expose the set to lock-free readers
 func (b *BitSet) Reset() {
 	for i := range b.words {
 		b.words[i] = 0
@@ -184,6 +194,8 @@ func (b *BitSet) Reset() {
 
 // trimTail zeroes the unused high bits of the last word so that Weight,
 // Equal and serialization stay canonical.
+//
+//lint:allow atomicpublish internal helper of the plain-write twins; runs only on sets their callers already serialize
 func (b *BitSet) trimTail() {
 	if rem := b.size % wordBits; rem != 0 && len(b.words) > 0 {
 		b.words[len(b.words)-1] &= (1 << rem) - 1
@@ -191,6 +203,8 @@ func (b *BitSet) trimTail() {
 }
 
 // Clone returns a deep copy.
+//
+//lint:allow atomicpublish writes land in the freshly allocated copy, which no reader can hold yet
 func (b *BitSet) Clone() *BitSet {
 	out := &BitSet{size: b.size, words: make([]uint64, len(b.words))}
 	copy(out.words, b.words)
@@ -211,6 +225,8 @@ func (b *BitSet) Equal(o *BitSet) bool {
 }
 
 // UnionWith ORs o into b. Both sets must have the same size.
+//
+//lint:allow atomicpublish plain-write twin: digest merges run on unpublished working copies
 func (b *BitSet) UnionWith(o *BitSet) error {
 	if b.size != o.size {
 		return fmt.Errorf("bitset: union of mismatched sizes %d and %d", b.size, o.size)
@@ -222,6 +238,8 @@ func (b *BitSet) UnionWith(o *BitSet) error {
 }
 
 // IntersectWith ANDs o into b. Both sets must have the same size.
+//
+//lint:allow atomicpublish plain-write twin: digest merges run on unpublished working copies
 func (b *BitSet) IntersectWith(o *BitSet) error {
 	if b.size != o.size {
 		return fmt.Errorf("bitset: intersection of mismatched sizes %d and %d", b.size, o.size)
@@ -244,7 +262,10 @@ func (b *BitSet) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary decodes data produced by MarshalBinary.
+// UnmarshalBinary decodes data produced by MarshalBinary. The receiver
+// must be unpublished: decoding replaces the backing words wholesale.
+//
+//lint:allow atomicpublish decodes into a receiver that must not be visible to lock-free readers yet
 func (b *BitSet) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("bitset: truncated header: %d bytes", len(data))

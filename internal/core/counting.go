@@ -436,6 +436,10 @@ func (p *packedCounters) get(i uint64) uint64 {
 	return v & p.max()
 }
 
+// set is the plain-write twin of setAtomic, for counters no lock-free
+// reader can observe (construction, snapshot restore under all locks).
+//
+//lint:allow atomicpublish plain-write twin of setAtomic: callers serialize externally with no lock-free readers
 func (p *packedCounters) set(i uint64, v uint64) {
 	if i >= p.m {
 		return

@@ -208,9 +208,11 @@ func (e *Engine) Remove(p Principal, ref FilterRef, item []byte) (RemoveResult, 
 	st := ref.f.Store()
 	removed, err := st.Remove(item)
 	if err != nil {
+		//lint:allow chargerefund charge stands: the request was well-formed; the store did the work of refusing it
 		return RemoveResult{}, err
 	}
 	if !removed {
+		//lint:allow chargerefund charge stands: probing for removable items must not be free (frozen semantics since PR 1)
 		return RemoveResult{}, ErrNotInFilter
 	}
 	return RemoveResult{Removed: 1, Count: st.Count()}, nil
@@ -236,6 +238,7 @@ func (e *Engine) RemoveBatch(p Principal, ref FilterRef, items [][]byte) (Remove
 	st := ref.f.Store()
 	removed, err := st.RemoveBatch(items)
 	if err != nil {
+		//lint:allow chargerefund charge stands: charge-then-capability order is identical on every plane by design
 		return RemoveBatchResult{}, err
 	}
 	return RemoveBatchResult{Removed: removed, Count: st.Count()}, nil

@@ -1,0 +1,66 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"evilbloom/internal/cachedigest"
+	"evilbloom/internal/engine"
+	"evilbloom/internal/service"
+)
+
+// TestWriteEngineErrorKindCoverage pins the kind→status table the errmap
+// analyzer keeps exhaustive. The KindBusy row is the regression this PR
+// fixed: before the exhaustive switch, a KindBusy-classified error only
+// got 429 by being a *engine.BusyError — any other spelling fell through
+// to 500.
+func TestWriteEngineErrorKindCoverage(t *testing.T) {
+	busy := &engine.BusyError{Filter: "f", N: 3, RetrySecs: 7}
+	cases := []struct {
+		name   string
+		err    error
+		status int
+	}{
+		{"invalid", &engine.ItemError{Index: -1, Len: 0}, 400},
+		{"not_found", service.ErrFilterNotFound, 404},
+		{"capability", service.ErrNotRemovable, 405},
+		{"conflict", engine.ErrNotInFilter, 409},
+		{"busy", busy, 429},
+		{"unauthorized", cachedigest.ErrEnvelopeUnauthenticated, 401},
+		{"internal", errors.New("disk on fire"), 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			writeEngineError(w, tc.err)
+			if w.Code != tc.status {
+				t.Errorf("kind %s: got status %d, want %d", tc.name, w.Code, tc.status)
+			}
+		})
+	}
+}
+
+// TestWriteEngineErrorBusyRetryAfter pins the busy rendering: 429, the
+// Retry-After header, and the engine's message verbatim.
+func TestWriteEngineErrorBusyRetryAfter(t *testing.T) {
+	busy := &engine.BusyError{Filter: "f", N: 3, RetrySecs: 7}
+	w := httptest.NewRecorder()
+	writeEngineError(w, busy)
+	if w.Code != 429 {
+		t.Fatalf("got status %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", got)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding body %q: %v", w.Body.String(), err)
+	}
+	if body.Error != busy.Error() {
+		t.Errorf("body error %q, want the busy message %q", body.Error, busy.Error())
+	}
+}

@@ -904,12 +904,12 @@ func toBytes(items []string) [][]byte {
 // busy errors additionally carry Retry-After, and validation errors keep
 // this plane's frozen phrasings.
 func writeEngineError(w http.ResponseWriter, err error) {
-	var busy *engine.BusyError
-	if errors.As(err, &busy) {
-		w.Header().Set("Retry-After", strconv.FormatInt(busy.RetrySecs, 10))
-		writeError(w, http.StatusTooManyRequests, busy.Error())
-		return
-	}
+	// The switch is exhaustive over engine.Kind — evillint's errmap
+	// analyzer fails the build if a kind is missing an arm, so a new
+	// engine kind cannot silently fall through to 500. That fallthrough
+	// was real: before the analyzer, a KindBusy-classified error that was
+	// not a *engine.BusyError answered 500 ("server broken") instead of
+	// 429 ("back off").
 	status := http.StatusInternalServerError
 	switch engine.Classify(err) {
 	case engine.KindInvalid:
@@ -920,10 +920,18 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		status = http.StatusMethodNotAllowed
 	case engine.KindConflict:
 		status = http.StatusConflict
+	case engine.KindBusy:
+		status = http.StatusTooManyRequests
+		var busy *engine.BusyError
+		if errors.As(err, &busy) {
+			w.Header().Set("Retry-After", strconv.FormatInt(busy.RetrySecs, 10))
+		}
 	case engine.KindUnauthorized:
 		status = http.StatusUnauthorized
 	case engine.KindTooLarge:
 		status = http.StatusRequestEntityTooLarge
+	case engine.KindInternal:
+		status = http.StatusInternalServerError
 	}
 	writeError(w, status, httpErrorMessage(err))
 }

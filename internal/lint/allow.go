@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"evilbloom/internal/lint/analysis"
+)
+
+// The escape hatch. A finding the team has triaged and accepted is
+// annotated in place:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The annotation suppresses diagnostics of that analyzer on its own line,
+// on the line directly below it, or — when it appears in a function's doc
+// comment — anywhere inside that function. The reason is mandatory: an
+// allow with no justification is itself reported, because an invariant
+// waived without a recorded why is exactly the assumed-versus-actual gap
+// this suite exists to close.
+
+const allowPrefix = "lint:allow"
+
+// allowEntry is one parsed annotation.
+type allowEntry struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// allowIndex holds every annotation of one package, addressable by
+// file/line and by enclosing function declaration.
+type allowIndex struct {
+	fset *token.FileSet
+	// byLine maps file name + line of the annotation.
+	byLine map[string]map[int][]*allowEntry
+	// byFunc maps function declarations whose doc comment carries an
+	// annotation to the entries.
+	byFunc map[*ast.FuncDecl][]*allowEntry
+	// malformed collects annotations missing the analyzer or the reason.
+	malformed []analysis.Diagnostic
+	funcs     []*ast.FuncDecl
+}
+
+// parseAllow extracts an annotation from one comment line, reporting
+// whether the comment is an annotation at all.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	body, found := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), allowPrefix)
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// buildAllowIndex scans one package's comments.
+func buildAllowIndex(fset *token.FileSet, pkg *analysis.Package) *allowIndex {
+	idx := &allowIndex{
+		fset:   fset,
+		byLine: make(map[string]map[int][]*allowEntry),
+		byFunc: make(map[*ast.FuncDecl][]*allowEntry),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				analyzerName, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if analyzerName == "" || reason == "" {
+					idx.malformed = append(idx.malformed, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				entry := &allowEntry{analyzer: analyzerName, reason: reason, pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				lines := idx.byLine[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowEntry)
+					idx.byLine[p.Filename] = lines
+				}
+				lines[p.Line] = append(lines[p.Line], entry)
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			idx.funcs = append(idx.funcs, fd)
+			if fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				analyzerName, reason, ok := parseAllow(c.Text)
+				if !ok || analyzerName == "" || reason == "" {
+					continue // malformed already collected above
+				}
+				idx.byFunc[fd] = append(idx.byFunc[fd], &allowEntry{analyzer: analyzerName, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return idx
+}
+
+// suppress reports whether a diagnostic of analyzer at pos is covered by
+// an annotation, and by which reason.
+func (idx *allowIndex) suppress(analyzer string, pos token.Pos) (string, bool) {
+	p := idx.fset.Position(pos)
+	if lines := idx.byLine[p.Filename]; lines != nil {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, e := range lines[line] {
+				if e.analyzer == analyzer {
+					e.used = true
+					return e.reason, true
+				}
+			}
+		}
+	}
+	for _, fd := range idx.funcs {
+		if fd.Body == nil || pos < fd.Pos() || pos >= fd.End() {
+			continue
+		}
+		for _, e := range idx.byFunc[fd] {
+			if e.analyzer == analyzer {
+				e.used = true
+				return e.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// docAllows reports whether a declaration's doc comment carries an allow
+// for analyzer. Analyzers use this to sanction a *callee* — e.g. the WAL
+// flush that is deliberately invoked under the shard lock — so that every
+// caller of the sanctioned function is covered by the one annotation that
+// documents the design decision.
+func docAllows(doc *ast.CommentGroup, analyzerName string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		a, reason, ok := parseAllow(c.Text)
+		if ok && a == analyzerName && reason != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader type-checks everything — our packages and, transitively, the
+// standard library — from source, because the analysis must run in an
+// offline container with no export data and no third-party modules. One
+// process-wide FileSet and one shared "source" importer keep positions
+// and standard-library package identities consistent across every load
+// (the self-check over ./... and each analysistest fixture universe all
+// reuse the same std packages instead of re-checking net/http per test).
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	stdImp     types.Importer
+)
+
+func stdImporter() types.Importer {
+	if stdImp == nil {
+		stdImp = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return stdImp
+}
+
+// loader resolves imports for one analysis universe. Module packages (or
+// fixture packages under srcRoot) shadow the real world; anything else
+// falls through to the standard-library source importer.
+type loader struct {
+	prog *Program
+	// srcRoot, when set, is an analysistest fixture tree: import paths
+	// resolve to directories beneath it, exactly like a GOPATH src dir.
+	srcRoot string
+	// pending guards against import cycles in fixture mode.
+	pending map[string]bool
+}
+
+func newLoader(srcRoot string) *loader {
+	return &loader{
+		prog: &Program{
+			Fset:   sharedFset,
+			byPath: make(map[string]*Package),
+		},
+		srcRoot: srcRoot,
+		pending: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer for the type-checker: program packages
+// first, then fixture directories, then the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.prog.byPath[path]; ok {
+		return p.Types, nil
+	}
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if files, err := goFilesIn(dir); err == nil && len(files) > 0 {
+			p, err := l.build(path, dir, files, true)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return stdImporter().Import(path)
+}
+
+// build parses and type-checks one package and installs it in the program.
+func (l *loader) build(path, dir string, files []string, target bool) (*Package, error) {
+	if l.pending[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.pending[path] = true
+	defer delete(l.pending, path)
+
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := cfg.Check(path, sharedFset, parsed, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{
+		Path:   path,
+		Name:   tpkg.Name(),
+		Files:  parsed,
+		Types:  tpkg,
+		Info:   info,
+		Target: target,
+	}
+	l.prog.byPath[path] = p
+	l.prog.Packages = append(l.prog.Packages, p)
+	return p, nil
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadModule loads the packages matching patterns (plus their in-module
+// dependencies, marked non-target) from the Go module containing dir,
+// fully type-checked. The go tool does the package and build-constraint
+// resolution; test files are excluded, matching the lint contract that
+// tests may drive internals the production tree must not touch.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	l := newLoader("")
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Standard {
+			continue // std resolves through the source importer
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		// -deps emits dependencies before dependents, so every in-module
+		// import is already built when its importer is checked.
+		if _, err := l.build(lp.ImportPath, lp.Dir, lp.GoFiles, !lp.DepOnly); err != nil {
+			return nil, err
+		}
+	}
+	return l.prog, nil
+}
+
+// LoadFixture loads an analysistest source tree: every directory beneath
+// srcRoot that holds .go files becomes a package whose import path is its
+// path relative to srcRoot. Fixture trees shadow real import paths
+// ("evilbloom/internal/service"), so analyzers keyed to those paths run
+// against fixtures unchanged.
+func LoadFixture(srcRoot string) (*Program, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.Walk(abs, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() && path != abs {
+			if files, err := goFilesIn(path); err == nil && len(files) > 0 {
+				dirs = append(dirs, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no fixture packages under %s", srcRoot)
+	}
+	sort.Strings(dirs)
+	l := newLoader(abs)
+	for _, d := range dirs {
+		rel, err := filepath.Rel(abs, d)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.ToSlash(rel)
+		if l.prog.byPath[path] != nil {
+			continue // built on demand as another fixture's import
+		}
+		files, err := goFilesIn(d)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := l.build(path, d, files, true); err != nil {
+			return nil, err
+		}
+	}
+	return l.prog, nil
+}
+
+// goFilesIn lists the non-test .go files of dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

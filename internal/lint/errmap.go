@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"evilbloom/internal/lint/analysis"
+)
+
+// ErrMap enforces error-kind exhaustiveness in the wire codecs. The
+// engine classifies every failure into a Kind (engine/errors.go); each
+// codec owns exactly one translation of that taxonomy — HTTP status
+// codes in internal/httpapi, RESP error prefixes in internal/resp. A
+// Kind added to the engine but not to a codec's switch silently falls
+// through to the codec's default arm, which is how KindBusy-typed
+// engine.Error values were answering 500 instead of 429 before this
+// analyzer existed: the client saw "server broken" instead of "back
+// off", defeating the rate limiter's entire signaling purpose.
+//
+// The rule: each codec package must contain at least one switch whose
+// tag has the engine Kind type, and the union of case constants across
+// those switches must cover every exported Kind* constant the engine
+// declares. Adding a ninth Kind therefore fails the build of both
+// codecs until each has decided its wire translation.
+var ErrMap = &analysis.Analyzer{
+	Name: "errmap",
+	Doc: "every engine.Kind constant must have an explicit translation arm in the " +
+		"HTTP status switch and the RESP error switch; no kind may fall to default",
+	Run: runErrMap,
+}
+
+func runErrMap(pass *analysis.Pass) error {
+	if pass.Pkg.Path != pkgHTTPAPI && pass.Pkg.Path != pkgRESP {
+		return nil
+	}
+
+	var (
+		kindType   *types.Named
+		covered    = make(map[string]bool)
+		firstKSPos ast.Node
+	)
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := engineKindType(info.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			kindType = named
+			if firstKSPos == nil {
+				firstKSPos = sw
+			}
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if konst := constOf(info, e); konst != nil {
+						covered[konst.Name()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if kindType == nil {
+		// Only complain when the package actually speaks engine errors.
+		if usesEnginePkg(pass.Pkg) {
+			pass.Reportf(pass.Pkg.Files[0].Name.Pos(),
+				"package %s translates engine errors but has no switch over engine.Kind: every kind needs an explicit wire mapping",
+				pass.Pkg.Name)
+		}
+		return nil
+	}
+
+	var missing []string
+	for _, konst := range kindConstants(kindType) {
+		if !covered[konst.Name()] {
+			missing = append(missing, konst.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(firstKSPos.Pos(),
+			"engine.Kind switch does not cover %s: each kind needs an explicit arm, not the default fallthrough",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// engineKindType unwraps t to the engine package's Kind named type.
+func engineKindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Path() != pkgEngine {
+		return nil
+	}
+	return named
+}
+
+// kindConstants enumerates the exported Kind* constants of the engine
+// package declaring kind.
+func kindConstants(kind *types.Named) []*types.Const {
+	scope := kind.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		konst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !konst.Exported() || !strings.HasPrefix(konst.Name(), "Kind") {
+			continue
+		}
+		if types.Identical(konst.Type(), kind) {
+			out = append(out, konst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// constOf resolves a case expression to the constant it names.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		konst, _ := info.Uses[e].(*types.Const)
+		return konst
+	case *ast.SelectorExpr:
+		konst, _ := info.Uses[e.Sel].(*types.Const)
+		return konst
+	}
+	return nil
+}
+
+// usesEnginePkg reports whether the package references engine error
+// classification at all (Classify, Kind, or the engine.Error type).
+func usesEnginePkg(pkg *analysis.Package) bool {
+	for _, obj := range pkg.Info.Uses {
+		if obj.Pkg() != nil && obj.Pkg().Path() == pkgEngine {
+			switch obj.Name() {
+			case "Classify", "Kind":
+				return true
+			}
+		}
+	}
+	return false
+}

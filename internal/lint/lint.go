@@ -1,0 +1,97 @@
+// Package lint is evillint's invariant suite: five type-resolved
+// analyzers that machine-check the contracts the codebase used to carry
+// as comments and a grep script. The paper this repo reproduces
+// (Gerbet–Kumar–Lauradoux, DSN 2015) is about adversaries exploiting the
+// gap between a data structure's assumed and actual behavior; these
+// analyzers close the same kind of gap in our own implementation —
+// layering, atomic publication, charge/refund symmetry, error-kind
+// exhaustiveness, and I/O-under-lock are all invariants an innocent
+// refactor could silently break long before an adversary found the seam.
+//
+// The driver honors a triage escape hatch, documented in allow.go:
+//
+//	//lint:allow <analyzer> <reason>
+package lint
+
+import (
+	"go/token"
+	"sort"
+
+	"evilbloom/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Layering,
+		AtomicPublish,
+		ChargeRefund,
+		ErrMap,
+		NoLockedNetIO,
+	}
+}
+
+// Finding is one driver-level result: a diagnostic plus its suppression
+// state after //lint:allow triage.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// Reason is the allow annotation's justification when Suppressed.
+	Reason string
+}
+
+// Run executes the analyzers over every target package of prog, applies
+// //lint:allow suppression, and returns all findings sorted by position.
+// Malformed allow annotations are themselves findings (analyzer "allow").
+func Run(prog *analysis.Program, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		if !pkg.Target {
+			continue
+		}
+		idx := buildAllowIndex(prog.Fset, pkg)
+		for _, d := range idx.malformed {
+			findings = append(findings, Finding{
+				Analyzer: "allow",
+				Pos:      prog.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Program:  prog,
+				Pkg:      pkg,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				reason, suppressed := idx.suppress(a.Name, d.Pos)
+				findings = append(findings, Finding{
+					Analyzer:   a.Name,
+					Pos:        prog.Fset.Position(d.Pos),
+					Message:    d.Message,
+					Suppressed: suppressed,
+					Reason:     reason,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

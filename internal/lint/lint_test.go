@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"evilbloom/internal/lint"
+	"evilbloom/internal/lint/analysis"
+	"evilbloom/internal/lint/analysistest"
+)
+
+func TestLayering(t *testing.T) {
+	analysistest.Run(t, "testdata/layering", lint.Layering)
+}
+
+func TestAtomicPublish(t *testing.T) {
+	analysistest.Run(t, "testdata/atomicpublish", lint.AtomicPublish)
+}
+
+func TestChargeRefund(t *testing.T) {
+	analysistest.Run(t, "testdata/chargerefund", lint.ChargeRefund)
+}
+
+func TestErrMap(t *testing.T) {
+	analysistest.Run(t, "testdata/errmap", lint.ErrMap)
+}
+
+func TestNoLockedNetIO(t *testing.T) {
+	analysistest.Run(t, "testdata/nolockednetio", lint.NoLockedNetIO)
+}
+
+// TestAllowSuppressesExactlyOne pins the annotation's scope: the fixture
+// holds two identical violations, the annotation covers the line directly
+// below it, and the other violation must still report.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	findings := analysistest.Run(t, "testdata/allow", lint.Layering)
+	var suppressed, reported int
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if !strings.Contains(f.Reason, "fixture") {
+				t.Errorf("suppressed finding carries wrong reason %q", f.Reason)
+			}
+		} else {
+			reported++
+		}
+	}
+	if suppressed != 1 || reported != 1 {
+		t.Errorf("want exactly 1 suppressed and 1 reported finding, got %d/%d:\n%s",
+			suppressed, reported, analysistest.Describe(findings))
+	}
+}
+
+// TestSuiteCleanOnRealTree is the self-check CI runs through evillint:
+// the full analyzer suite over the real module must produce no
+// unsuppressed finding — every accepted violation carries its
+// //lint:allow reason in the source.
+func TestSuiteCleanOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	prog, err := analysis.LoadModule(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := lint.Run(prog, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Errorf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package service is the minimal stub for the allow-scoping fixture.
+package service
+
+type Registry struct{ lim Limiter }
+
+func (r *Registry) Limiter() *Limiter { return &r.lim }
+
+type Limiter struct{}

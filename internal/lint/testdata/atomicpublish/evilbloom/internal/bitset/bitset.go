@@ -1,0 +1,29 @@
+// Package bitset is the fixture twin of the real word-slice store: words
+// is read with sync/atomic, so every plain write to it is a finding.
+package bitset
+
+import "sync/atomic"
+
+type BitSet struct{ words []uint64 }
+
+func (b *BitSet) SetAtomic(i int, v uint64) {
+	atomic.StoreUint64(&b.words[i], v)
+}
+
+func (b *BitSet) TestAtomic(i int) uint64 {
+	return atomic.LoadUint64(&b.words[i])
+}
+
+func (b *BitSet) Set(i int, v uint64) {
+	b.words[i] = v // want "non-atomic write"
+}
+
+// Reset is the documented plain-write twin; its doc annotation covers
+// every write in the body.
+//
+//lint:allow atomicpublish fixture: documented plain-write twin, callers serialize externally
+func (b *BitSet) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -1,0 +1,8 @@
+// Package service is the fixture twin holding the limiter the engine
+// charges against.
+package service
+
+type Limiter struct{}
+
+func (l *Limiter) Allow(filter, principal string, n int) error { return nil }
+func (l *Limiter) Refund(filter, principal string, n int)      {}

@@ -1,0 +1,18 @@
+// Package engine is the fixture twin of the error taxonomy: three kinds
+// instead of eight, same shape.
+package engine
+
+type Kind int
+
+const (
+	KindInvalid Kind = iota + 1
+	KindNotFound
+	KindBusy
+)
+
+func Classify(err error) Kind {
+	if err == nil {
+		return 0
+	}
+	return KindInvalid
+}

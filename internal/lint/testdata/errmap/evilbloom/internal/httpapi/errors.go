@@ -1,0 +1,16 @@
+// Package httpapi is the passing codec: every kind has an explicit arm.
+package httpapi
+
+import "evilbloom/internal/engine"
+
+func status(err error) int {
+	switch engine.Classify(err) {
+	case engine.KindInvalid:
+		return 400
+	case engine.KindNotFound:
+		return 404
+	case engine.KindBusy:
+		return 429
+	}
+	return 500
+}

@@ -1,0 +1,13 @@
+// Package resp is the violating codec: KindBusy silently falls through
+// to the default reply class.
+package resp
+
+import "evilbloom/internal/engine"
+
+func reply(err error) string {
+	switch engine.Classify(err) { // want "does not cover KindBusy"
+	case engine.KindInvalid, engine.KindNotFound:
+		return "ERR " + err.Error()
+	}
+	return "ERR " + err.Error()
+}

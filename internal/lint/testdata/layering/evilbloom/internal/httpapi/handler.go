@@ -1,0 +1,20 @@
+// Package httpapi is the violating codec fixture. The import is aliased
+// and one forbidden method is taken as a method value — the spellings the
+// old grep could not see.
+package httpapi
+
+import svc "evilbloom/internal/service"
+
+type server struct{ reg *svc.Registry }
+
+func (s *server) handle() error {
+	lim := s.reg.Limiter() // want "codec package must not reach"
+	allow := lim.Allow     // want "only the engine charges or refunds"
+	if err := allow("f", "p", 1); err != nil {
+		return err
+	}
+	lim.Refund("f", "p", 1) // want "only the engine charges or refunds"
+	f := s.reg.Get("f")     // want "codec package must not reach"
+	_ = f.Store()           // want "must not hold a raw store handle"
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package ops is the passing fixture: a non-codec package may hold a
+// registry and even its limiter — it just may not charge or refund.
+package ops
+
+import "evilbloom/internal/service"
+
+func poke(r *service.Registry) *service.Limiter {
+	_ = r.Get("f")
+	return r.Limiter()
+}

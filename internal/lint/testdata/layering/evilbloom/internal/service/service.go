@@ -1,0 +1,20 @@
+// Package service is the fixture twin of the real service layer: just
+// enough surface for the layering analyzer to resolve the forbidden
+// methods by type.
+package service
+
+type Registry struct{ lim Limiter }
+
+func (r *Registry) Limiter() *Limiter       { return &r.lim }
+func (r *Registry) Get(name string) *Filter { return &Filter{} }
+
+type Limiter struct{}
+
+func (l *Limiter) Allow(filter, principal string, n int) error { return nil }
+func (l *Limiter) Refund(filter, principal string, n int)      {}
+
+type Filter struct{}
+
+func (f *Filter) Store() *Store { return &Store{} }
+
+type Store struct{}

@@ -1,0 +1,63 @@
+// Package service exercises the locked-I/O walker: direct syscalls and
+// transitive reaches under a mutex are findings; released locks,
+// goroutines, and the sanctioned WAL sink are not.
+package service
+
+import (
+	"os"
+	"sync"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	path string
+	wal  *os.File
+}
+
+// writeBad performs the syscall inside the critical section.
+func (s *shard) writeBad(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(s.path, data, 0o600) // want "called while a mutex is held"
+}
+
+// persistBad reaches the I/O two calls away, still inside the lock.
+func (s *shard) persistBad(data []byte) {
+	s.mu.Lock()
+	s.stash(data) // want "reaches"
+	s.mu.Unlock()
+}
+
+func (s *shard) stash(data []byte) {
+	s.wal.Write(data)
+}
+
+// writeGood releases the lock before the write.
+func (s *shard) writeGood(data []byte) error {
+	s.mu.Lock()
+	buf := append([]byte(nil), data...)
+	s.mu.Unlock()
+	return os.WriteFile(s.path, buf, 0o600)
+}
+
+// asyncGood launches the I/O in a goroutine, outside the critical section.
+func (s *shard) asyncGood(data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.stash(data)
+}
+
+// flushLocked is the sanctioned WAL write: the one annotation on the
+// declaration covers every locked caller.
+//
+//lint:allow nolockednetio fixture: WAL durability ordering demands the write inside the lock
+func (s *shard) flushLocked() {
+	s.wal.Sync()
+}
+
+// appendGood calls the sanctioned sink under the lock — clean.
+func (s *shard) appendGood() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+package resp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"evilbloom/internal/engine"
+	"evilbloom/internal/service"
+)
+
+// TestRunErrorReplyKindCoverage pins the kind→reply-class table the
+// errmap analyzer keeps exhaustive: capability refusals are -WRONGTYPE,
+// budget exhaustion is -BUSY (the class writeBusy already uses on the
+// batched path), everything else is -ERR.
+func TestRunErrorReplyKindCoverage(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		prefix string
+	}{
+		{"capability", service.ErrNotRemovable, "WRONGTYPE "},
+		{"busy", &engine.BusyError{Filter: "f", N: 1, RetrySecs: 2}, "BUSY "},
+		{"conflict", engine.ErrNotInFilter, "ERR "},
+		{"invalid", &engine.ItemError{Index: -1, Len: 0}, "ERR "},
+		{"not_found", service.ErrFilterNotFound, "ERR "},
+		{"internal", errors.New("disk on fire"), "ERR "},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runErrorReply(tc.err)
+			if !strings.HasPrefix(got, tc.prefix) {
+				t.Errorf("reply %q does not start with %q", got, tc.prefix)
+			}
+			if !strings.HasSuffix(got, tc.err.Error()) {
+				t.Errorf("reply %q does not carry the message %q", got, tc.err.Error())
+			}
+		})
+	}
+}

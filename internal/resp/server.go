@@ -347,10 +347,20 @@ func (h *connHandler) flushGroup() {
 // runErrorReply maps an engine error to its RESP reply class: capability
 // refusals (deleting from a plain bloom backend) render as -WRONGTYPE —
 // the operation does not fit the key's type, Redis's own class for that —
-// and everything else as -ERR.
+// budget exhaustion as -BUSY (the class writeBusy already uses on the
+// batched path), and everything else as -ERR. The switch is exhaustive
+// over engine.Kind — evillint's errmap analyzer fails the build if a new
+// kind lacks an arm, so this plane cannot silently diverge from HTTP's
+// status mapping.
 func runErrorReply(err error) string {
-	if engine.Classify(err) == engine.KindCapability {
+	switch engine.Classify(err) {
+	case engine.KindCapability:
 		return "WRONGTYPE " + err.Error()
+	case engine.KindBusy:
+		return "BUSY " + err.Error()
+	case engine.KindInvalid, engine.KindNotFound, engine.KindConflict,
+		engine.KindUnauthorized, engine.KindTooLarge, engine.KindInternal:
+		return "ERR " + err.Error()
 	}
 	return "ERR " + err.Error()
 }

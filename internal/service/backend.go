@@ -171,6 +171,7 @@ func (b bloomBackend) Snapshot() ([]byte, error) {
 }
 
 func (b bloomBackend) Restore(data []byte) error {
+	//lint:allow atomicpublish unpublished receiver: Restore runs at boot replay or on a store built but not yet published
 	return b.Bloom.UnmarshalBinary(data)
 }
 
@@ -192,6 +193,7 @@ func (b blockedBackend) Snapshot() ([]byte, error) {
 }
 
 func (b blockedBackend) Restore(data []byte) error {
+	//lint:allow atomicpublish unpublished receiver: Restore runs at boot replay or on a store built but not yet published
 	return b.Blocked.UnmarshalBinary(data)
 }
 

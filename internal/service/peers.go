@@ -489,6 +489,7 @@ func readDigestResponse(resp *http.Response, held *cachedigest.PeerDigest, seale
 			res.err = fmt.Errorf("%w: delta answered with no digest held", cachedigest.ErrDeltaGap)
 			return res
 		}
+		//lint:allow atomicpublish writes land in a freshly decoded digest copy, never in a published store
 		d, err := held.ApplyDelta(frame)
 		if err != nil {
 			res.err = err
@@ -497,6 +498,7 @@ func readDigestResponse(resp *http.Response, held *cachedigest.PeerDigest, seale
 		res.digest, res.delta = d, true
 		return res
 	}
+	//lint:allow atomicpublish writes land in a freshly decoded digest, never in a published store
 	d, err := cachedigest.OpenEnvelope(frame)
 	if err != nil {
 		res.err = err
@@ -672,6 +674,7 @@ func (p *Peers) Push(name, label string, rd io.Reader, sealer string, sealed boo
 			}
 		}
 		if err == nil {
+			//lint:allow atomicpublish writes land in a freshly decoded digest, never in a published store
 			d, err = cachedigest.OpenEnvelope(frame)
 		}
 	}

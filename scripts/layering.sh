@@ -1,48 +1,16 @@
 #!/usr/bin/env bash
 # Layering lint: the wire codecs must not reach around the command engine.
 #
-# internal/httpapi and internal/resp are codecs — they decode wire frames
-# into engine commands and render engine results and typed errors back out.
-# Validation, identity resolution, rate-limit charging/refunding, and store
-# dispatch live in internal/engine only. This check greps the codec sources
-# (tests excluded: they drive the wire surface and may inspect internals)
-# for the tokens that would mean a codec grew its own enforcement path:
-#
-#   .Limiter()          limiter access (charging outside the engine)
-#   .Allow( / .Refund(  bucket charge/refund calls
-#   .Store()            raw store handle (every registry item-op —
-#                       AddBatch/TestBatch/RemoveBatch/... — hangs off it)
-#
-# A hit means a second, divergent pipeline is growing back — exactly the
-# almost-identical-enforcement-paths gap the engine refactor closed.
+# This used to be a grep over the codec sources for the tokens
+# ".Limiter()", ".Allow(", ".Refund(" and ".Store()" — which an import
+# alias, a rename, or a method value (f := lim.Allow; f(...)) would dodge
+# without anyone noticing. The check now runs evillint, whose layering
+# analyzer resolves selector *objects* through the type-checker, alongside
+# the rest of the invariant suite (atomicpublish, chargerefund, errmap,
+# nolockednetio). See internal/lint for the analyzers and the
+# //lint:allow escape hatch; `go run ./cmd/evillint -list` describes each.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
-for dir in internal/httpapi internal/resp; do
-  hits=$(grep -nE '\.Limiter\(\)|\.Allow\(|\.Refund\(|\.Store\(\)' \
-    --include='*.go' --exclude='*_test.go' -r "$dir" || true)
-  if [ -n "$hits" ]; then
-    echo "layering violation: $dir must go through internal/engine, not the limiter/store directly:" >&2
-    echo "$hits" >&2
-    fail=1
-  fi
-done
-
-# The engine is the only non-domain package allowed to touch the limiter.
-# Everything else that imports service and calls Limiter() outside tests is
-# a side door (cmd and examples configure limits via the registry, which is
-# fine — they must not charge buckets).
-charge_hits=$(grep -nE '\.Limiter\(\)\.(Allow|Refund)\(' \
-  --include='*.go' --exclude='*_test.go' -r cmd examples internal \
-  | grep -v '^internal/engine/' || true)
-if [ -n "$charge_hits" ]; then
-  echo "layering violation: only internal/engine may charge or refund rate-limit buckets:" >&2
-  echo "$charge_hits" >&2
-  fail=1
-fi
-
-if [ "$fail" -ne 0 ]; then
-  exit 1
-fi
-echo "layering: OK (codecs are engine-only)"
+go run ./cmd/evillint ./...
+echo "evillint: OK (all invariants hold)"
